@@ -1,0 +1,111 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. **Number of windows** — does a third window between the short and
+//!    long ones buy anything? (Generalized MW-FD vs the paper's 2W.)
+//! 2. **The `max` combination rule** — 2W's max of two expected-arrival
+//!    estimates vs a single Chen window of intermediate size (is the
+//!    benefit really the combination, not just a mid-size window?).
+//! 3. **Worm-period congestion structure** — sustained vs episodic vs
+//!    smooth congestion in the synthetic trace: where does the 2W
+//!    advantage over the single-window detectors come from?
+//!
+//! Run: `cargo bench -p twofd-bench --bench ablation`
+
+use twofd_bench::{samples_from_env, sweep, Figure, Series, MARGIN_SWEEP};
+use twofd_core::DetectorSpec;
+use twofd_trace::WanTraceConfig;
+
+fn main() {
+    let samples = samples_from_env(60_000);
+    eprintln!("[ablation] WAN trace with {samples} heartbeats…");
+    let trace = WanTraceConfig::small(samples, 0x2BFD_0001).generate();
+
+    // ---- 1. Window count.
+    let mut fig = Figure::new(
+        "Ablation 1: number of windows (T_MR vs T_D)",
+        &["td_s", "tmr_per_s"],
+    );
+    for spec in [
+        DetectorSpec::Chen { window: 1 },
+        DetectorSpec::TwoWindow { n1: 1, n2: 1000 },
+        DetectorSpec::MultiWindow {
+            windows: vec![1, 30, 1000],
+        },
+        DetectorSpec::MultiWindow {
+            windows: vec![1, 10, 100, 1000],
+        },
+    ] {
+        let curve = sweep(&spec, &trace, &MARGIN_SWEEP);
+        let mut s = Series::new(curve.label.clone());
+        for p in &curve.points {
+            s.push(vec![p.td, p.tmr]);
+        }
+        fig.add(s);
+    }
+    fig.print();
+
+    // ---- 2. Max-combination vs a mid-size single window.
+    let mut fig = Figure::new(
+        "Ablation 2: max-combination vs mid-size single windows (T_MR vs T_D)",
+        &["td_s", "tmr_per_s"],
+    );
+    for spec in [
+        DetectorSpec::TwoWindow { n1: 1, n2: 1000 },
+        DetectorSpec::Chen { window: 30 },
+        DetectorSpec::Chen { window: 100 },
+        DetectorSpec::Chen { window: 300 },
+    ] {
+        let curve = sweep(&spec, &trace, &MARGIN_SWEEP);
+        let mut s = Series::new(curve.label.clone());
+        for p in &curve.points {
+            s.push(vec![p.td, p.tmr]);
+        }
+        fig.add(s);
+    }
+    fig.print();
+
+    // ---- 3. Congestion structure of the worm period.
+    let mut fig = Figure::new(
+        "Ablation 3: worm congestion structure — 2W advantage over Chen(1) at Δto = 50 ms",
+        &["2w_mistakes", "chen1_mistakes", "chen1000_mistakes"],
+    );
+    type Tweak = Box<dyn Fn(&mut WanTraceConfig)>;
+    let variants: [(&str, Tweak); 3] = [
+        (
+            "spike-trains (default)",
+            Box::new(|_cfg: &mut WanTraceConfig| {}),
+        ),
+        (
+            "sustained dense spikes",
+            Box::new(|cfg: &mut WanTraceConfig| {
+                cfg.worm_episode_onset = 1.0;
+                cfg.worm_episode_end = 0.0;
+                cfg.worm_spike_prob = 0.35;
+            }),
+        ),
+        (
+            "smooth elevated (no spikes)",
+            Box::new(|cfg: &mut WanTraceConfig| {
+                cfg.worm_spike_prob = 0.0;
+                cfg.worm_delay_std = 0.06;
+            }),
+        ),
+    ];
+    for (name, tweak) in variants {
+        let mut cfg = WanTraceConfig::small(samples, 0x2BFD_0001);
+        tweak(&mut cfg);
+        let t = cfg.generate();
+        let count = |spec: DetectorSpec| {
+            let mut fd = spec.build(t.interval, 0.05);
+            twofd_core::replay(fd.as_mut(), &t).metrics().mistakes as f64
+        };
+        let mut s = Series::new(name);
+        s.push(vec![
+            count(DetectorSpec::TwoWindow { n1: 1, n2: 1000 }),
+            count(DetectorSpec::Chen { window: 1 }),
+            count(DetectorSpec::Chen { window: 1000 }),
+        ]);
+        fig.add(s);
+    }
+    fig.print();
+}

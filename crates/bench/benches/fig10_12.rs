@@ -1,0 +1,30 @@
+//! Regenerates Figures 10–12: the configuration procedure's output
+//! (Δi, Δto) as each requirement of the QoS tuple varies — detection
+//! time (Fig. 10), mistake recurrence (Fig. 11), mistake duration
+//! (Fig. 12).
+//!
+//! Run: `cargo bench -p twofd-bench --bench fig10_12`
+
+use twofd_bench::{fig10_12_config_sweeps, render_config_sweep};
+use twofd_core::{NetworkBehavior, QosSpec};
+
+fn main() {
+    // Paper-scale WAN-like behaviour: 1% loss, 20 ms delay std-dev.
+    let net = NetworkBehavior::new(0.01, 0.02 * 0.02);
+    let base = QosSpec::new(1.0, 3600.0, 1.0);
+    eprintln!("[fig10_12] base tuple (T_D=1s, T_MR=1h, T_M=1s), pL=1%, sd(D)=20ms");
+    let (fig10, fig11, fig12) = fig10_12_config_sweeps(&net, &base);
+    render_config_sweep("Figure 10: Δi/Δto vs detection time T_D^U", "td_u_s", &fig10).print();
+    render_config_sweep(
+        "Figure 11: Δi/Δto vs mistake recurrence T_MR^U",
+        "tmr_u_s",
+        &fig11,
+    )
+    .print();
+    render_config_sweep(
+        "Figure 12: Δi/Δto vs mistake duration T_M^U",
+        "tm_u_s",
+        &fig12,
+    )
+    .print();
+}

@@ -1,0 +1,22 @@
+//! Regenerates Figures 4 & 5: the 2W-FD window-size sweep on the WAN
+//! trace — mistake rate vs detection time (Fig. 4, log-scale y in the
+//! paper) and query accuracy vs detection time (Fig. 5).
+//!
+//! Run: `cargo bench -p twofd-bench --bench fig4_5`
+
+use twofd_bench::{
+    fig4_5_window_sweep, paper_window_pairs, render_sweep_figures, samples_from_env,
+};
+use twofd_trace::WanTraceConfig;
+
+fn main() {
+    let samples = samples_from_env(100_000);
+    eprintln!("[fig4_5] generating WAN trace with {samples} heartbeats…");
+    let trace = WanTraceConfig::small(samples, 0x2BFD_0001).generate();
+    let pairs = paper_window_pairs();
+    eprintln!("[fig4_5] sweeping {} window pairs…", pairs.len());
+    let curves = fig4_5_window_sweep(&trace, &pairs);
+    let (fig4, fig5) = render_sweep_figures("Figures 4/5 (WAN, 2W-FD window sizes)", &curves);
+    fig4.print();
+    fig5.print();
+}

@@ -1,0 +1,25 @@
+//! Regenerates Figures 6 & 7: the algorithm comparison on the WAN trace
+//! — 2W-FD(1,1000) vs Chen(1), Chen(1000), φ(1000), ED(1000) and the
+//! single Bertier(1000) point. The paper also ran the LAN scenario and
+//! reports identical shapes; pass `TWOFD_BENCH_LAN=1` to reproduce it.
+//!
+//! Run: `cargo bench -p twofd-bench --bench fig6_7`
+
+use twofd_bench::{fig6_7_comparison, render_sweep_figures, samples_from_env};
+use twofd_trace::{LanTraceConfig, WanTraceConfig};
+
+fn main() {
+    let samples = samples_from_env(100_000);
+    let lan = std::env::var("TWOFD_BENCH_LAN").is_ok();
+    let (scenario, trace) = if lan {
+        ("LAN", LanTraceConfig::small(samples, 0x2BFD_0002).generate())
+    } else {
+        ("WAN", WanTraceConfig::small(samples, 0x2BFD_0001).generate())
+    };
+    eprintln!("[fig6_7] {scenario} trace with {samples} heartbeats; comparing 6 detectors…");
+    let curves = fig6_7_comparison(&trace);
+    let (fig6, fig7) =
+        render_sweep_figures(&format!("Figures 6/7 ({scenario}, algorithm comparison)"), &curves);
+    fig6.print();
+    fig7.print();
+}

@@ -1,0 +1,26 @@
+//! Regenerates Figure 8: total mistakes per WAN segment (Table I) with
+//! every detector calibrated to the same detection time, T_D = 215 ms.
+//! Bertier cannot be parametrized to a target T_D and is skipped, as in
+//! the paper.
+//!
+//! Run: `cargo bench -p twofd-bench --bench fig8`
+//! `TWOFD_BENCH_TD_MS` overrides the target detection time.
+
+use twofd_bench::{fig8_segment_analysis, render_fig8, samples_from_env};
+use twofd_trace::{table1_segments, WanTraceConfig};
+
+fn main() {
+    let samples = samples_from_env(100_000);
+    let td_ms: f64 = std::env::var("TWOFD_BENCH_TD_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(215.0);
+    eprintln!("[fig8] WAN trace with {samples} heartbeats, target T_D = {td_ms} ms…");
+    let trace = WanTraceConfig::small(samples, 0x2BFD_0001).generate();
+    let rows = fig8_segment_analysis(&trace, td_ms / 1e3);
+    let names: Vec<String> = table1_segments(samples)
+        .into_iter()
+        .map(|s| s.name)
+        .collect();
+    render_fig8(&rows, &names).print();
+}

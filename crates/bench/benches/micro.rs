@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks: the per-heartbeat processing cost of each
+//! detector — the figure that matters for a service multiplexing many
+//! monitored hosts — and the cost of the replay engine itself.
+//!
+//! Run: `cargo bench -p twofd-bench --bench micro`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use twofd_core::{replay, DetectorSpec};
+use twofd_sim::time::Span;
+use twofd_trace::WanTraceConfig;
+
+fn heartbeat_cost(c: &mut Criterion) {
+    let interval = Span::from_millis(100);
+    let mut group = c.benchmark_group("on_heartbeat");
+    group.throughput(Throughput::Elements(1));
+    for spec in [
+        DetectorSpec::Chen { window: 1 },
+        DetectorSpec::Chen { window: 1000 },
+        DetectorSpec::TwoWindow { n1: 1, n2: 1000 },
+        DetectorSpec::Bertier { window: 1000 },
+        DetectorSpec::Phi { window: 1000 },
+        DetectorSpec::Ed { window: 1000 },
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(spec.label()), |b| {
+            let mut fd = spec.build(interval, 1.0);
+            let mut seq = 0u64;
+            b.iter(|| {
+                seq += 1;
+                fd.on_heartbeat(seq, twofd_sim::Nanos(seq * interval.0 + 10_000_000))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn window_scaling(c: &mut Criterion) {
+    let interval = Span::from_millis(100);
+    let mut group = c.benchmark_group("2w_long_window_scaling");
+    for n2 in [10usize, 100, 1_000, 10_000] {
+        group.bench_function(BenchmarkId::from_parameter(n2), |b| {
+            let mut fd = DetectorSpec::TwoWindow { n1: 1, n2 }.build(interval, 1.0);
+            let mut seq = 0u64;
+            b.iter(|| {
+                seq += 1;
+                fd.on_heartbeat(seq, twofd_sim::Nanos(seq * interval.0 + 10_000_000))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn replay_throughput(c: &mut Criterion) {
+    let trace = WanTraceConfig::small(20_000, 3).generate();
+    let mut group = c.benchmark_group("replay_20k_heartbeats");
+    group.throughput(Throughput::Elements(trace.sent() as u64));
+    for spec in [
+        DetectorSpec::TwoWindow { n1: 1, n2: 1000 },
+        DetectorSpec::Chen { window: 1000 },
+        DetectorSpec::Phi { window: 1000 },
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(spec.label()), |b| {
+            b.iter(|| {
+                let mut fd = spec.build(trace.interval, 0.5);
+                replay(fd.as_mut(), &trace).mistakes.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, heartbeat_cost, window_scaling, replay_throughput);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Regenerates Table I: the WAN trace's segment boundaries and the
+//! per-segment network statistics of the synthetic reproduction.
+//!
+//! Run: `cargo bench -p twofd-bench --bench table1`
+//! Scale with `TWOFD_BENCH_SAMPLES` (paper: 5,845,712).
+
+use twofd_bench::{samples_from_env, table1_report};
+
+fn main() {
+    let samples = samples_from_env(200_000);
+    eprintln!("[table1] generating WAN trace with {samples} heartbeats…");
+    table1_report(samples, 0x2BFD_0001).print();
+}

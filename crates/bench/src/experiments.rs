@@ -1,0 +1,473 @@
+//! The paper's experiments as reusable functions.
+//!
+//! Each function regenerates the data behind one table or figure of the
+//! paper's evaluation (§IV) or service analysis (§V). The bench targets
+//! in `benches/` are thin wrappers that pick sample counts and print the
+//! results; integration tests call the same functions at smaller scale
+//! to assert the paper's qualitative claims.
+
+use crate::report::{Figure, Series};
+use twofd_core::{
+    calibrate, mistakes_by_segment, replay, DetectorSpec, Mistake, NetworkBehavior, QosSpec,
+};
+use twofd_service::{analyze, load_report, AppRegistry, ServiceAlgorithm, ServiceAnalysis};
+use twofd_sim::time::Span;
+use twofd_trace::{table1_segments, Trace, TraceStats, WanTraceConfig};
+
+/// Default Δto sweep (seconds) for the Chen-family detectors.
+pub const MARGIN_SWEEP: [f64; 10] = [0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 4.0];
+/// Default threshold sweep for the accrual detectors (Φ for φ, κ for ED).
+pub const THRESHOLD_SWEEP: [f64; 10] = [0.3, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0];
+
+/// One point of a detection-time/accuracy sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The knob value that produced this point.
+    pub tuning: f64,
+    /// Average detection time, seconds (the figures' x-axis).
+    pub td: f64,
+    /// Mistake rate, per second (Figures 4/6 y-axis).
+    pub tmr: f64,
+    /// Query accuracy probability (Figures 5/7 y-axis).
+    pub pa: f64,
+    /// Average mistake duration, seconds.
+    pub tm: f64,
+    /// Raw mistake count.
+    pub mistakes: u64,
+}
+
+/// A detector's full sweep curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCurve {
+    /// The detector's label.
+    pub label: String,
+    /// Points ordered by increasing knob value.
+    pub points: Vec<SweepPoint>,
+}
+
+/// Sweeps one detector's knob over `tunings` on `trace`.
+pub fn sweep(spec: &DetectorSpec, trace: &Trace, tunings: &[f64]) -> SweepCurve {
+    let points = tunings
+        .iter()
+        .map(|&tuning| {
+            let mut fd = spec.build(trace.interval, tuning);
+            let m = replay(fd.as_mut(), trace).metrics();
+            SweepPoint {
+                tuning,
+                td: m.detection_time,
+                tmr: m.mistake_rate,
+                pa: m.query_accuracy,
+                tm: m.avg_mistake_duration,
+                mistakes: m.mistakes,
+            }
+        })
+        .collect();
+    SweepCurve {
+        label: spec.label(),
+        points,
+    }
+}
+
+/// **Figures 4 & 5** — 2W-FD window-size sweep on the WAN trace:
+/// T_MR vs T_D and P_A vs T_D for several `(n1, n2)` pairs.
+pub fn fig4_5_window_sweep(trace: &Trace, pairs: &[(usize, usize)]) -> Vec<SweepCurve> {
+    pairs
+        .iter()
+        .map(|&(n1, n2)| {
+            sweep(
+                &DetectorSpec::TwoWindow { n1, n2 },
+                trace,
+                &MARGIN_SWEEP,
+            )
+        })
+        .collect()
+}
+
+/// The paper's window pairs for Figures 4/5 (small × large grid).
+pub fn paper_window_pairs() -> Vec<(usize, usize)> {
+    vec![
+        (1, 1),
+        (1, 100),
+        (1, 1000),
+        (1, 10_000),
+        (10, 1000),
+        (100, 1000),
+        (1000, 10_000),
+        (10_000, 10_000),
+    ]
+}
+
+/// **Figures 6 & 7** — the algorithm comparison: 2W(1,1000), Chen(1),
+/// Chen(1000), φ(1000), ED(1000) as curves, Bertier(1000) as one point.
+pub fn fig6_7_comparison(trace: &Trace) -> Vec<SweepCurve> {
+    let mut curves = Vec::new();
+    for spec in DetectorSpec::paper_comparison() {
+        let tunings: &[f64] = match &spec {
+            DetectorSpec::Bertier { .. } => &[0.0],
+            DetectorSpec::Phi { .. } | DetectorSpec::Ed { .. } => &THRESHOLD_SWEEP,
+            _ => &MARGIN_SWEEP,
+        };
+        curves.push(sweep(&spec, trace, tunings));
+    }
+    curves
+}
+
+/// One detector's per-segment mistake counts (Figure 8 rows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentedMistakes {
+    /// Detector label.
+    pub label: String,
+    /// The knob value used to hit the target detection time.
+    pub tuning: f64,
+    /// Detection time actually achieved, seconds.
+    pub achieved_td: f64,
+    /// Mistake count per segment, in Table-I order.
+    pub per_segment: Vec<u64>,
+    /// Total mistakes.
+    pub total: u64,
+}
+
+/// **Figure 8** — mistakes per Table-I segment at a fixed detection
+/// time. Detectors that cannot be calibrated to `target_td` (Bertier, or
+/// an out-of-range target) are skipped, mirroring the paper ("the only
+/// failure detector that can not be parametrized to obtain this T_D is
+/// Bertier's").
+pub fn fig8_segment_analysis(trace: &Trace, target_td: f64) -> Vec<SegmentedMistakes> {
+    let segments = table1_segments(trace.sent() as u64);
+    let mut out = Vec::new();
+    for spec in DetectorSpec::paper_comparison() {
+        let Some(cal) = calibrate(&spec, trace, target_td, 0.002, 60.0) else {
+            continue;
+        };
+        let mut fd = spec.build(trace.interval, cal.tuning);
+        let result = replay(fd.as_mut(), trace);
+        let per_segment = mistakes_by_segment(&result.mistakes, &segments);
+        out.push(SegmentedMistakes {
+            label: spec.label(),
+            tuning: cal.tuning,
+            achieved_td: cal.achieved_td,
+            per_segment,
+            total: result.mistakes.len() as u64,
+        });
+    }
+    out
+}
+
+/// **Figure 9** — the mistake-containment illustration: which mistakes
+/// 2W(n1,n2), Chen(n1) and Chen(n2) make at the same detection time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MistakeOverlap {
+    /// Mistakes of 2W-FD(n1,n2).
+    pub two_w: Vec<Mistake>,
+    /// Mistakes of Chen(n1).
+    pub chen_small: Vec<Mistake>,
+    /// Mistakes of Chen(n2).
+    pub chen_large: Vec<Mistake>,
+    /// How many 2W mistakes temporally overlap a Chen(n1) mistake AND a
+    /// Chen(n2) mistake (Eq. 13 predicts: all of them).
+    pub contained: usize,
+    /// The rigorous form of Eq. 13: whether the 2W suspicion *point set*
+    /// is contained in each Chen detector's suspicion point set.
+    pub point_set_contained: bool,
+}
+
+/// Runs the Figure 9 experiment.
+///
+/// §IV-C2: "Chen and the MW failure detectors share a common tuning
+/// parameter, the safety margin Δto" — so the experiment calibrates the
+/// 2W-FD to the target detection time and runs both Chen detectors with
+/// the **same** Δto, which is the premise under which Eq. 13 holds.
+pub fn fig9_mistake_overlap(
+    trace: &Trace,
+    n1: usize,
+    n2: usize,
+    target_td: f64,
+) -> MistakeOverlap {
+    let two_spec = DetectorSpec::TwoWindow { n1, n2 };
+    let cal = calibrate(&two_spec, trace, target_td, 0.002, 60.0)
+        .expect("calibration in range for the 2W-FD");
+    let run = |spec: &DetectorSpec| -> Vec<Mistake> {
+        let mut fd = spec.build(trace.interval, cal.tuning);
+        replay(fd.as_mut(), trace).mistakes
+    };
+    let two_w = run(&two_spec);
+    let chen_small = run(&DetectorSpec::Chen { window: n1 });
+    let chen_large = run(&DetectorSpec::Chen { window: n2 });
+    let overlaps = |m: &Mistake, log: &[Mistake]| {
+        log.iter().any(|o| m.start < o.end && o.start < m.end)
+    };
+    let contained = two_w
+        .iter()
+        .filter(|m| overlaps(m, &chen_small) && overlaps(m, &chen_large))
+        .count();
+    let start = trace.arrivals().first().map(|a| a.at).unwrap_or_default();
+    let end = trace.end_time();
+    let tl = |log: &[Mistake]| twofd_core::Timeline::from_mistakes(log, start, end);
+    let tl_two = tl(&two_w);
+    let point_set_contained = tl_two.suspicion_contained_in(&tl(&chen_small))
+        && tl_two.suspicion_contained_in(&tl(&chen_large));
+    MistakeOverlap {
+        two_w,
+        chen_small,
+        chen_large,
+        contained,
+        point_set_contained,
+    }
+}
+
+/// One row of the Figure 10/11/12 parameter sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfigPoint {
+    /// The swept requirement value.
+    pub x: f64,
+    /// Resulting heartbeat interval Δi, seconds.
+    pub delta_i: f64,
+    /// Resulting safety margin Δto, seconds.
+    pub delta_to: f64,
+}
+
+/// **Figures 10–12** — Chen's configuration procedure under variation of
+/// one requirement at a time. Returns `(fig10, fig11, fig12)` point
+/// sets: Δi/Δto vs T_Dᵁ, vs T_MRᵁ, vs T_Mᵁ.
+pub fn fig10_12_config_sweeps(
+    net: &NetworkBehavior,
+    base: &QosSpec,
+) -> (Vec<ConfigPoint>, Vec<ConfigPoint>, Vec<ConfigPoint>) {
+    let run = |spec: QosSpec, x: f64| -> Option<ConfigPoint> {
+        twofd_core::configure(&spec, net).ok().map(|cfg| ConfigPoint {
+            x,
+            delta_i: cfg.interval.as_secs_f64(),
+            delta_to: cfg.safety_margin.as_secs_f64(),
+        })
+    };
+
+    let fig10 = (1..=20)
+        .filter_map(|i| {
+            let td = 0.25 * i as f64;
+            run(QosSpec { detection_time: td, ..*base }, td)
+        })
+        .collect();
+
+    let fig11 = [
+        1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 56.0, 100.0, 300.0, 1_000.0, 3_600.0, 86_400.0,
+        604_800.0, 2_592_000.0,
+    ]
+    .iter()
+    .filter_map(|&tmr| {
+        run(
+            QosSpec {
+                mistake_recurrence: tmr,
+                ..*base
+            },
+            tmr,
+        )
+    })
+    .collect();
+
+    let fig12 = [0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 1.0, 1.5, 2.0, 3.0, 5.0]
+        .iter()
+        .filter_map(|&tm| {
+            run(
+                QosSpec {
+                    mistake_duration: tm,
+                    ..*base
+                },
+                tm,
+            )
+        })
+        .collect();
+
+    (fig10, fig11, fig12)
+}
+
+/// **Table I + trace validation** — generates the WAN trace at the given
+/// scale and reports the segment boundaries and per-segment statistics.
+pub fn table1_report(samples: u64, seed: u64) -> Figure {
+    let cfg = WanTraceConfig::small(samples, seed);
+    let trace = cfg.generate();
+    let segments = table1_segments(samples);
+    let mut fig = Figure::new(
+        format!("Table I: WAN subsamples at scale {samples} (paper: 5,845,712)"),
+        &["from_seq", "to_seq", "loss_rate", "delay_mean_s", "delay_p99_s"],
+    );
+    for seg in &segments {
+        let sub = seg.slice(&trace);
+        let stats = TraceStats::compute(&sub);
+        let mut s = Series::new(seg.name.clone());
+        s.push(vec![
+            seg.from_seq as f64,
+            (seg.to_seq - 1) as f64,
+            stats.loss_rate,
+            stats.delay_mean,
+            stats.delay_percentiles.2,
+        ]);
+        fig.add(s);
+    }
+    fig
+}
+
+/// **§V-C** — the shared-service experiment: per-app QoS shared vs.
+/// dedicated plus the network-load comparison.
+///
+/// Outages are scripted as *wall-clock* windows so every deployment
+/// (one trace per distinct heartbeat interval) experiences the same
+/// network events — a heartbeat is lost iff it is sent during an
+/// outage. This is what makes the comparison meaningful: an adapted
+/// application's widened margin rides out outages that its dedicated
+/// configuration (slower heartbeats, smaller margin) does not.
+pub fn service_experiment(
+    registry: &AppRegistry,
+    net: &NetworkBehavior,
+    horizon: Span,
+    seed: u64,
+    trace_secs: f64,
+) -> Result<ServiceAnalysis, twofd_service::CombineError> {
+    use twofd_sim::{DelaySpec, DistSpec, LossSpec, NetworkScenario, SimRng};
+    use twofd_trace::generate_scripted;
+
+    // Outage script: Poisson arrivals (mean gap 120 s), duration
+    // uniform in [1, 4] s — identical for every deployment.
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x07A6E);
+    let mut outages: Vec<(u64, u64)> = Vec::new();
+    let mut t = 0.0;
+    loop {
+        t += rng.exponential(120.0);
+        if t >= trace_secs {
+            break;
+        }
+        let duration = rng.uniform_range(1.0, 4.0);
+        outages.push((
+            Span::from_secs_f64(t).0,
+            Span::from_secs_f64(t + duration).0,
+        ));
+        t += duration;
+    }
+
+    let delay_std = net.delay_var.sqrt();
+    let trace_for_interval = |interval: Span| {
+        let n = (trace_secs / interval.as_secs_f64()).ceil() as u64;
+        let scenario = NetworkScenario::uniform(
+            "service",
+            n.max(2),
+            DelaySpec::Iid {
+                dist: DistSpec::LogNormal {
+                    mean: (3.0 * delay_std).max(0.001),
+                    std_dev: delay_std.max(1e-5),
+                },
+                floor_nanos: 100_000,
+            },
+            LossSpec::Scripted {
+                base: Box::new(LossSpec::Bernoulli { p: net.loss_prob }),
+                windows: outages.clone(),
+            },
+        );
+        generate_scripted("service", interval, scenario, seed, None)
+    };
+    analyze(
+        registry,
+        net,
+        ServiceAlgorithm::Chen { window: 1000 },
+        horizon,
+        trace_for_interval,
+    )
+}
+
+/// Renders a set of sweep curves as a two-figure pair (T_MR vs T_D and
+/// P_A vs T_D), the layout of Figures 4/5 and 6/7.
+pub fn render_sweep_figures(title_prefix: &str, curves: &[SweepCurve]) -> (Figure, Figure) {
+    let mut tmr = Figure::new(
+        format!("{title_prefix}: mistake rate vs detection time"),
+        &["td_s", "tmr_per_s", "mistakes"],
+    );
+    let mut pa = Figure::new(
+        format!("{title_prefix}: query accuracy vs detection time"),
+        &["td_s", "pa"],
+    );
+    for c in curves {
+        let mut s1 = Series::new(c.label.clone());
+        let mut s2 = Series::new(c.label.clone());
+        for p in &c.points {
+            s1.push(vec![p.td, p.tmr, p.mistakes as f64]);
+            s2.push(vec![p.td, p.pa]);
+        }
+        tmr.add(s1);
+        pa.add(s2);
+    }
+    (tmr, pa)
+}
+
+/// Renders the Figure 8 per-segment counts.
+pub fn render_fig8(rows: &[SegmentedMistakes], segment_names: &[String]) -> Figure {
+    let mut cols: Vec<&str> = vec!["achieved_td_s"];
+    let names: Vec<String> = segment_names.to_vec();
+    for n in &names {
+        cols.push(n.as_str());
+    }
+    cols.push("total");
+    let mut fig = Figure::new(
+        "Figure 8: mistakes per WAN segment at fixed T_D",
+        &cols,
+    );
+    for row in rows {
+        let mut s = Series::new(row.label.clone());
+        let mut r = vec![row.achieved_td];
+        r.extend(row.per_segment.iter().map(|&c| c as f64));
+        r.push(row.total as f64);
+        s.push(r);
+        fig.add(s);
+    }
+    fig
+}
+
+/// Renders a Figure 10/11/12 sweep.
+pub fn render_config_sweep(title: &str, xlabel: &str, points: &[ConfigPoint]) -> Figure {
+    let mut fig = Figure::new(title, &[xlabel, "delta_i_s", "delta_to_s"]);
+    let mut s = Series::new("configuration");
+    for p in points {
+        s.push(vec![p.x, p.delta_i, p.delta_to]);
+    }
+    fig.add(s);
+    fig
+}
+
+/// Renders the service experiment.
+pub fn render_service(analysis: &ServiceAnalysis) -> Figure {
+    let mut fig = Figure::new(
+        "Shared FD service: per-app QoS and network load",
+        &[
+            "adapted",
+            "ded_tmr_per_s",
+            "shr_tmr_per_s",
+            "ded_tm_s",
+            "shr_tm_s",
+            "ded_pa",
+            "shr_pa",
+        ],
+    );
+    for app in &analysis.apps {
+        let mut s = Series::new(app.name.clone());
+        s.push(vec![
+            if app.adapted { 1.0 } else { 0.0 },
+            app.dedicated.mistake_rate,
+            app.shared.mistake_rate,
+            app.dedicated.avg_mistake_duration,
+            app.shared.avg_mistake_duration,
+            app.dedicated.query_accuracy,
+            app.shared.query_accuracy,
+        ]);
+        fig.add(s);
+    }
+    let report = load_report(&analysis.config, Span::from_secs(3600));
+    let mut s = Series::new("network-load (msgs/s, over 1h)");
+    s.push(vec![
+        0.0,
+        report.shared_rate,
+        report.dedicated_rate,
+        report.reduction_factor,
+        report.shared_messages as f64,
+        report.dedicated_messages as f64,
+        report.messages_saved as f64,
+    ]);
+    fig.add(s);
+    fig
+}

@@ -1,0 +1,26 @@
+//! # twofd-bench — benchmark and figure-regeneration harnesses
+//!
+//! One bench target per table/figure of the paper (run with
+//! `cargo bench -p twofd-bench --bench <name>`):
+//!
+//! | target | paper content |
+//! |---|---|
+//! | `table1` | Table I segment boundaries + per-segment trace stats |
+//! | `fig4_5` | 2W-FD window-size sweep (T_MR and P_A vs T_D) |
+//! | `fig6_7` | algorithm comparison (T_MR and P_A vs T_D) |
+//! | `fig8` | per-segment mistakes at fixed T_D = 215 ms |
+//! | `fig9` | mistake containment 2W vs Chen(n1)/Chen(n2) |
+//! | `fig10_12` | configuration-procedure sweeps (Δi, Δto) |
+//! | `service_load` | §V-C shared-service QoS + network load |
+//! | `micro` | Criterion micro-benchmarks (per-heartbeat cost) |
+//!
+//! Set `TWOFD_BENCH_SAMPLES` to scale trace sizes (default differs per
+//! target; the paper's WAN trace is 5,845,712 samples).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::*;
+pub use report::{samples_from_env, Figure, Series};

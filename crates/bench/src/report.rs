@@ -1,0 +1,188 @@
+//! Plain-text reporting for the figure/table harnesses.
+//!
+//! Every bench target prints the same rows/series the paper's figures
+//! plot, in aligned plain text plus a machine-readable CSV block, so
+//! EXPERIMENTS.md can record paper-vs-measured without extra tooling.
+
+/// One curve of a figure: a label plus `(x, y…)` rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Curve label (e.g. `2w-fd(1,1000)`).
+    pub label: String,
+    /// Data rows; all rows share the column layout of the parent figure.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: Vec<f64>) {
+        self.rows.push(row);
+    }
+}
+
+/// A complete figure: title, column names, and one or more series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure {
+    /// e.g. `"Figure 6: mistake rate vs detection time (WAN)"`.
+    pub title: String,
+    /// Column names, starting with the x-axis.
+    pub columns: Vec<String>,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Figure {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn add(&mut self, series: Series) {
+        assert!(
+            series.rows.iter().all(|r| r.len() == self.columns.len()),
+            "series {:?} has rows not matching the column layout",
+            series.label
+        );
+        self.series.push(series);
+    }
+
+    /// Renders the aligned human-readable block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        for s in &self.series {
+            out.push_str(&format!("\n-- {} --\n", s.label));
+            let widths: Vec<usize> = self
+                .columns
+                .iter()
+                .map(|c| c.len().max(12))
+                .collect();
+            for (c, w) in self.columns.iter().zip(&widths) {
+                out.push_str(&format!("{c:>w$} ", w = w));
+            }
+            out.push('\n');
+            for row in &s.rows {
+                for (v, w) in row.iter().zip(&widths) {
+                    out.push_str(&format!("{:>w$} ", format_value(*v), w = w));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Renders the machine-readable CSV block (one `series` column).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# csv {}\n", self.title));
+        out.push_str("series,");
+        out.push_str(&self.columns.join(","));
+        out.push('\n');
+        for s in &self.series {
+            for row in &s.rows {
+                out.push_str(&s.label);
+                for v in row {
+                    out.push_str(&format!(",{v}"));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Prints both renderings to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+        println!("{}", self.render_csv());
+    }
+}
+
+/// Compact numeric formatting: scientific for very small/large values.
+fn format_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.is_infinite() {
+        "inf".to_string()
+    } else if v.abs() < 1e-3 || v.abs() >= 1e6 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Reads the heartbeat-count scale for the harnesses from
+/// `TWOFD_BENCH_SAMPLES` (default `default`). Larger = closer to the
+/// paper's 5.8 M-sample traces, slower to run.
+pub fn samples_from_env(default: u64) -> u64 {
+    std::env::var("TWOFD_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure() -> Figure {
+        let mut f = Figure::new("Test figure", &["td_s", "tmr_per_s"]);
+        let mut s = Series::new("algo");
+        s.push(vec![0.215, 0.001]);
+        s.push(vec![0.5, 1e-7]);
+        f.add(s);
+        f
+    }
+
+    #[test]
+    fn render_contains_labels_and_values() {
+        let text = figure().render();
+        assert!(text.contains("Test figure"));
+        assert!(text.contains("algo"));
+        assert!(text.contains("0.2150"));
+        assert!(text.contains("1.000e-7"));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_point() {
+        let csv = figure().render_csv();
+        let data_rows: Vec<_> = csv.lines().filter(|l| l.starts_with("algo,")).collect();
+        assert_eq!(data_rows.len(), 2);
+        assert_eq!(data_rows[0], "algo,0.215,0.001");
+    }
+
+    #[test]
+    #[should_panic(expected = "not matching the column layout")]
+    fn mismatched_row_width_rejected() {
+        let mut f = Figure::new("bad", &["a", "b"]);
+        let mut s = Series::new("s");
+        s.push(vec![1.0]);
+        f.add(s);
+    }
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(format_value(0.0), "0");
+        assert_eq!(format_value(0.215), "0.2150");
+        assert_eq!(format_value(1e-8), "1.000e-8");
+        assert_eq!(format_value(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn env_scale_defaults() {
+        std::env::remove_var("TWOFD_BENCH_SAMPLES");
+        assert_eq!(samples_from_env(1234), 1234);
+    }
+}

@@ -1,0 +1,175 @@
+//! The common failure-detector interface.
+//!
+//! Every algorithm in the paper — Chen, Bertier, φ, ED and 2W-FD — is a
+//! heartbeat-driven *unreliable* failure detector: it consumes `(seq,
+//! arrival-time)` pairs and, at any instant, outputs either `Trust` or
+//! `Suspect` for the monitored process.
+//!
+//! The key observation that gives all five a uniform, replay-friendly
+//! interface: after processing a fresh heartbeat at time `A`, each
+//! algorithm's future output is fully determined by a single instant —
+//! the time at which it will S-transition if no further fresh heartbeat
+//! arrives:
+//!
+//! * Chen / Bertier / 2W-FD — the next freshness point
+//!   `τ_{l+1} = EA_{l+1} + Δto` (Eqs. 1 and 12);
+//! * φ / ED — the instant the suspicion level crosses the configured
+//!   threshold, which is computable in closed form because suspicion is
+//!   monotone in elapsed time.
+//!
+//! That instant is the [`Decision::trust_until`] returned by
+//! [`FailureDetector::on_heartbeat`]; the replay engine and the live UDP
+//! monitor both reconstruct the full Trust/Suspect timeline from it.
+
+use twofd_sim::time::Nanos;
+
+/// The detector's verdict on the monitored process at some instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FdOutput {
+    /// The monitored process is believed alive (paper: `T`).
+    Trust,
+    /// The monitored process is suspected crashed (paper: `S`).
+    Suspect,
+}
+
+/// Outcome of processing one fresh heartbeat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// The instant the detector will S-transition if no further fresh
+    /// heartbeat arrives. If this is not later than the heartbeat's own
+    /// arrival time, the detector does **not** return to `Trust` (the
+    /// heartbeat arrived after its own freshness point — Chen §II-B1's
+    /// "no message that is still fresh" case).
+    pub trust_until: Nanos,
+}
+
+/// A heartbeat-style unreliable failure detector with QoS.
+pub trait FailureDetector {
+    /// A short human-readable identifier, including key parameters
+    /// (e.g. `"2w-fd(1,1000)"`).
+    fn name(&self) -> String;
+
+    /// Feeds the arrival of heartbeat `seq` at local time `arrival`.
+    ///
+    /// Returns `Some(decision)` if the message was *fresh* (its sequence
+    /// number exceeds every previously seen one) and `None` if it was
+    /// stale and ignored — stale messages never affect the output
+    /// (Algorithm 1, line 13: "if j > l").
+    fn on_heartbeat(&mut self, seq: u64, arrival: Nanos) -> Option<Decision>;
+
+    /// The most recent decision, if any heartbeat has been processed.
+    fn current_decision(&self) -> Option<Decision>;
+
+    /// Largest sequence number seen so far.
+    fn last_seq(&self) -> Option<u64>;
+
+    /// The detector's output at time `t`, assuming `t` is not earlier
+    /// than the last processed arrival. Before any heartbeat the output
+    /// is `Suspect` (Algorithm 1 initializes `τ_0 = 0`, so at startup no
+    /// received message is fresh).
+    fn output_at(&self, t: Nanos) -> FdOutput {
+        match self.current_decision() {
+            Some(d) if t < d.trust_until => FdOutput::Trust,
+            _ => FdOutput::Suspect,
+        }
+    }
+}
+
+/// Freshness bookkeeping shared by all detector implementations.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FreshnessState {
+    pub last_seq: Option<u64>,
+    pub decision: Option<Decision>,
+}
+
+impl FreshnessState {
+    /// Returns true (and records `seq`) iff `seq` is fresh.
+    pub fn accept(&mut self, seq: u64) -> bool {
+        match self.last_seq {
+            Some(l) if seq <= l => false,
+            _ => {
+                self.last_seq = Some(seq);
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial detector for exercising the trait's default method:
+    /// trusts for a fixed horizon after each fresh heartbeat.
+    struct FixedTimeout {
+        state: FreshnessState,
+        horizon: u64,
+    }
+
+    impl FailureDetector for FixedTimeout {
+        fn name(&self) -> String {
+            "fixed".into()
+        }
+        fn on_heartbeat(&mut self, seq: u64, arrival: Nanos) -> Option<Decision> {
+            if !self.state.accept(seq) {
+                return None;
+            }
+            let d = Decision {
+                trust_until: Nanos(arrival.0 + self.horizon),
+            };
+            self.state.decision = Some(d);
+            Some(d)
+        }
+        fn current_decision(&self) -> Option<Decision> {
+            self.state.decision
+        }
+        fn last_seq(&self) -> Option<u64> {
+            self.state.last_seq
+        }
+    }
+
+    #[test]
+    fn output_is_suspect_before_any_heartbeat() {
+        let fd = FixedTimeout {
+            state: FreshnessState::default(),
+            horizon: 100,
+        };
+        assert_eq!(fd.output_at(Nanos(0)), FdOutput::Suspect);
+        assert_eq!(fd.output_at(Nanos(1_000_000)), FdOutput::Suspect);
+    }
+
+    #[test]
+    fn output_follows_trust_until() {
+        let mut fd = FixedTimeout {
+            state: FreshnessState::default(),
+            horizon: 100,
+        };
+        fd.on_heartbeat(1, Nanos(1_000)).unwrap();
+        assert_eq!(fd.output_at(Nanos(1_050)), FdOutput::Trust);
+        assert_eq!(fd.output_at(Nanos(1_099)), FdOutput::Trust);
+        assert_eq!(fd.output_at(Nanos(1_100)), FdOutput::Suspect);
+    }
+
+    #[test]
+    fn stale_heartbeats_are_rejected() {
+        let mut fd = FixedTimeout {
+            state: FreshnessState::default(),
+            horizon: 100,
+        };
+        assert!(fd.on_heartbeat(5, Nanos(1_000)).is_some());
+        assert!(fd.on_heartbeat(5, Nanos(2_000)).is_none());
+        assert!(fd.on_heartbeat(4, Nanos(2_000)).is_none());
+        assert!(fd.on_heartbeat(6, Nanos(2_000)).is_some());
+        assert_eq!(fd.last_seq(), Some(6));
+    }
+
+    #[test]
+    fn freshness_state_accepts_monotonically() {
+        let mut s = FreshnessState::default();
+        assert!(s.accept(1));
+        assert!(!s.accept(1));
+        assert!(!s.accept(0));
+        assert!(s.accept(10));
+        assert_eq!(s.last_seq, Some(10));
+    }
+}

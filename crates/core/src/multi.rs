@@ -1,0 +1,199 @@
+//! Monitoring many processes with one detector bank.
+//!
+//! The paper's model is one monitor `q` watching one process `p`; a real
+//! deployment (and the service vision of §V) watches a *fleet*. A
+//! [`ProcessSet`] owns one failure-detector instance per monitored
+//! process, keyed by an application-chosen identifier, with uniform
+//! construction via a factory closure and bulk status queries.
+//!
+//! The per-process detectors are fully independent — exactly `n` copies
+//! of the paper's two-process model — so all single-process QoS results
+//! carry over unchanged.
+
+use crate::detector::{Decision, FailureDetector, FdOutput};
+use std::collections::HashMap;
+use std::hash::Hash;
+use twofd_sim::time::Nanos;
+
+/// A bank of per-process failure detectors.
+pub struct ProcessSet<K, F> {
+    factory: F,
+    detectors: HashMap<K, Box<dyn FailureDetector + Send>>,
+}
+
+/// A snapshot of one monitored process's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessStatus<K> {
+    /// The process key.
+    pub key: K,
+    /// Current output.
+    pub output: FdOutput,
+    /// Largest heartbeat sequence number seen.
+    pub last_seq: Option<u64>,
+    /// The instant suspicion will start if no further heartbeat arrives.
+    pub trust_until: Option<Nanos>,
+}
+
+impl<K, F> ProcessSet<K, F>
+where
+    K: Eq + Hash + Clone,
+    F: FnMut(&K) -> Box<dyn FailureDetector + Send>,
+{
+    /// Creates an empty set; `factory` builds the detector for a process
+    /// the first time a heartbeat from it is seen (or when registered
+    /// explicitly).
+    pub fn new(factory: F) -> Self {
+        ProcessSet {
+            factory,
+            detectors: HashMap::new(),
+        }
+    }
+
+    /// Pre-registers a process so it is reported (as `Suspect`) before
+    /// its first heartbeat.
+    pub fn register(&mut self, key: K) {
+        let factory = &mut self.factory;
+        self.detectors
+            .entry(key.clone())
+            .or_insert_with(|| factory(&key));
+    }
+
+    /// Removes a process from monitoring; returns whether it existed.
+    pub fn deregister(&mut self, key: &K) -> bool {
+        self.detectors.remove(key).is_some()
+    }
+
+    /// Feeds a heartbeat from process `key`, auto-registering unknown
+    /// processes. Returns the decision (None for stale heartbeats).
+    pub fn on_heartbeat(&mut self, key: K, seq: u64, arrival: Nanos) -> Option<Decision> {
+        let factory = &mut self.factory;
+        let fd = self
+            .detectors
+            .entry(key.clone())
+            .or_insert_with(|| factory(&key));
+        fd.on_heartbeat(seq, arrival)
+    }
+
+    /// The output for process `key` at time `t` (`None` if unknown).
+    pub fn output(&self, key: &K, t: Nanos) -> Option<FdOutput> {
+        self.detectors.get(key).map(|fd| fd.output_at(t))
+    }
+
+    /// Status snapshot of every monitored process at time `t`, in
+    /// unspecified order.
+    pub fn statuses(&self, t: Nanos) -> Vec<ProcessStatus<K>> {
+        self.detectors
+            .iter()
+            .map(|(key, fd)| ProcessStatus {
+                key: key.clone(),
+                output: fd.output_at(t),
+                last_seq: fd.last_seq(),
+                trust_until: fd.current_decision().map(|d| d.trust_until),
+            })
+            .collect()
+    }
+
+    /// Keys of all processes currently suspected at time `t`.
+    pub fn suspected(&self, t: Nanos) -> Vec<K> {
+        self.detectors
+            .iter()
+            .filter(|(_, fd)| fd.output_at(t) == FdOutput::Suspect)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Number of monitored processes.
+    pub fn len(&self) -> usize {
+        self.detectors.len()
+    }
+
+    /// True when no process is monitored.
+    pub fn is_empty(&self) -> bool {
+        self.detectors.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::twofd::TwoWindowFd;
+    use twofd_sim::time::Span;
+
+    const DI: Span = Span(100_000_000);
+
+    fn set() -> ProcessSet<&'static str, impl FnMut(&&'static str) -> Box<dyn FailureDetector + Send>>
+    {
+        ProcessSet::new(|_key: &&str| {
+            Box::new(TwoWindowFd::new(1, 100, DI, Span::from_millis(40)))
+        })
+    }
+
+    fn hb(seq: u64) -> Nanos {
+        Nanos(seq * DI.0 + 10_000_000)
+    }
+
+    #[test]
+    fn unknown_processes_are_auto_registered() {
+        let mut s = set();
+        assert!(s.is_empty());
+        s.on_heartbeat("a", 1, hb(1));
+        s.on_heartbeat("b", 1, hb(1));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn registered_process_is_suspect_before_first_heartbeat() {
+        let mut s = set();
+        s.register("quiet");
+        assert_eq!(s.output(&"quiet", hb(1)), Some(FdOutput::Suspect));
+        assert_eq!(s.output(&"unknown", hb(1)), None);
+    }
+
+    #[test]
+    fn processes_are_independent() {
+        let mut s = set();
+        for seq in 1..=5 {
+            s.on_heartbeat("alive", seq, hb(seq));
+        }
+        // "dead" only ever sent one heartbeat.
+        s.on_heartbeat("dead", 1, hb(1));
+        let now = hb(5) + Span::from_millis(1);
+        assert_eq!(s.output(&"alive", now), Some(FdOutput::Trust));
+        assert_eq!(s.output(&"dead", now), Some(FdOutput::Suspect));
+        assert_eq!(s.suspected(now), vec!["dead"]);
+    }
+
+    #[test]
+    fn statuses_snapshot_everything() {
+        let mut s = set();
+        s.on_heartbeat("a", 3, hb(3));
+        s.register("b");
+        let mut statuses = s.statuses(hb(3) + Span::from_millis(1));
+        statuses.sort_by_key(|st| st.key);
+        assert_eq!(statuses.len(), 2);
+        assert_eq!(statuses[0].key, "a");
+        assert_eq!(statuses[0].last_seq, Some(3));
+        assert!(statuses[0].trust_until.is_some());
+        assert_eq!(statuses[1].key, "b");
+        assert_eq!(statuses[1].last_seq, None);
+        assert_eq!(statuses[1].output, FdOutput::Suspect);
+    }
+
+    #[test]
+    fn deregister_stops_monitoring() {
+        let mut s = set();
+        s.on_heartbeat("a", 1, hb(1));
+        assert!(s.deregister(&"a"));
+        assert!(!s.deregister(&"a"));
+        assert_eq!(s.output(&"a", hb(2)), None);
+    }
+
+    #[test]
+    fn per_process_sequence_tracking() {
+        let mut s = set();
+        assert!(s.on_heartbeat("a", 5, hb(5)).is_some());
+        // Stale for a, fresh for b.
+        assert!(s.on_heartbeat("a", 4, hb(5)).is_none());
+        assert!(s.on_heartbeat("b", 4, hb(5)).is_some());
+    }
+}

@@ -1,0 +1,419 @@
+//! Trace replay — the paper's evaluation methodology.
+//!
+//! "All experiments were performed on traces … these logged arrival
+//! times are used to replay the execution for each FD algorithm.
+//! Therefore, all failure detectors were compared in the same
+//! experimental conditions." (§IV-A)
+//!
+//! [`replay`] feeds a trace's deliveries, in arrival order, to any
+//! [`FailureDetector`] and reconstructs the full Trust/Suspect timeline
+//! from the per-heartbeat [`Decision`]s, producing the mistake log the
+//! QoS metrics are computed from.
+//!
+//! The timeline reconstruction exploits the decision semantics: after a
+//! fresh heartbeat with decision `trust_until = τ`, the detector trusts
+//! on `[A, τ)` (empty if `τ ≤ A`) and suspects from `τ` until the next
+//! fresh heartbeat that restores trust.
+
+use crate::detector::{Decision, FailureDetector};
+use crate::metrics::{Mistake, QosMetrics};
+use twofd_sim::time::{Nanos, Span};
+use twofd_trace::Trace;
+
+/// The outcome of replaying one detector over one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayResult {
+    /// The detector's `name()`.
+    pub detector: String,
+    /// Every suspicion period, in chronological order.
+    pub mistakes: Vec<Mistake>,
+    /// Fresh heartbeats processed.
+    pub fresh_heartbeats: u64,
+    /// Stale (reordered/duplicate) heartbeats ignored.
+    pub stale_heartbeats: u64,
+    /// Arrival time of the first fresh heartbeat (observation start).
+    pub first_arrival: Nanos,
+    /// Replay horizon (observation end).
+    pub horizon: Nanos,
+    /// Σ over fresh heartbeats of `max(τ − σ, 0)` in seconds — the
+    /// worst-case detection-time accumulator.
+    pub sum_worst_td: f64,
+    /// The sender's heartbeat interval, echoed from the trace.
+    pub interval: Span,
+}
+
+impl ReplayResult {
+    /// Aggregates the QoS metrics of this replay.
+    pub fn metrics(&self) -> QosMetrics {
+        QosMetrics::from_mistakes(
+            &self.mistakes,
+            self.horizon.saturating_since(self.first_arrival),
+            self.sum_worst_td,
+            self.fresh_heartbeats,
+            self.interval,
+        )
+    }
+
+    /// The observation span.
+    pub fn observed(&self) -> Span {
+        self.horizon.saturating_since(self.first_arrival)
+    }
+}
+
+/// Replays `trace` through `fd`, reconstructing the output timeline.
+///
+/// The replay horizon is the trace's end time. Detectors are expected to
+/// be freshly constructed; reusing one across replays carries its window
+/// state over (occasionally useful, but usually not what you want).
+pub fn replay(fd: &mut dyn FailureDetector, trace: &Trace) -> ReplayResult {
+    let arrivals = trace.arrivals();
+    let horizon = trace.end_time();
+
+    let mut result = ReplayResult {
+        detector: fd.name(),
+        mistakes: Vec::new(),
+        fresh_heartbeats: 0,
+        stale_heartbeats: 0,
+        first_arrival: arrivals.first().map(|a| a.at).unwrap_or(horizon),
+        horizon,
+        sum_worst_td: 0.0,
+        interval: trace.interval,
+    };
+
+    // Timeline state.
+    let mut trusting = false;
+    let mut open_start: Option<Nanos> = None; // start of the open mistake
+    let mut prev: Option<Decision> = None;
+    let mut last_fresh_seq = 0u64;
+    let mut started = false;
+
+    for a in &arrivals {
+        let decision = match fd.on_heartbeat(a.seq, a.at) {
+            Some(d) => d,
+            None => {
+                result.stale_heartbeats += 1;
+                continue;
+            }
+        };
+        result.fresh_heartbeats += 1;
+        result.sum_worst_td += decision.trust_until.saturating_since(a.send).as_secs_f64();
+
+        if !started {
+            started = true;
+            if decision.trust_until > a.at {
+                trusting = true;
+            } else {
+                trusting = false;
+                open_start = Some(a.at);
+            }
+            last_fresh_seq = a.seq;
+            prev = Some(decision);
+            continue;
+        }
+
+        // Between the previous fresh arrival and this one, did the
+        // previous decision expire?
+        if trusting {
+            let prev_tu = prev.expect("started implies prev").trust_until;
+            if prev_tu < a.at {
+                trusting = false;
+                open_start = Some(prev_tu);
+            }
+        }
+
+        // Does this heartbeat restore trust?
+        if decision.trust_until > a.at
+            && !trusting {
+                result.mistakes.push(Mistake {
+                    start: open_start.take().expect("suspect period has a start"),
+                    end: a.at,
+                    after_seq: last_fresh_seq,
+                    censored: false,
+                });
+                trusting = true;
+            }
+        // else: the heartbeat arrived past its own freshness point — the
+        // detector stays suspicious and the mistake remains open.
+
+        last_fresh_seq = a.seq;
+        prev = Some(decision);
+    }
+
+    // Close out the timeline at the horizon.
+    if started {
+        if trusting {
+            let prev_tu = prev.expect("started implies prev").trust_until;
+            if prev_tu < horizon {
+                result.mistakes.push(Mistake {
+                    start: prev_tu,
+                    end: horizon,
+                    after_seq: last_fresh_seq,
+                    censored: true,
+                });
+            }
+        } else if let Some(start) = open_start {
+            result.mistakes.push(Mistake {
+                start,
+                end: horizon,
+                after_seq: last_fresh_seq,
+                censored: true,
+            });
+        }
+    }
+
+    result
+}
+
+/// Measures the actual detection time of a crash: replays a trace whose
+/// sender crashed at `crash_at` and returns how long after the crash the
+/// detector's final S-transition occurs (zero if it was already
+/// suspecting). Returns `None` if the trace delivered no heartbeat.
+pub fn detect_crash(
+    fd: &mut dyn FailureDetector,
+    trace: &Trace,
+    crash_at: Nanos,
+) -> Option<Span> {
+    let arrivals = trace.arrivals();
+    let mut last_decision = None;
+    for a in &arrivals {
+        if let Some(d) = fd.on_heartbeat(a.seq, a.at) {
+            last_decision = Some(d);
+        }
+    }
+    last_decision.map(|d| d.trust_until.saturating_since(crash_at))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chen::ChenFd;
+    use crate::detector::FreshnessState;
+    use twofd_trace::HeartbeatRecord;
+
+    const DI: Span = Span(100_000_000); // 100 ms
+
+    fn rec(seq: u64, delay_ms: u64) -> HeartbeatRecord {
+        HeartbeatRecord {
+            seq,
+            send: Nanos(seq * DI.0),
+            arrival: Some(Nanos(seq * DI.0 + delay_ms * 1_000_000)),
+        }
+    }
+
+    fn lost(seq: u64) -> HeartbeatRecord {
+        HeartbeatRecord {
+            seq,
+            send: Nanos(seq * DI.0),
+            arrival: None,
+        }
+    }
+
+    fn trace(records: Vec<HeartbeatRecord>) -> Trace {
+        Trace::new("test", DI, records)
+    }
+
+    /// A scripted detector that returns pre-programmed trust horizons.
+    struct Scripted {
+        state: FreshnessState,
+        /// Relative trust horizon (ms after arrival) per fresh heartbeat,
+        /// negative meaning "do not restore trust".
+        horizons: Vec<i64>,
+        next: usize,
+    }
+
+    impl Scripted {
+        fn new(horizons: Vec<i64>) -> Self {
+            Scripted {
+                state: FreshnessState::default(),
+                horizons,
+                next: 0,
+            }
+        }
+    }
+
+    impl FailureDetector for Scripted {
+        fn name(&self) -> String {
+            "scripted".into()
+        }
+        fn on_heartbeat(&mut self, seq: u64, arrival: Nanos) -> Option<Decision> {
+            if !self.state.accept(seq) {
+                return None;
+            }
+            let h = self.horizons[self.next.min(self.horizons.len() - 1)];
+            self.next += 1;
+            let trust_until = if h >= 0 {
+                arrival + Span::from_millis(h as u64)
+            } else {
+                arrival.saturating_sub(Span::from_millis((-h) as u64))
+            };
+            let d = Decision { trust_until };
+            self.state.decision = Some(d);
+            Some(d)
+        }
+        fn current_decision(&self) -> Option<Decision> {
+            self.state.decision
+        }
+        fn last_seq(&self) -> Option<u64> {
+            self.state.last_seq
+        }
+    }
+
+    #[test]
+    fn clean_periodic_trace_produces_no_mistakes_for_generous_margin() {
+        let records: Vec<_> = (1..=100).map(|s| rec(s, 10)).collect();
+        let t = trace(records);
+        let mut fd = ChenFd::new(10, DI, Span::from_millis(500));
+        let r = replay(&mut fd, &t);
+        assert_eq!(r.fresh_heartbeats, 100);
+        assert_eq!(r.stale_heartbeats, 0);
+        // A censored tail mistake at the horizon is possible but nothing
+        // else: the horizon equals the last arrival here, so none at all.
+        assert!(r.mistakes.is_empty(), "{:?}", r.mistakes);
+        assert_eq!(r.metrics().mistakes, 0);
+        assert_eq!(r.metrics().query_accuracy, 1.0);
+    }
+
+    #[test]
+    fn lost_heartbeat_causes_one_mistake_with_tight_margin() {
+        // Heartbeats 1..5 arrive with 10 ms delay; 6 is lost; 7..10 fine.
+        let mut records: Vec<_> = (1..=5).map(|s| rec(s, 10)).collect();
+        records.push(lost(6));
+        records.extend((7..=10).map(|s| rec(s, 10)));
+        let t = trace(records);
+        let mut fd = ChenFd::new(100, DI, Span::from_millis(10));
+        let r = replay(&mut fd, &t);
+        assert_eq!(r.mistakes.len(), 1);
+        let m = r.mistakes[0];
+        // τ_6 = EA_6 + 10 ms = 6·Δi + 20 ms; corrected by m_7 at 7·Δi+10ms.
+        assert_eq!(m.start, Nanos(6 * DI.0 + 20_000_000));
+        assert_eq!(m.end, Nanos(7 * DI.0 + 10_000_000));
+        assert_eq!(m.after_seq, 5);
+        assert!(!m.censored);
+    }
+
+    #[test]
+    fn late_heartbeat_closes_mistake_at_its_arrival() {
+        let records = vec![rec(1, 10), rec(2, 10), rec(3, 250)]; // 3 very late
+        let t = trace(records);
+        // Window 1: the late heartbeat itself pushes EA_4 far enough out
+        // that trust is restored at its arrival. (A large window would
+        // average the spike away, leaving the freshness point in the
+        // past — the m_3 arrival then does NOT restore trust.)
+        let mut fd = ChenFd::new(1, DI, Span::from_millis(20));
+        let r = replay(&mut fd, &t);
+        assert_eq!(r.mistakes.len(), 1);
+        let m = r.mistakes[0];
+        // S at τ_3 = 3·Δi + 10 + 20 ms; T at arrival of m_3.
+        assert_eq!(m.start, Nanos(3 * DI.0 + 30_000_000));
+        assert_eq!(m.end, Nanos(3 * DI.0 + 250_000_000));
+        assert!(!m.censored);
+    }
+
+    #[test]
+    fn heartbeat_arriving_past_its_own_freshness_point_keeps_suspecting() {
+        // Scripted: first heartbeat trusts 50 ms; second arrives but its
+        // horizon is in the past (never restores trust); third restores.
+        let records = vec![rec(1, 0), rec(2, 0), rec(3, 0)];
+        let t = trace(records);
+        let mut fd = Scripted::new(vec![50, -1, 100]);
+        let r = replay(&mut fd, &t);
+        // One mistake: S at arrival1+50ms, T at arrival3.
+        assert_eq!(r.mistakes.len(), 1);
+        let m = r.mistakes[0];
+        assert_eq!(m.start, Nanos(DI.0 + 50_000_000));
+        assert_eq!(m.end, Nanos(3 * DI.0));
+        assert!(!m.censored);
+    }
+
+    #[test]
+    fn first_heartbeat_already_expired_opens_mistake_immediately() {
+        let records = vec![rec(1, 0), rec(2, 0)];
+        let t = trace(records);
+        let mut fd = Scripted::new(vec![-10, 100]);
+        let r = replay(&mut fd, &t);
+        assert_eq!(r.mistakes.len(), 1);
+        assert_eq!(r.mistakes[0].start, Nanos(DI.0)); // at first arrival
+        assert_eq!(r.mistakes[0].end, Nanos(2 * DI.0));
+    }
+
+    #[test]
+    fn censored_tail_mistake_when_trust_expires_before_horizon() {
+        // Last record is lost, pushing the horizon past the last arrival's
+        // trust window.
+        let records = vec![rec(1, 10), rec(2, 10), lost(3), lost(4), lost(5)];
+        let t = trace(records);
+        let mut fd = ChenFd::new(100, DI, Span::from_millis(10));
+        let r = replay(&mut fd, &t);
+        assert_eq!(r.mistakes.len(), 1);
+        let m = r.mistakes[0];
+        assert!(m.censored);
+        assert_eq!(m.end, t.end_time());
+        assert_eq!(m.after_seq, 2);
+    }
+
+    #[test]
+    fn reordered_duplicates_count_as_stale() {
+        let records = vec![rec(1, 10), rec(2, 10), rec(3, 10)];
+        let mut t = trace(records);
+        // Make m_2 arrive after m_3.
+        t.records[1].arrival = Some(Nanos(3 * DI.0 + 50_000_000));
+        let mut fd = ChenFd::new(100, DI, Span::from_millis(100));
+        let r = replay(&mut fd, &t);
+        assert_eq!(r.fresh_heartbeats, 2);
+        assert_eq!(r.stale_heartbeats, 1);
+    }
+
+    #[test]
+    fn worst_td_accumulates_tau_minus_send() {
+        let records = vec![rec(1, 10)];
+        let t = trace(records);
+        let mut fd = ChenFd::new(1, DI, Span::from_millis(30));
+        let r = replay(&mut fd, &t);
+        // τ_2 = 2Δi + 40 ms; σ_1 = Δi → worst TD = Δi + 40 ms = 0.14 s.
+        assert!((r.sum_worst_td - 0.140).abs() < 1e-9);
+        let m = r.metrics();
+        assert!((m.worst_detection_time - 0.140).abs() < 1e-9);
+        assert!((m.detection_time - 0.090).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replay_on_empty_trace() {
+        let t = trace(vec![]);
+        let mut fd = ChenFd::new(1, DI, Span::ZERO);
+        let r = replay(&mut fd, &t);
+        assert_eq!(r.fresh_heartbeats, 0);
+        assert!(r.mistakes.is_empty());
+        assert_eq!(r.metrics().query_accuracy, 1.0);
+    }
+
+    #[test]
+    fn detect_crash_measures_final_suspicion() {
+        // Sender crashes at 550 ms: heartbeats 1..5 delivered, none after.
+        let records: Vec<_> = (1..=5).map(|s| rec(s, 10)).collect();
+        let t = trace(records);
+        let crash = Nanos::from_millis(550);
+        let mut fd = ChenFd::new(10, DI, Span::from_millis(30));
+        let td = detect_crash(&mut fd, &t, crash).unwrap();
+        // τ_6 = 6·Δi + 10 + 30 ms = 640 ms → TD = 90 ms.
+        assert_eq!(td, Span::from_millis(90));
+    }
+
+    #[test]
+    fn detect_crash_on_empty_trace_is_none() {
+        let t = trace(vec![lost(1)]);
+        let mut fd = ChenFd::new(10, DI, Span::from_millis(30));
+        assert_eq!(detect_crash(&mut fd, &t, Nanos::from_millis(100)), None);
+    }
+
+    #[test]
+    fn metrics_pa_accounts_for_suspect_time() {
+        let records = vec![rec(1, 10), rec(2, 10), lost(3), rec(4, 10)];
+        let t = trace(records);
+        let mut fd = ChenFd::new(100, DI, Span::from_millis(10));
+        let r = replay(&mut fd, &t);
+        let m = r.metrics();
+        assert_eq!(m.mistakes, 1);
+        assert!(m.query_accuracy < 1.0);
+        assert!(m.query_accuracy > 0.5);
+    }
+}

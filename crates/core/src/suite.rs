@@ -1,0 +1,201 @@
+//! Uniform construction of every detector in the paper's comparison.
+//!
+//! The evaluation sweeps each algorithm's tuning knob to trace out its
+//! detection-time/accuracy curve: the safety margin `Δto` for Chen and
+//! 2W-FD, the threshold `Φ` for the φ FD, the exponent `κ` for the ED FD
+//! — and nothing for Bertier, which is parameter-free and appears as a
+//! single point. [`DetectorSpec`] abstracts over "which algorithm, with
+//! which window(s)" so the bench harnesses can iterate one list.
+
+use crate::bertier::BertierFd;
+use crate::chen::ChenFd;
+use crate::detector::FailureDetector;
+use crate::ed::EdFd;
+use crate::phi::PhiAccrualFd;
+use crate::twofd::{MultiWindowFd, TwoWindowFd};
+use serde::{Deserialize, Serialize};
+use twofd_sim::time::Span;
+
+/// An algorithm plus its structural (non-swept) parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DetectorSpec {
+    /// Chen's FD with the given estimation window.
+    Chen {
+        /// Sliding-window size for Eq. 2.
+        window: usize,
+    },
+    /// Bertier's FD with the given estimation window (no tuning knob).
+    Bertier {
+        /// Sliding-window size for Eq. 2.
+        window: usize,
+    },
+    /// The φ accrual FD with the given sampling window.
+    Phi {
+        /// Inter-arrival sampling-window size.
+        window: usize,
+    },
+    /// The ED accrual FD with the given sampling window.
+    Ed {
+        /// Inter-arrival sampling-window size.
+        window: usize,
+    },
+    /// The paper's 2W-FD with short window `n1` and long window `n2`.
+    TwoWindow {
+        /// Short (reactive) window size.
+        n1: usize,
+        /// Long (conservative) window size.
+        n2: usize,
+    },
+    /// The generalized multi-window FD.
+    MultiWindow {
+        /// All window sizes.
+        windows: Vec<usize>,
+    },
+}
+
+impl DetectorSpec {
+    /// The full comparison set of §IV-C2 with the paper's window choices.
+    pub fn paper_comparison() -> Vec<DetectorSpec> {
+        vec![
+            DetectorSpec::TwoWindow { n1: 1, n2: 1000 },
+            DetectorSpec::Chen { window: 1 },
+            DetectorSpec::Chen { window: 1000 },
+            DetectorSpec::Phi { window: 1000 },
+            DetectorSpec::Ed { window: 1000 },
+            DetectorSpec::Bertier { window: 1000 },
+        ]
+    }
+
+    /// Whether the algorithm has a tuning knob (`false` only for
+    /// Bertier).
+    pub fn has_tuning(&self) -> bool {
+        !matches!(self, DetectorSpec::Bertier { .. })
+    }
+
+    /// The meaning of the `tuning` argument to [`DetectorSpec::build`].
+    pub fn tuning_label(&self) -> &'static str {
+        match self {
+            DetectorSpec::Chen { .. }
+            | DetectorSpec::TwoWindow { .. }
+            | DetectorSpec::MultiWindow { .. } => "Δto (s)",
+            DetectorSpec::Phi { .. } => "Φ",
+            DetectorSpec::Ed { .. } => "κ",
+            DetectorSpec::Bertier { .. } => "(none)",
+        }
+    }
+
+    /// A short display name without the tuning value.
+    pub fn label(&self) -> String {
+        match self {
+            DetectorSpec::Chen { window } => format!("chen({window})"),
+            DetectorSpec::Bertier { window } => format!("bertier({window})"),
+            DetectorSpec::Phi { window } => format!("phi({window})"),
+            DetectorSpec::Ed { window } => format!("ed({window})"),
+            DetectorSpec::TwoWindow { n1, n2 } => format!("2w-fd({n1},{n2})"),
+            DetectorSpec::MultiWindow { windows } => {
+                let s: Vec<String> = windows.iter().map(|w| w.to_string()).collect();
+                format!("mw-fd({})", s.join(","))
+            }
+        }
+    }
+
+    /// Instantiates the detector.
+    ///
+    /// `interval` is the sender's heartbeat interval Δi. `tuning` is the
+    /// algorithm's swept knob: the safety margin Δto **in seconds** for
+    /// Chen-family detectors, the threshold Φ for φ, the exponent κ for
+    /// ED; it is ignored for Bertier.
+    pub fn build(&self, interval: Span, tuning: f64) -> Box<dyn FailureDetector + Send> {
+        match self {
+            DetectorSpec::Chen { window } => Box::new(ChenFd::new(
+                *window,
+                interval,
+                Span::from_secs_f64(tuning.max(0.0)),
+            )),
+            DetectorSpec::Bertier { window } => Box::new(BertierFd::new(*window, interval)),
+            DetectorSpec::Phi { window } => {
+                Box::new(PhiAccrualFd::with_threshold(*window, tuning))
+            }
+            DetectorSpec::Ed { window } => Box::new(EdFd::with_kappa(*window, tuning)),
+            DetectorSpec::TwoWindow { n1, n2 } => Box::new(TwoWindowFd::new(
+                *n1,
+                *n2,
+                interval,
+                Span::from_secs_f64(tuning.max(0.0)),
+            )),
+            DetectorSpec::MultiWindow { windows } => Box::new(MultiWindowFd::new(
+                windows,
+                interval,
+                Span::from_secs_f64(tuning.max(0.0)),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twofd_sim::time::Nanos;
+
+    const DI: Span = Span(100_000_000);
+
+    #[test]
+    fn paper_comparison_has_six_entries() {
+        let set = DetectorSpec::paper_comparison();
+        assert_eq!(set.len(), 6);
+        assert_eq!(set[0].label(), "2w-fd(1,1000)");
+    }
+
+    #[test]
+    fn only_bertier_lacks_tuning() {
+        for spec in DetectorSpec::paper_comparison() {
+            let expect = !matches!(spec, DetectorSpec::Bertier { .. });
+            assert_eq!(spec.has_tuning(), expect, "{}", spec.label());
+        }
+    }
+
+    #[test]
+    fn build_produces_working_detectors() {
+        for spec in DetectorSpec::paper_comparison() {
+            let mut fd = spec.build(DI, 1.0);
+            let d = fd.on_heartbeat(1, Nanos(DI.0 + 10_000_000));
+            assert!(d.is_some(), "{} rejected a fresh heartbeat", spec.label());
+            assert!(fd.on_heartbeat(1, Nanos(DI.0 + 20_000_000)).is_none());
+        }
+    }
+
+    #[test]
+    fn labels_match_detector_names() {
+        // label() (spec-level) must prefix/agree with name() (instance).
+        let spec = DetectorSpec::Chen { window: 5 };
+        let fd = spec.build(DI, 0.1);
+        assert_eq!(fd.name(), "chen(5)");
+        assert_eq!(spec.label(), "chen(5)");
+    }
+
+    #[test]
+    fn negative_margin_clamps_to_zero() {
+        let spec = DetectorSpec::Chen { window: 1 };
+        let mut fd = spec.build(DI, -5.0);
+        let d = fd.on_heartbeat(1, Nanos(DI.0 + 10_000_000)).unwrap();
+        // Δto = 0: trust exactly until EA_2.
+        assert_eq!(d.trust_until, Nanos(2 * DI.0 + 10_000_000));
+    }
+
+    #[test]
+    fn multi_window_spec_builds() {
+        let spec = DetectorSpec::MultiWindow {
+            windows: vec![1, 10, 100],
+        };
+        let fd = spec.build(DI, 0.05);
+        assert_eq!(fd.name(), "mw-fd(1,10,100)");
+        assert_eq!(spec.tuning_label(), "Δto (s)");
+    }
+
+    #[test]
+    fn tuning_labels() {
+        assert_eq!(DetectorSpec::Phi { window: 1 }.tuning_label(), "Φ");
+        assert_eq!(DetectorSpec::Ed { window: 1 }.tuning_label(), "κ");
+        assert_eq!(DetectorSpec::Bertier { window: 1 }.tuning_label(), "(none)");
+    }
+}

@@ -1,0 +1,278 @@
+//! Explicit Trust/Suspect output timelines.
+//!
+//! A [`ReplayResult`] stores the *mistake log* — the compact form the
+//! QoS metrics need. [`Timeline`] is the other view of the same
+//! information: the full alternating sequence of S- and T-transitions
+//! (§II-A1's model of a failure detector's output), queryable at any
+//! instant. The Figure 9 style analyses ("which mistakes does each
+//! detector make, and when?") and visual renderings are built on it.
+
+use crate::detector::FdOutput;
+use crate::metrics::Mistake;
+use crate::replay::ReplayResult;
+use twofd_sim::time::{Nanos, Span};
+
+/// One output transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// When the output changed.
+    pub at: Nanos,
+    /// The output in force *from* this instant.
+    pub to: FdOutput,
+}
+
+/// A detector's output as a function of time over an observation window.
+///
+/// ```
+/// use twofd_core::{replay, ChenFd, FdOutput, Timeline};
+/// use twofd_sim::Span;
+/// use twofd_trace::WanTraceConfig;
+///
+/// let trace = WanTraceConfig::small(2_000, 7).generate();
+/// let mut fd = ChenFd::new(100, trace.interval, Span::from_millis(50));
+/// let result = replay(&mut fd, &trace);
+/// let timeline = Timeline::from_replay(&result);
+/// let suspect = timeline.time_in(FdOutput::Suspect);
+/// let trust = timeline.time_in(FdOutput::Trust);
+/// assert_eq!(suspect + trust, result.observed());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline {
+    /// Observation start (first fresh arrival).
+    pub start: Nanos,
+    /// Observation end (replay horizon).
+    pub end: Nanos,
+    /// Output at `start`.
+    initial: FdOutput,
+    /// Transitions after `start`, strictly increasing in time and
+    /// strictly alternating in output.
+    transitions: Vec<Transition>,
+}
+
+impl Timeline {
+    /// Reconstructs the timeline from a replay's mistake log.
+    pub fn from_replay(result: &ReplayResult) -> Timeline {
+        Self::from_mistakes(&result.mistakes, result.first_arrival, result.horizon)
+    }
+
+    /// Reconstructs a timeline from a mistake log over `[start, end]`.
+    /// Mistake intervals are the Suspect periods; everything else is
+    /// Trust.
+    pub fn from_mistakes(mistakes: &[Mistake], start: Nanos, end: Nanos) -> Timeline {
+        let mut transitions = Vec::with_capacity(mistakes.len() * 2);
+        let mut initial = FdOutput::Trust;
+        for m in mistakes {
+            debug_assert!(m.start < m.end);
+            if m.start <= start {
+                initial = FdOutput::Suspect;
+            } else {
+                transitions.push(Transition {
+                    at: m.start,
+                    to: FdOutput::Suspect,
+                });
+            }
+            if m.end < end {
+                transitions.push(Transition {
+                    at: m.end,
+                    to: FdOutput::Trust,
+                });
+            }
+        }
+        Timeline {
+            start,
+            end,
+            initial,
+            transitions,
+        }
+    }
+
+    /// The output at instant `t` (clamped to the observation window).
+    pub fn output_at(&self, t: Nanos) -> FdOutput {
+        let t = t.clamp(self.start, self.end);
+        match self
+            .transitions
+            .binary_search_by(|tr| tr.at.cmp(&t))
+        {
+            // Transition exactly at t: its output is in force from t.
+            Ok(i) => self.transitions[i].to,
+            Err(0) => self.initial,
+            Err(i) => self.transitions[i - 1].to,
+        }
+    }
+
+    /// All transitions, in order.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Number of S-transitions within the window (a suspicion period
+    /// already open at the window start counts as one).
+    pub fn s_transitions(&self) -> usize {
+        self.count(FdOutput::Suspect) + usize::from(self.initial == FdOutput::Suspect)
+    }
+
+    /// Number of T-transitions within the window.
+    pub fn t_transitions(&self) -> usize {
+        self.count(FdOutput::Trust)
+    }
+
+    fn count(&self, to: FdOutput) -> usize {
+        self.transitions.iter().filter(|tr| tr.to == to).count()
+    }
+
+    /// Total time spent in `output` within the observation window.
+    pub fn time_in(&self, output: FdOutput) -> Span {
+        let mut total = Span::ZERO;
+        let mut cursor = self.start;
+        let mut current = self.initial;
+        for tr in &self.transitions {
+            if current == output {
+                total += tr.at - cursor;
+            }
+            cursor = tr.at;
+            current = tr.to;
+        }
+        if current == output {
+            total += self.end - cursor;
+        }
+        total
+    }
+
+    /// True if this timeline suspects at every instant the `other`
+    /// timeline suspects — the point-set containment of Eq. 13. Both
+    /// timelines must cover the same window for the comparison to be
+    /// meaningful.
+    pub fn suspicion_contained_in(&self, other: &Timeline) -> bool {
+        // Check at every boundary instant of either timeline plus
+        // midpoints of our suspect periods.
+        let mut probes: Vec<Nanos> = vec![self.start, self.end];
+        probes.extend(self.transitions.iter().map(|t| t.at));
+        probes.extend(other.transitions.iter().map(|t| t.at));
+        // Midpoints between consecutive distinct probes catch interval
+        // interiors.
+        probes.sort_unstable();
+        probes.dedup();
+        let midpoints: Vec<Nanos> = probes
+            .windows(2)
+            .map(|w| Nanos((w[0].0 + w[1].0) / 2))
+            .collect();
+        probes.extend(midpoints);
+        probes.iter().all(|&t| {
+            self.output_at(t) != FdOutput::Suspect || other.output_at(t) == FdOutput::Suspect
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(start_ms: u64, end_ms: u64) -> Mistake {
+        Mistake {
+            start: Nanos::from_millis(start_ms),
+            end: Nanos::from_millis(end_ms),
+            after_seq: 0,
+            censored: false,
+        }
+    }
+
+    fn window() -> (Nanos, Nanos) {
+        (Nanos::from_millis(0), Nanos::from_millis(1000))
+    }
+
+    #[test]
+    fn empty_log_is_all_trust() {
+        let (s, e) = window();
+        let tl = Timeline::from_mistakes(&[], s, e);
+        assert_eq!(tl.output_at(Nanos::from_millis(500)), FdOutput::Trust);
+        assert_eq!(tl.time_in(FdOutput::Suspect), Span::ZERO);
+        assert_eq!(tl.time_in(FdOutput::Trust), Span::from_millis(1000));
+        assert!(tl.transitions().is_empty());
+    }
+
+    #[test]
+    fn single_mistake_produces_two_transitions() {
+        let (s, e) = window();
+        let tl = Timeline::from_mistakes(&[mk(200, 300)], s, e);
+        assert_eq!(tl.transitions().len(), 2);
+        assert_eq!(tl.output_at(Nanos::from_millis(100)), FdOutput::Trust);
+        assert_eq!(tl.output_at(Nanos::from_millis(200)), FdOutput::Suspect);
+        assert_eq!(tl.output_at(Nanos::from_millis(299)), FdOutput::Suspect);
+        assert_eq!(tl.output_at(Nanos::from_millis(300)), FdOutput::Trust);
+        assert_eq!(tl.time_in(FdOutput::Suspect), Span::from_millis(100));
+    }
+
+    #[test]
+    fn mistake_at_window_start_sets_initial_output() {
+        let (s, e) = window();
+        let tl = Timeline::from_mistakes(&[mk(0, 50)], s, e);
+        assert_eq!(tl.output_at(Nanos::from_millis(0)), FdOutput::Suspect);
+        assert_eq!(tl.output_at(Nanos::from_millis(50)), FdOutput::Trust);
+    }
+
+    #[test]
+    fn censored_mistake_runs_to_the_end() {
+        let (s, e) = window();
+        let tl = Timeline::from_mistakes(&[mk(900, 1000)], s, e);
+        assert_eq!(tl.output_at(e), FdOutput::Suspect);
+        assert_eq!(tl.transitions().len(), 1);
+    }
+
+    #[test]
+    fn queries_clamp_to_the_window() {
+        let (s, e) = window();
+        let tl = Timeline::from_mistakes(&[mk(900, 1000)], s, e);
+        assert_eq!(tl.output_at(Nanos::from_secs(100)), FdOutput::Suspect);
+        assert_eq!(tl.output_at(Nanos::ZERO), FdOutput::Trust);
+    }
+
+    #[test]
+    fn time_accounting_partitions_the_window() {
+        let (s, e) = window();
+        let tl = Timeline::from_mistakes(&[mk(100, 250), mk(400, 410)], s, e);
+        let suspect = tl.time_in(FdOutput::Suspect);
+        let trust = tl.time_in(FdOutput::Trust);
+        assert_eq!(suspect, Span::from_millis(160));
+        assert_eq!(suspect + trust, e - s);
+    }
+
+    #[test]
+    fn containment_detects_subsets_and_violations() {
+        let (s, e) = window();
+        let narrow = Timeline::from_mistakes(&[mk(210, 280)], s, e);
+        let wide = Timeline::from_mistakes(&[mk(200, 300)], s, e);
+        assert!(narrow.suspicion_contained_in(&wide));
+        assert!(!wide.suspicion_contained_in(&narrow));
+        // Disjoint suspicion is not contained.
+        let other = Timeline::from_mistakes(&[mk(500, 600)], s, e);
+        assert!(!other.suspicion_contained_in(&wide));
+        // Equal timelines contain each other.
+        assert!(wide.suspicion_contained_in(&wide));
+    }
+
+    #[test]
+    fn from_replay_matches_replay_semantics() {
+        use crate::chen::ChenFd;
+        use crate::replay::replay;
+        use twofd_trace::WanTraceConfig;
+
+        let trace = WanTraceConfig::small(5_000, 3).generate();
+        let mut fd = ChenFd::new(100, trace.interval, Span::from_millis(30));
+        let result = replay(&mut fd, &trace);
+        let tl = Timeline::from_replay(&result);
+        // Suspect time equals the metric's complement of accuracy.
+        let m = result.metrics();
+        let pa_from_timeline =
+            1.0 - tl.time_in(FdOutput::Suspect).as_secs_f64() / result.observed().as_secs_f64();
+        assert!((pa_from_timeline - m.query_accuracy).abs() < 1e-9);
+        // One Suspect-transition per mistake (none starts at the window
+        // edge in this trace).
+        assert_eq!(
+            tl.transitions()
+                .iter()
+                .filter(|t| t.to == FdOutput::Suspect)
+                .count(),
+            result.mistakes.len()
+        );
+    }
+}

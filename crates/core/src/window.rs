@@ -1,0 +1,361 @@
+//! Sliding sample windows.
+//!
+//! Every algorithm in the paper keeps a bounded window of recent
+//! heartbeat observations. Two flavours are needed:
+//!
+//! * [`RingWindow`] — a fixed-capacity FIFO of raw samples. Pushing into
+//!   a full window evicts the oldest sample and returns it, which is what
+//!   lets the incremental aggregates below stay O(1) per heartbeat.
+//! * [`SumWindow`] — a ring of `i64` values with a running `i128` sum:
+//!   the O(1) building block of Chen's expected-arrival average (Eq. 2).
+//! * [`MomentsWindow`] — a ring of `f64` values with running first and
+//!   second moments: the φ/ED detectors' inter-arrival mean/variance.
+//!
+//! All three are deliberately allocation-free after construction; a 2W-FD
+//! instance processes millions of heartbeats per replay and the
+//! per-heartbeat cost is what the micro-benchmarks in `twofd-bench`
+//! measure.
+
+use std::collections::VecDeque;
+
+/// Fixed-capacity FIFO window over samples of type `T`.
+#[derive(Debug, Clone)]
+pub struct RingWindow<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> RingWindow<T> {
+    /// Creates a window holding at most `capacity` samples.
+    ///
+    /// # Panics
+    /// If `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        RingWindow {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Appends a sample, evicting and returning the oldest one if full.
+    pub fn push(&mut self, value: T) -> Option<T> {
+        let evicted = if self.buf.len() == self.capacity {
+            self.buf.pop_front()
+        } else {
+            None
+        };
+        self.buf.push_back(value);
+        evicted
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no samples are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// True when at capacity.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.capacity
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates samples oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// Most recently pushed sample.
+    pub fn newest(&self) -> Option<&T> {
+        self.buf.back()
+    }
+
+    /// Oldest retained sample.
+    pub fn oldest(&self) -> Option<&T> {
+        self.buf.front()
+    }
+
+    /// Drops all samples.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+/// Ring of `i64` samples with an O(1) running sum.
+#[derive(Debug, Clone)]
+pub struct SumWindow {
+    ring: RingWindow<i64>,
+    sum: i128,
+}
+
+impl SumWindow {
+    /// Creates a sum window of the given capacity (must be positive).
+    pub fn new(capacity: usize) -> Self {
+        SumWindow {
+            ring: RingWindow::new(capacity),
+            sum: 0,
+        }
+    }
+
+    /// Pushes a sample, maintaining the running sum.
+    pub fn push(&mut self, value: i64) {
+        if let Some(evicted) = self.ring.push(value) {
+            self.sum -= evicted as i128;
+        }
+        self.sum += value as i128;
+    }
+
+    /// Sum of the retained samples.
+    pub fn sum(&self) -> i128 {
+        self.sum
+    }
+
+    /// Mean of the retained samples (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.ring.is_empty() {
+            None
+        } else {
+            Some(self.sum as f64 / self.ring.len() as f64)
+        }
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when no samples are held.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity()
+    }
+}
+
+/// Ring of `f64` samples with O(1) running mean and variance.
+///
+/// Maintains `Σx` and `Σx²`. For the magnitudes seen here (inter-arrival
+/// times of at most a few seconds over windows of at most tens of
+/// thousands of samples) the cancellation error of the two-sums formula
+/// is far below the nanosecond scale the detectors care about; the
+/// property tests compare against a two-pass reference to enforce this.
+#[derive(Debug, Clone)]
+pub struct MomentsWindow {
+    ring: RingWindow<f64>,
+    sum: f64,
+    sum_sq: f64,
+}
+
+impl MomentsWindow {
+    /// Creates a moments window of the given capacity (must be positive).
+    pub fn new(capacity: usize) -> Self {
+        MomentsWindow {
+            ring: RingWindow::new(capacity),
+            sum: 0.0,
+            sum_sq: 0.0,
+        }
+    }
+
+    /// Pushes a sample, maintaining the running moments.
+    pub fn push(&mut self, value: f64) {
+        debug_assert!(value.is_finite(), "window samples must be finite");
+        if let Some(evicted) = self.ring.push(value) {
+            self.sum -= evicted;
+            self.sum_sq -= evicted * evicted;
+        }
+        self.sum += value;
+        self.sum_sq += value * value;
+    }
+
+    /// Mean of the retained samples (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.ring.is_empty() {
+            None
+        } else {
+            Some(self.sum / self.ring.len() as f64)
+        }
+    }
+
+    /// Population variance of the retained samples (`None` when empty).
+    /// Clamped at zero against floating-point cancellation.
+    pub fn variance(&self) -> Option<f64> {
+        let n = self.ring.len();
+        if n == 0 {
+            return None;
+        }
+        let mean = self.sum / n as f64;
+        Some((self.sum_sq / n as f64 - mean * mean).max(0.0))
+    }
+
+    /// Standard deviation of the retained samples (`None` when empty).
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when no samples are held.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ring_evicts_fifo() {
+        let mut w = RingWindow::new(3);
+        assert_eq!(w.push(1), None);
+        assert_eq!(w.push(2), None);
+        assert_eq!(w.push(3), None);
+        assert!(w.is_full());
+        assert_eq!(w.push(4), Some(1));
+        assert_eq!(w.push(5), Some(2));
+        assert_eq!(w.iter().copied().collect::<Vec<_>>(), vec![3, 4, 5]);
+        assert_eq!(w.oldest(), Some(&3));
+        assert_eq!(w.newest(), Some(&5));
+    }
+
+    #[test]
+    fn ring_capacity_one_always_replaces() {
+        let mut w = RingWindow::new(1);
+        assert_eq!(w.push("a"), None);
+        assert_eq!(w.push("b"), Some("a"));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.newest(), Some(&"b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn ring_rejects_zero_capacity() {
+        RingWindow::<u8>::new(0);
+    }
+
+    #[test]
+    fn ring_clear_empties() {
+        let mut w = RingWindow::new(2);
+        w.push(1);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn sum_window_tracks_sliding_sum() {
+        let mut w = SumWindow::new(3);
+        assert_eq!(w.mean(), None);
+        w.push(10);
+        w.push(20);
+        w.push(30);
+        assert_eq!(w.sum(), 60);
+        w.push(40); // evicts 10
+        assert_eq!(w.sum(), 90);
+        assert_eq!(w.mean(), Some(30.0));
+    }
+
+    #[test]
+    fn sum_window_handles_negatives() {
+        let mut w = SumWindow::new(2);
+        w.push(-5);
+        w.push(3);
+        assert_eq!(w.sum(), -2);
+        w.push(-1); // evicts -5
+        assert_eq!(w.sum(), 2);
+    }
+
+    #[test]
+    fn moments_window_basic() {
+        let mut w = MomentsWindow::new(4);
+        for x in [2.0, 4.0, 4.0, 4.0] {
+            w.push(x);
+        }
+        assert!((w.mean().unwrap() - 3.5).abs() < 1e-12);
+        // Population variance of [2,4,4,4] = 0.75.
+        assert!((w.variance().unwrap() - 0.75).abs() < 1e-12);
+        w.push(6.0); // evicts 2 → [4,4,4,6]
+        assert!((w.mean().unwrap() - 4.5).abs() < 1e-12);
+        assert!((w.variance().unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments_variance_never_negative() {
+        let mut w = MomentsWindow::new(100);
+        // Identical large-ish values: naive sumsq cancellation territory.
+        for _ in 0..100 {
+            w.push(1234.5678);
+        }
+        assert!(w.variance().unwrap() >= 0.0);
+        assert!(w.variance().unwrap() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn sum_window_matches_naive(values in prop::collection::vec(-1_000_000i64..1_000_000, 1..200), cap in 1usize..50) {
+            let mut w = SumWindow::new(cap);
+            let mut naive: Vec<i64> = Vec::new();
+            for &v in &values {
+                w.push(v);
+                naive.push(v);
+                if naive.len() > cap {
+                    naive.remove(0);
+                }
+                prop_assert_eq!(w.sum(), naive.iter().map(|&x| x as i128).sum::<i128>());
+                prop_assert_eq!(w.len(), naive.len());
+            }
+        }
+
+        #[test]
+        fn moments_window_matches_two_pass(values in prop::collection::vec(0.0f64..10.0, 1..200), cap in 1usize..50) {
+            let mut w = MomentsWindow::new(cap);
+            let mut naive: Vec<f64> = Vec::new();
+            for &v in &values {
+                w.push(v);
+                naive.push(v);
+                if naive.len() > cap {
+                    naive.remove(0);
+                }
+                let n = naive.len() as f64;
+                let mean = naive.iter().sum::<f64>() / n;
+                let var = naive.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+                prop_assert!((w.mean().unwrap() - mean).abs() < 1e-9);
+                prop_assert!((w.variance().unwrap() - var).abs() < 1e-7);
+            }
+        }
+
+        #[test]
+        fn ring_window_matches_naive_fifo(values in prop::collection::vec(0u32..1000, 1..100), cap in 1usize..20) {
+            let mut w = RingWindow::new(cap);
+            let mut naive: Vec<u32> = Vec::new();
+            for &v in &values {
+                let evicted = w.push(v);
+                naive.push(v);
+                let expect_evicted = if naive.len() > cap { Some(naive.remove(0)) } else { None };
+                prop_assert_eq!(evicted, expect_evicted);
+                prop_assert_eq!(w.iter().copied().collect::<Vec<_>>(), naive.clone());
+            }
+        }
+    }
+}

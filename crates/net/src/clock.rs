@@ -1,0 +1,71 @@
+//! Monotonic wall-clock adapter.
+//!
+//! The detectors operate on [`Nanos`] instants; the live transport maps
+//! `std::time::Instant` onto that axis with an arbitrary per-process
+//! origin. Sender and monitor deliberately have *independent* origins —
+//! exactly the unsynchronized-clocks setting of the paper — which the
+//! algorithms tolerate by construction (Eq. 2 estimates expected
+//! arrivals from receiver-side timestamps only, and `V(D)` is
+//! skew-invariant).
+
+use std::time::Instant;
+use twofd_sim::time::Nanos;
+
+/// A monotonic clock with a fixed origin.
+#[derive(Debug, Clone, Copy)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MonotonicClock {
+    /// Creates a clock whose origin is "now".
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since the clock's origin.
+    pub fn now(&self) -> Nanos {
+        Nanos(self.origin.elapsed().as_nanos() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread::sleep;
+    use std::time::Duration;
+
+    #[test]
+    fn clock_is_monotone() {
+        let clock = MonotonicClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn clock_advances_with_real_time() {
+        let clock = MonotonicClock::new();
+        let a = clock.now();
+        sleep(Duration::from_millis(10));
+        let b = clock.now();
+        assert!((b - a) >= twofd_sim::time::Span::from_millis(9));
+    }
+
+    #[test]
+    fn independent_clocks_have_independent_origins() {
+        let c1 = MonotonicClock::new();
+        sleep(Duration::from_millis(5));
+        let c2 = MonotonicClock::new();
+        // c1 has been running longer, so it reads a larger value.
+        assert!(c1.now() > c2.now());
+    }
+}

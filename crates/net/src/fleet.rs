@@ -1,0 +1,233 @@
+//! Monitoring a fleet of senders on one socket.
+//!
+//! The wire format carries a stream id precisely so that one monitoring
+//! endpoint can watch many monitored processes — the deployment shape of
+//! a failure-detection *service*. [`FleetMonitor`] demultiplexes
+//! incoming heartbeats by stream id into a
+//! [`twofd_core::ProcessSet`], building a detector per stream on first
+//! contact via a user-supplied factory.
+
+use crate::clock::MonotonicClock;
+use crate::wire::Heartbeat;
+use parking_lot::Mutex;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+use twofd_core::{FailureDetector, FdOutput, ProcessSet, ProcessStatus};
+
+/// Builds the detector for a newly seen stream.
+pub type DetectorFactory = Box<dyn FnMut(&u64) -> Box<dyn FailureDetector + Send> + Send>;
+
+struct Shared {
+    set: Mutex<ProcessSet<u64, DetectorFactory>>,
+    stop: AtomicBool,
+    received: AtomicU64,
+    rejected: AtomicU64,
+    clock: MonotonicClock,
+}
+
+/// Handle to a running fleet monitor. Dropping it stops the thread.
+pub struct FleetMonitor {
+    shared: Arc<Shared>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+    local_addr: SocketAddr,
+}
+
+impl FleetMonitor {
+    /// Binds a localhost socket and starts demultiplexing heartbeats.
+    pub fn spawn(factory: DetectorFactory) -> io::Result<FleetMonitor> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        let local_addr = socket.local_addr()?;
+        socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+
+        let shared = Arc::new(Shared {
+            set: Mutex::new(ProcessSet::new(factory)),
+            stop: AtomicBool::new(false),
+            received: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            clock: MonotonicClock::new(),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let thread = thread::Builder::new()
+            .name("twofd-fleet-monitor".into())
+            .spawn(move || {
+                let mut buf = [0u8; 128];
+                loop {
+                    if thread_shared.stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let len = match socket.recv(&mut buf) {
+                        Ok(len) => len,
+                        Err(e)
+                            if e.kind() == io::ErrorKind::WouldBlock
+                                || e.kind() == io::ErrorKind::TimedOut =>
+                        {
+                            continue;
+                        }
+                        Err(_) => return,
+                    };
+                    let arrival = thread_shared.clock.now();
+                    match Heartbeat::decode(&buf[..len]) {
+                        Ok(hb) => {
+                            thread_shared.received.fetch_add(1, Ordering::Relaxed);
+                            thread_shared
+                                .set
+                                .lock()
+                                .on_heartbeat(hb.stream, hb.seq, arrival);
+                        }
+                        Err(_) => {
+                            thread_shared.rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })?;
+
+        Ok(FleetMonitor {
+            shared,
+            thread: Mutex::new(Some(thread)),
+            local_addr,
+        })
+    }
+
+    /// The socket address senders should target.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Pre-registers a stream so it is reported (as suspect) before its
+    /// first heartbeat.
+    pub fn register(&self, stream: u64) {
+        self.shared.set.lock().register(stream);
+    }
+
+    /// Current output for one stream (`None` if never seen/registered).
+    pub fn output(&self, stream: u64) -> Option<FdOutput> {
+        let now = self.shared.clock.now();
+        self.shared.set.lock().output(&stream, now)
+    }
+
+    /// Status snapshot of every monitored stream.
+    pub fn statuses(&self) -> Vec<ProcessStatus<u64>> {
+        let now = self.shared.clock.now();
+        self.shared.set.lock().statuses(now)
+    }
+
+    /// Streams currently suspected.
+    pub fn suspected(&self) -> Vec<u64> {
+        let now = self.shared.clock.now();
+        self.shared.set.lock().suspected(now)
+    }
+
+    /// Valid heartbeats received so far.
+    pub fn received(&self) -> u64 {
+        self.shared.received.load(Ordering::Relaxed)
+    }
+
+    /// Malformed datagrams dropped so far.
+    pub fn rejected(&self) -> u64 {
+        self.shared.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Number of streams currently monitored.
+    pub fn len(&self) -> usize {
+        self.shared.set.lock().len()
+    }
+
+    /// True when no stream is monitored.
+    pub fn is_empty(&self) -> bool {
+        self.shared.set.lock().is_empty()
+    }
+}
+
+impl Drop for FleetMonitor {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.thread.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sender::HeartbeatSender;
+    use std::time::Instant;
+    use twofd_core::TwoWindowFd;
+    use twofd_sim::time::Span;
+
+    fn fleet(interval: Span, margin: Span) -> FleetMonitor {
+        FleetMonitor::spawn(Box::new(move |_stream| {
+            Box::new(TwoWindowFd::new(1, 100, interval, margin))
+        }))
+        .expect("bind fleet monitor")
+    }
+
+    fn wait_for(mut cond: impl FnMut() -> bool, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        false
+    }
+
+    #[test]
+    fn demultiplexes_streams() {
+        let interval = Span::from_millis(10);
+        let monitor = fleet(interval, Span::from_millis(50));
+        let s1 = HeartbeatSender::spawn(1, interval, monitor.local_addr()).unwrap();
+        let s2 = HeartbeatSender::spawn(2, interval, monitor.local_addr()).unwrap();
+        assert!(wait_for(
+            || monitor.len() == 2
+                && monitor.output(1) == Some(FdOutput::Trust)
+                && monitor.output(2) == Some(FdOutput::Trust),
+            Duration::from_secs(3)
+        ));
+        drop((s1, s2));
+    }
+
+    #[test]
+    fn crash_of_one_stream_does_not_affect_another() {
+        let interval = Span::from_millis(10);
+        let monitor = fleet(interval, Span::from_millis(50));
+        let alive = HeartbeatSender::spawn(10, interval, monitor.local_addr()).unwrap();
+        let doomed = HeartbeatSender::spawn(20, interval, monitor.local_addr()).unwrap();
+        assert!(wait_for(
+            || monitor.suspected().is_empty() && monitor.len() == 2,
+            Duration::from_secs(3)
+        ));
+        doomed.crash();
+        assert!(wait_for(
+            || monitor.suspected() == vec![20],
+            Duration::from_secs(3)
+        ));
+        assert_eq!(monitor.output(10), Some(FdOutput::Trust));
+        drop(alive);
+    }
+
+    #[test]
+    fn registered_streams_start_suspect() {
+        let monitor = fleet(Span::from_millis(10), Span::from_millis(50));
+        monitor.register(99);
+        assert_eq!(monitor.output(99), Some(FdOutput::Suspect));
+        assert_eq!(monitor.output(100), None);
+        let statuses = monitor.statuses();
+        assert_eq!(statuses.len(), 1);
+        assert_eq!(statuses[0].key, 99);
+    }
+
+    #[test]
+    fn garbage_does_not_create_streams() {
+        let monitor = fleet(Span::from_millis(10), Span::from_millis(50));
+        let sock = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        sock.send_to(b"not a heartbeat", monitor.local_addr()).unwrap();
+        assert!(wait_for(|| monitor.rejected() == 1, Duration::from_secs(2)));
+        assert!(monitor.is_empty());
+    }
+}

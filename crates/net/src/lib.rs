@@ -1,0 +1,30 @@
+//! # twofd-net — live UDP heartbeat transport
+//!
+//! The paper's experiments exchange heartbeats over UDP/IP; this crate
+//! provides that substrate for the live examples and end-to-end tests:
+//!
+//! * [`wire`] — the 32-byte heartbeat datagram format.
+//! * [`clock`] — monotonic per-process clocks (deliberately
+//!   unsynchronized between sender and monitor, as in the paper).
+//! * [`sender`] — the monitored process `p`: a periodic emitter thread
+//!   with crash and pause (partition) injection.
+//! * [`monitor`] — the monitoring process `q`: a receiver thread feeding
+//!   any set of [`twofd_core::FailureDetector`]s and an online
+//!   `(pL, V(D))` estimator, with a transition event stream.
+//! * [`fleet`] — one socket monitoring many senders, demultiplexed by
+//!   the wire format's stream id.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod fleet;
+pub mod monitor;
+pub mod sender;
+pub mod wire;
+
+pub use clock::MonotonicClock;
+pub use fleet::{DetectorFactory, FleetMonitor};
+pub use monitor::{Monitor, TransitionEvent};
+pub use sender::HeartbeatSender;
+pub use wire::{Heartbeat, WireError, WIRE_SIZE};

@@ -1,0 +1,327 @@
+//! The monitoring process `q`: a UDP receiver feeding failure detectors.
+//!
+//! A [`Monitor`] owns a socket and a receive thread. Each valid heartbeat
+//! datagram is timestamped on arrival with the monitor's own clock and
+//! fed to every registered [`FailureDetector`] (one per application in
+//! the shared-service deployment) plus a [`NetworkEstimator`] for
+//! `(pL, V(D))`. Clients query outputs at any time; an optional
+//! crossbeam channel streams Trust/Suspect transitions.
+
+use crate::clock::MonotonicClock;
+use crate::wire::Heartbeat;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+use twofd_core::{FailureDetector, FdOutput, NetworkEstimator};
+use twofd_sim::time::Nanos;
+
+/// A Trust/Suspect transition event for one registered detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransitionEvent {
+    /// Index of the detector (registration order).
+    pub detector: usize,
+    /// The new output.
+    pub output: FdOutput,
+    /// Monitor-clock time at which the event was observed.
+    pub at: Nanos,
+}
+
+struct Inner {
+    detectors: Vec<Box<dyn FailureDetector + Send>>,
+    estimator: NetworkEstimator,
+    last_outputs: Vec<FdOutput>,
+}
+
+/// Shared state between the monitor handle and its receive thread.
+struct Shared {
+    inner: Mutex<Inner>,
+    stop: AtomicBool,
+    received: AtomicU64,
+    rejected: AtomicU64,
+    clock: MonotonicClock,
+    events: Sender<TransitionEvent>,
+}
+
+/// Handle to a running heartbeat monitor.
+///
+/// Dropping the handle stops the receive thread.
+pub struct Monitor {
+    shared: Arc<Shared>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+    local_addr: SocketAddr,
+    event_rx: Receiver<TransitionEvent>,
+}
+
+impl Monitor {
+    /// Binds a fresh localhost socket and starts receiving, feeding the
+    /// given detectors (at least one required).
+    pub fn spawn(detectors: Vec<Box<dyn FailureDetector + Send>>) -> io::Result<Monitor> {
+        assert!(!detectors.is_empty(), "monitor needs at least one detector");
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        let local_addr = socket.local_addr()?;
+        // Short read timeout so the thread notices stop requests.
+        socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+
+        let (tx, rx) = unbounded();
+        let n = detectors.len();
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                detectors,
+                estimator: NetworkEstimator::new(1000),
+                last_outputs: vec![FdOutput::Suspect; n],
+            }),
+            stop: AtomicBool::new(false),
+            received: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            clock: MonotonicClock::new(),
+            events: tx,
+        });
+
+        let thread_shared = Arc::clone(&shared);
+        let thread = thread::Builder::new()
+            .name("twofd-monitor".into())
+            .spawn(move || {
+                let mut buf = [0u8; 128];
+                loop {
+                    if thread_shared.stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let len = match socket.recv(&mut buf) {
+                        Ok(len) => len,
+                        Err(e)
+                            if e.kind() == io::ErrorKind::WouldBlock
+                                || e.kind() == io::ErrorKind::TimedOut =>
+                        {
+                            // Timeout tick: publish S-transitions that
+                            // happened silently (no datagram involved).
+                            thread_shared.tick();
+                            continue;
+                        }
+                        Err(_) => return,
+                    };
+                    let arrival = thread_shared.clock.now();
+                    match Heartbeat::decode(&buf[..len]) {
+                        Ok(hb) => {
+                            thread_shared.received.fetch_add(1, Ordering::Relaxed);
+                            thread_shared.deliver(hb, arrival);
+                        }
+                        Err(_) => {
+                            thread_shared.rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })?;
+
+        Ok(Monitor {
+            shared,
+            thread: Mutex::new(Some(thread)),
+            local_addr,
+            event_rx: rx,
+        })
+    }
+
+    /// The socket address heartbeats should be sent to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Output of detector `idx` right now.
+    pub fn output(&self, idx: usize) -> Option<FdOutput> {
+        let now = self.shared.clock.now();
+        let inner = self.shared.inner.lock();
+        inner.detectors.get(idx).map(|d| d.output_at(now))
+    }
+
+    /// Outputs of all detectors right now.
+    pub fn outputs(&self) -> Vec<FdOutput> {
+        let now = self.shared.clock.now();
+        let inner = self.shared.inner.lock();
+        inner.detectors.iter().map(|d| d.output_at(now)).collect()
+    }
+
+    /// Current `(pL, V(D))` estimate from observed heartbeats.
+    pub fn network_estimate(&self) -> twofd_core::NetworkBehavior {
+        self.shared.inner.lock().estimator.behavior()
+    }
+
+    /// Valid heartbeats received so far.
+    pub fn received(&self) -> u64 {
+        self.shared.received.load(Ordering::Relaxed)
+    }
+
+    /// Malformed datagrams dropped so far.
+    pub fn rejected(&self) -> u64 {
+        self.shared.rejected.load(Ordering::Relaxed)
+    }
+
+    /// The stream of Trust/Suspect transitions.
+    pub fn events(&self) -> &Receiver<TransitionEvent> {
+        &self.event_rx
+    }
+
+    /// The monitor's clock (for interpreting event timestamps).
+    pub fn now(&self) -> Nanos {
+        self.shared.clock.now()
+    }
+}
+
+impl Shared {
+    fn deliver(&self, hb: Heartbeat, arrival: Nanos) {
+        let mut inner = self.inner.lock();
+        inner.estimator.observe(hb.seq, hb.sent_at, arrival);
+        for d in inner.detectors.iter_mut() {
+            d.on_heartbeat(hb.seq, arrival);
+        }
+        drop(inner);
+        self.publish_transitions(arrival);
+    }
+
+    fn tick(&self) {
+        self.publish_transitions(self.clock.now());
+    }
+
+    fn publish_transitions(&self, now: Nanos) {
+        let mut inner = self.inner.lock();
+        let Inner {
+            detectors,
+            last_outputs,
+            ..
+        } = &mut *inner;
+        for (i, d) in detectors.iter().enumerate() {
+            let out = d.output_at(now);
+            if out != last_outputs[i] {
+                last_outputs[i] = out;
+                let _ = self.events.send(TransitionEvent {
+                    detector: i,
+                    output: out,
+                    at: now,
+                });
+            }
+        }
+    }
+}
+
+impl Drop for Monitor {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.thread.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twofd_core::{ChenFd, TwoWindowFd};
+    use twofd_sim::time::Span;
+
+    fn detectors(interval: Span) -> Vec<Box<dyn FailureDetector + Send>> {
+        vec![
+            Box::new(TwoWindowFd::new(1, 100, interval, Span::from_millis(40))),
+            Box::new(ChenFd::new(100, interval, Span::from_millis(40))),
+        ]
+    }
+
+    #[test]
+    fn monitor_starts_suspecting() {
+        let m = Monitor::spawn(detectors(Span::from_millis(10))).unwrap();
+        assert_eq!(m.outputs(), vec![FdOutput::Suspect, FdOutput::Suspect]);
+        assert_eq!(m.received(), 0);
+    }
+
+    #[test]
+    fn heartbeats_establish_trust() {
+        let m = Monitor::spawn(detectors(Span::from_millis(10))).unwrap();
+        let sock = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        let clock = MonotonicClock::new();
+        for seq in 1..=10u64 {
+            let hb = Heartbeat {
+                stream: 1,
+                seq,
+                sent_at: clock.now(),
+            };
+            sock.send_to(&hb.encode(), m.local_addr()).unwrap();
+            thread::sleep(Duration::from_millis(10));
+        }
+        // Give the receive thread a beat to process the last datagram.
+        thread::sleep(Duration::from_millis(10));
+        assert!(m.received() >= 9);
+        assert_eq!(m.output(0), Some(FdOutput::Trust));
+        assert_eq!(m.output(1), Some(FdOutput::Trust));
+    }
+
+    #[test]
+    fn silence_turns_trust_into_suspicion_and_emits_events() {
+        let m = Monitor::spawn(detectors(Span::from_millis(10))).unwrap();
+        let sock = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        let clock = MonotonicClock::new();
+        for seq in 1..=10u64 {
+            let hb = Heartbeat {
+                stream: 1,
+                seq,
+                sent_at: clock.now(),
+            };
+            sock.send_to(&hb.encode(), m.local_addr()).unwrap();
+            thread::sleep(Duration::from_millis(10));
+        }
+        // Stop sending: both detectors must S-transition.
+        thread::sleep(Duration::from_millis(300));
+        assert_eq!(m.output(0), Some(FdOutput::Suspect));
+        // The event stream saw, for each detector, at least one T and
+        // one (final) S transition.
+        let events: Vec<_> = m.events().try_iter().collect();
+        for det in 0..2 {
+            assert!(events
+                .iter()
+                .any(|e| e.detector == det && e.output == FdOutput::Trust));
+            assert!(events
+                .iter()
+                .any(|e| e.detector == det && e.output == FdOutput::Suspect));
+        }
+    }
+
+    #[test]
+    fn malformed_datagrams_are_counted_not_fatal() {
+        let m = Monitor::spawn(detectors(Span::from_millis(10))).unwrap();
+        let sock = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        sock.send_to(b"garbage", m.local_addr()).unwrap();
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(m.rejected(), 1);
+        assert_eq!(m.received(), 0);
+    }
+
+    #[test]
+    fn network_estimator_sees_the_stream() {
+        let m = Monitor::spawn(detectors(Span::from_millis(5))).unwrap();
+        let sock = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        let clock = MonotonicClock::new();
+        // Send 1..=20 but skip half: pL ≈ 0.5.
+        for seq in 1..=20u64 {
+            if seq % 2 == 0 {
+                continue;
+            }
+            let hb = Heartbeat {
+                stream: 1,
+                seq,
+                sent_at: clock.now(),
+            };
+            sock.send_to(&hb.encode(), m.local_addr()).unwrap();
+            thread::sleep(Duration::from_millis(5));
+        }
+        thread::sleep(Duration::from_millis(50));
+        let est = m.network_estimate();
+        assert!(est.loss_prob > 0.3, "pL estimate {}", est.loss_prob);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one detector")]
+    fn rejects_empty_detector_list() {
+        let _ = Monitor::spawn(vec![]);
+    }
+}

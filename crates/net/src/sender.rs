@@ -1,0 +1,219 @@
+//! The monitored process `p`: a periodic UDP heartbeat emitter.
+//!
+//! Mirrors Algorithm 1's sender side — "at time `i·Δi` send heartbeat
+//! `m_i` to `q`" — on a real socket. The sender runs on its own thread,
+//! can be paused (to simulate transient network partitions) and crashed
+//! (stops for ever), which is how the live examples and integration
+//! tests exercise actual failure detection end to end.
+
+use crate::clock::MonotonicClock;
+use crate::wire::Heartbeat;
+use parking_lot::Mutex;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+use twofd_sim::time::Span;
+
+/// Control block shared with the sender thread.
+#[derive(Debug)]
+struct Shared {
+    crashed: AtomicBool,
+    paused: AtomicBool,
+    sent: AtomicU64,
+}
+
+/// Handle to a running heartbeat sender.
+///
+/// Dropping the handle crashes the sender and joins the thread.
+#[derive(Debug)]
+pub struct HeartbeatSender {
+    shared: Arc<Shared>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+    local_addr: SocketAddr,
+}
+
+impl HeartbeatSender {
+    /// Spawns a sender emitting heartbeats for `stream` every `interval`
+    /// to `target`.
+    pub fn spawn(stream: u64, interval: Span, target: SocketAddr) -> io::Result<HeartbeatSender> {
+        assert!(!interval.is_zero(), "heartbeat interval must be positive");
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        let local_addr = socket.local_addr()?;
+        socket.connect(target)?;
+
+        let shared = Arc::new(Shared {
+            crashed: AtomicBool::new(false),
+            paused: AtomicBool::new(false),
+            sent: AtomicU64::new(0),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let clock = MonotonicClock::new();
+        let period = Duration::from_nanos(interval.0);
+
+        let thread = thread::Builder::new()
+            .name(format!("twofd-sender-{stream}"))
+            .spawn(move || {
+                let mut seq = 0u64;
+                loop {
+                    thread::sleep(period);
+                    if thread_shared.crashed.load(Ordering::Acquire) {
+                        return;
+                    }
+                    seq += 1;
+                    if thread_shared.paused.load(Ordering::Acquire) {
+                        // Paused senders still consume sequence numbers:
+                        // to the monitor this is indistinguishable from
+                        // network loss, which is the point.
+                        continue;
+                    }
+                    let hb = Heartbeat {
+                        stream,
+                        seq,
+                        sent_at: clock.now(),
+                    };
+                    // Send errors (e.g. monitor socket gone) are treated
+                    // as losses; the detector's whole job is surviving
+                    // those.
+                    let _ = socket.send(&hb.encode());
+                    thread_shared.sent.fetch_add(1, Ordering::Relaxed);
+                }
+            })?;
+
+        Ok(HeartbeatSender {
+            shared,
+            thread: Mutex::new(Some(thread)),
+            local_addr,
+        })
+    }
+
+    /// Crashes the monitored process: no further heartbeat will ever be
+    /// sent. Idempotent.
+    pub fn crash(&self) {
+        self.shared.crashed.store(true, Ordering::Release);
+    }
+
+    /// Pauses emission (simulates a network partition); heartbeats sent
+    /// while paused are lost, not delayed.
+    pub fn pause(&self) {
+        self.shared.paused.store(true, Ordering::Release);
+    }
+
+    /// Resumes emission after [`HeartbeatSender::pause`].
+    pub fn resume(&self) {
+        self.shared.paused.store(false, Ordering::Release);
+    }
+
+    /// Heartbeats actually handed to the socket so far.
+    pub fn sent(&self) -> u64 {
+        self.shared.sent.load(Ordering::Relaxed)
+    }
+
+    /// Whether [`HeartbeatSender::crash`] was called.
+    pub fn is_crashed(&self) -> bool {
+        self.shared.crashed.load(Ordering::Acquire)
+    }
+
+    /// The sender's local socket address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+}
+
+impl Drop for HeartbeatSender {
+    fn drop(&mut self) {
+        self.crash();
+        if let Some(handle) = self.thread.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::UdpSocket;
+    use std::time::Instant;
+
+    fn bound_socket() -> (UdpSocket, SocketAddr) {
+        let s = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let addr = s.local_addr().unwrap();
+        (s, addr)
+    }
+
+    #[test]
+    fn sender_emits_increasing_sequence_numbers() {
+        let (socket, addr) = bound_socket();
+        let sender = HeartbeatSender::spawn(1, Span::from_millis(5), addr).unwrap();
+        let mut buf = [0u8; 64];
+        let mut seqs = Vec::new();
+        for _ in 0..5 {
+            let n = socket.recv(&mut buf).unwrap();
+            let hb = Heartbeat::decode(&buf[..n]).unwrap();
+            assert_eq!(hb.stream, 1);
+            seqs.push(hb.seq);
+        }
+        // Under parallel-test scheduler pressure the kernel may coalesce
+        // wakeups; require distinct, overall-increasing sequence numbers
+        // rather than strict per-datagram ordering.
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seqs.len(), "duplicate seqs in {seqs:?}");
+        assert!(*sorted.last().unwrap() >= 5);
+        assert!(sender.sent() >= 5);
+    }
+
+    #[test]
+    fn crash_stops_emission() {
+        let (socket, addr) = bound_socket();
+        let sender = HeartbeatSender::spawn(2, Span::from_millis(5), addr).unwrap();
+        let mut buf = [0u8; 64];
+        socket.recv(&mut buf).unwrap(); // at least one arrived
+        sender.crash();
+        assert!(sender.is_crashed());
+        // Drain anything in flight, then verify silence.
+        thread::sleep(Duration::from_millis(30));
+        while socket.recv(&mut buf).is_ok() {}
+        socket
+            .set_read_timeout(Some(Duration::from_millis(60)))
+            .unwrap();
+        assert!(socket.recv(&mut buf).is_err(), "heartbeat after crash");
+    }
+
+    #[test]
+    fn pause_skips_sequence_numbers() {
+        let (socket, addr) = bound_socket();
+        let sender = HeartbeatSender::spawn(3, Span::from_millis(5), addr).unwrap();
+        let mut buf = [0u8; 64];
+        let n = socket.recv(&mut buf).unwrap();
+        let before = Heartbeat::decode(&buf[..n]).unwrap().seq;
+        sender.pause();
+        thread::sleep(Duration::from_millis(40));
+        sender.resume();
+        // The next received heartbeat must have skipped several numbers.
+        let deadline = Instant::now() + Duration::from_secs(1);
+        let after = loop {
+            let n = socket.recv(&mut buf).unwrap();
+            let hb = Heartbeat::decode(&buf[..n]).unwrap();
+            if hb.seq > before {
+                break hb.seq;
+            }
+            assert!(Instant::now() < deadline);
+        };
+        assert!(
+            after >= before + 4,
+            "expected a gap: before {before}, after {after}"
+        );
+    }
+
+    #[test]
+    fn drop_joins_the_thread() {
+        let (_socket, addr) = bound_socket();
+        let sender = HeartbeatSender::spawn(4, Span::from_millis(5), addr).unwrap();
+        drop(sender); // must not hang
+    }
+}

@@ -1,0 +1,186 @@
+//! Heartbeat wire format.
+//!
+//! The paper's experiments send heartbeats over UDP/IP; this is the
+//! datagram layout used by the live transport:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "2WHB"
+//! 4       2     version (LE)
+//! 6       2     reserved (zero)
+//! 8       8     stream id (LE)   — distinguishes concurrent senders
+//! 16      8     sequence number (LE, starts at 1)
+//! 24      8     send timestamp, nanos on the sender's clock (LE)
+//! ```
+//!
+//! 32 bytes total. The sender timestamp feeds the `V(D)` estimator
+//! (§V-A.1), which is immune to clock skew by construction.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use twofd_sim::time::Nanos;
+
+/// Datagram magic bytes.
+pub const MAGIC: [u8; 4] = *b"2WHB";
+/// Current wire version.
+pub const VERSION: u16 = 1;
+/// Encoded datagram size in bytes.
+pub const WIRE_SIZE: usize = 32;
+
+/// One heartbeat datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Heartbeat {
+    /// Identifies the sending stream (one per monitored process).
+    pub stream: u64,
+    /// Sequence number, starting at 1.
+    pub seq: u64,
+    /// Send time on the sender's clock.
+    pub sent_at: Nanos,
+}
+
+/// Decoding failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Datagram shorter than [`WIRE_SIZE`].
+    TooShort {
+        /// Received length.
+        len: usize,
+    },
+    /// Magic bytes do not match.
+    BadMagic,
+    /// Unsupported version.
+    BadVersion(u16),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::TooShort { len } => write!(f, "datagram too short ({len} bytes)"),
+            WireError::BadMagic => write!(f, "bad magic"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl Heartbeat {
+    /// Encodes the heartbeat into a fresh buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(WIRE_SIZE);
+        buf.put_slice(&MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u16_le(0);
+        buf.put_u64_le(self.stream);
+        buf.put_u64_le(self.seq);
+        buf.put_u64_le(self.sent_at.0);
+        buf.freeze()
+    }
+
+    /// Decodes a heartbeat from a received datagram.
+    pub fn decode(mut data: &[u8]) -> Result<Heartbeat, WireError> {
+        if data.len() < WIRE_SIZE {
+            return Err(WireError::TooShort { len: data.len() });
+        }
+        let mut magic = [0u8; 4];
+        data.copy_to_slice(&mut magic);
+        if magic != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = data.get_u16_le();
+        if version != VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let _reserved = data.get_u16_le();
+        Ok(Heartbeat {
+            stream: data.get_u64_le(),
+            seq: data.get_u64_le(),
+            sent_at: Nanos(data.get_u64_le()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_produces_fixed_size() {
+        let hb = Heartbeat {
+            stream: 7,
+            seq: 42,
+            sent_at: Nanos::from_millis(1234),
+        };
+        assert_eq!(hb.encode().len(), WIRE_SIZE);
+    }
+
+    #[test]
+    fn round_trip() {
+        let hb = Heartbeat {
+            stream: u64::MAX,
+            seq: 1,
+            sent_at: Nanos(987_654_321),
+        };
+        assert_eq!(Heartbeat::decode(&hb.encode()).unwrap(), hb);
+    }
+
+    #[test]
+    fn rejects_short_datagrams() {
+        assert_eq!(
+            Heartbeat::decode(&[0u8; 10]),
+            Err(WireError::TooShort { len: 10 })
+        );
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut data = Heartbeat {
+            stream: 0,
+            seq: 1,
+            sent_at: Nanos::ZERO,
+        }
+        .encode()
+        .to_vec();
+        data[0] = b'X';
+        assert_eq!(Heartbeat::decode(&data), Err(WireError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_unknown_version() {
+        let mut data = Heartbeat {
+            stream: 0,
+            seq: 1,
+            sent_at: Nanos::ZERO,
+        }
+        .encode()
+        .to_vec();
+        data[4] = 0xEE;
+        data[5] = 0xEE;
+        assert!(matches!(
+            Heartbeat::decode(&data),
+            Err(WireError::BadVersion(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_tolerated() {
+        // Future versions may append fields; decoders read a prefix.
+        let mut data = Heartbeat {
+            stream: 3,
+            seq: 9,
+            sent_at: Nanos(55),
+        }
+        .encode()
+        .to_vec();
+        data.extend_from_slice(&[1, 2, 3]);
+        assert!(Heartbeat::decode(&data).is_ok());
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_any_values(stream in any::<u64>(), seq in any::<u64>(), at in any::<u64>()) {
+            let hb = Heartbeat { stream, seq, sent_at: Nanos(at) };
+            prop_assert_eq!(Heartbeat::decode(&hb.encode()).unwrap(), hb);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # twofd-service — failure detection as a shared service
+//!
+//! Section V of the paper: multiple applications (or VMs) on one host,
+//! each with its own QoS tuple, served by a **single** heartbeat stream.
+//!
+//! * [`registry`] — applications and their `(T_Dᵁ, T_MRᵁ, T_Mᵁ)` tuples.
+//! * [`combine()`](combine::combine) — Steps 1–4: per-app Chen configuration, shared
+//!   `Δi_min`, per-app widened margins `Δto_j' = T_D,j − Δi_min`.
+//! * [`shared`] — the live multi-application detector endpoint.
+//! * [`accounting`] — network load: shared stream vs. one per app.
+//! * [`analysis`] — empirical shared-vs-dedicated QoS comparison (the
+//!   paper's proposed future-work experiment, implemented here).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod accounting;
+pub mod adaptive;
+pub mod analysis;
+pub mod combine;
+pub mod registry;
+pub mod shared;
+
+pub use accounting::{load_report, LoadReport};
+pub use adaptive::{AdaptiveRunReport, AdaptiveServiceSim, ReconfigRecord};
+pub use analysis::{analyze, AppQosComparison, ServiceAnalysis};
+pub use combine::{combine, AppShare, CombineError, SharedConfig};
+pub use registry::{AppId, AppRegistry, AppRequirement};
+pub use shared::{ServiceAlgorithm, SharedServiceDetector};

@@ -1,0 +1,178 @@
+//! A deterministic discrete-event queue.
+//!
+//! [`EventQueue`] orders events by timestamp with a monotone tie-breaker,
+//! so two events scheduled for the same instant pop in scheduling order —
+//! a property the service simulations rely on for reproducibility (a
+//! `BinaryHeap` alone is not stable).
+
+use crate::time::Nanos;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    at: Nanos,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event
+        // (and, within a timestamp, the earliest-scheduled) on top.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered, insertion-stable event queue.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: Nanos,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Nanos::ZERO,
+        }
+    }
+
+    /// The timestamp of the most recently popped event (initially zero).
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// If `at` is before the current simulation time — scheduling into
+    /// the past is always a logic error.
+    pub fn schedule(&mut self, at: Nanos, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({} < {})",
+            at,
+            self.now
+        );
+        self.heap.push(Scheduled {
+            at,
+            seq: self.next_seq,
+            event,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        self.heap.pop().map(|s| {
+            self.now = s.at;
+            (s.at, s.event)
+        })
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// True when no event is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_millis(30), "c");
+        q.schedule(Nanos::from_millis(10), "a");
+        q.schedule(Nanos::from_millis(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_pop_in_scheduling_order() {
+        let mut q = EventQueue::new();
+        let t = Nanos::from_millis(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_millis(7), ());
+        assert_eq!(q.now(), Nanos::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Nanos::from_millis(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_millis(10), ());
+        q.pop();
+        q.schedule(Nanos::from_millis(5), ());
+    }
+
+    #[test]
+    fn scheduling_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_millis(10), 1);
+        q.pop();
+        q.schedule(Nanos::from_millis(10), 2);
+        assert_eq!(q.pop(), Some((Nanos::from_millis(10), 2)));
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Nanos::from_secs(1), ());
+        q.schedule(Nanos::from_secs(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Nanos::from_secs(1)));
+    }
+}

@@ -1,0 +1,42 @@
+//! # twofd-sim — deterministic simulation substrate
+//!
+//! The 2W-FD paper evaluates failure detectors by *replaying traces* of
+//! heartbeat arrival times collected on real WAN/LAN links. Those traces
+//! are not available, so this crate provides the substitute substrate: a
+//! fully deterministic, seeded simulation of a monitored process sending
+//! heartbeats through an unreliable network.
+//!
+//! Building blocks:
+//!
+//! * [`time`] — nanosecond instants ([`Nanos`]) and durations ([`Span`]).
+//! * [`rng`] — seeded randomness and hand-built continuous distributions
+//!   (the approved dependency set has `rand` but not `rand_distr`).
+//! * [`delay`] — one-way delay models, including auto-correlated
+//!   log-normal delays for WAN-like behaviour.
+//! * [`loss`] — loss models, including Gilbert–Elliott bursty loss.
+//! * [`scenario`] — phase-scripted network regimes (Stable/Burst/Worm…).
+//! * [`event`] — a stable discrete-event queue for service simulations.
+//! * [`heartbeat`] — the paper's process model: `p` sends `m_i` at
+//!   `i · Δi` through a scripted network, optionally crashing.
+//!
+//! Everything is `Send`, seedable and reproducible: the same seed always
+//! produces the same trace on every platform.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod delay;
+pub mod event;
+pub mod heartbeat;
+pub mod loss;
+pub mod rng;
+pub mod scenario;
+pub mod time;
+
+pub use delay::{DelayModel, DelaySpec};
+pub use event::EventQueue;
+pub use heartbeat::{HeartbeatOutcome, HeartbeatRun};
+pub use loss::{LossModel, LossSpec};
+pub use rng::{DistSpec, SimRng};
+pub use scenario::{NetworkScenario, Phase, ScenarioNetwork, Transmission};
+pub use time::{Nanos, Span};

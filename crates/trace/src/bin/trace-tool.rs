@@ -1,0 +1,165 @@
+//! `trace-tool` — generate, inspect and convert heartbeat trace files.
+//!
+//! ```text
+//! trace-tool generate wan|lan --samples N --seed S --out FILE
+//! trace-tool stats FILE
+//! trace-tool segments FILE
+//! trace-tool convert IN OUT
+//! ```
+//!
+//! File format is chosen by extension: `.twtr` binary, `.csv` text.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use std::process::ExitCode;
+use twofd_trace::{
+    decode_csv, encode_csv, read_binary, table1_segments, write_binary, LanTraceConfig, Trace,
+    TraceStats, WanTraceConfig,
+};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  trace-tool generate wan|lan [--samples N] [--seed S] --out FILE\n  \
+         trace-tool stats FILE\n  trace-tool segments FILE\n  trace-tool convert IN OUT\n\
+         \nformats by extension: .twtr (binary), .csv (text)"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Trace, String> {
+    let p = Path::new(path);
+    let file = File::open(p).map_err(|e| format!("open {path}: {e}"))?;
+    if p.extension().is_some_and(|e| e == "csv") {
+        let mut text = String::new();
+        BufReader::new(file)
+            .read_to_string(&mut text)
+            .map_err(|e| format!("read {path}: {e}"))?;
+        decode_csv(&text).map_err(|e| format!("parse {path}: {e}"))
+    } else {
+        read_binary(BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))
+    }
+}
+
+fn store(trace: &Trace, path: &str) -> Result<(), String> {
+    let p = Path::new(path);
+    let file = File::create(p).map_err(|e| format!("create {path}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    if p.extension().is_some_and(|e| e == "csv") {
+        w.write_all(encode_csv(trace).as_bytes())
+            .map_err(|e| format!("write {path}: {e}"))
+    } else {
+        write_binary(trace, w).map_err(|e| format!("write {path}: {e}"))
+    }
+}
+
+fn parse_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let kind = args.first().ok_or("missing scenario (wan|lan)")?;
+    let samples: u64 = parse_flag(args, "--samples")
+        .map(|s| s.parse().map_err(|_| format!("bad --samples {s}")))
+        .transpose()?
+        .unwrap_or(100_000);
+    let seed: u64 = parse_flag(args, "--seed")
+        .map(|s| s.parse().map_err(|_| format!("bad --seed {s}")))
+        .transpose()?
+        .unwrap_or(0x2BFD_0001);
+    let out = parse_flag(args, "--out").ok_or("missing --out FILE")?;
+    let trace = match kind.as_str() {
+        "wan" => WanTraceConfig::small(samples, seed).generate(),
+        "lan" => LanTraceConfig::small(samples, seed).generate(),
+        other => return Err(format!("unknown scenario {other:?} (wan|lan)")),
+    };
+    store(&trace, &out)?;
+    eprintln!(
+        "wrote {} heartbeats ({} delivered) to {out}",
+        trace.sent(),
+        trace.received()
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing FILE")?;
+    let trace = load(path)?;
+    let s = TraceStats::compute(&trace);
+    println!("name:              {}", trace.name);
+    println!("interval:          {}", trace.interval);
+    println!("sent:              {}", s.sent);
+    println!("received:          {}", s.received);
+    println!("loss rate (pL):    {:.6}", s.loss_rate);
+    println!("delay mean:        {:.3} ms", 1e3 * s.delay_mean);
+    println!("delay std:         {:.3} ms", 1e3 * s.delay_std());
+    println!("delay var (V(D)):  {:.6e} s^2", s.delay_var);
+    println!("delay min/max:     {:.3} / {:.1} ms", 1e3 * s.delay_min, 1e3 * s.delay_max);
+    let (p50, p90, p99, p999) = s.delay_percentiles;
+    println!(
+        "delay p50/p90/p99/p99.9: {:.2} / {:.2} / {:.2} / {:.2} ms",
+        1e3 * p50,
+        1e3 * p90,
+        1e3 * p99,
+        1e3 * p999
+    );
+    println!("interarrival mean: {:.3} ms", 1e3 * s.interarrival_mean);
+    println!("interarrival max:  {:.1} ms", 1e3 * s.interarrival_max);
+    Ok(())
+}
+
+fn cmd_segments(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing FILE")?;
+    let trace = load(path)?;
+    println!(
+        "{:<10} {:>12} {:>12} {:>10} {:>14}",
+        "segment", "from_seq", "to_seq", "loss", "delay_mean_ms"
+    );
+    for seg in table1_segments(trace.sent() as u64) {
+        let sub = seg.slice(&trace);
+        let s = TraceStats::compute(&sub);
+        println!(
+            "{:<10} {:>12} {:>12} {:>10.5} {:>14.2}",
+            seg.name,
+            seg.from_seq,
+            seg.to_seq - 1,
+            s.loss_rate,
+            1e3 * s.delay_mean
+        );
+    }
+    Ok(())
+}
+
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let input = args.first().ok_or("missing IN")?;
+    let output = args.get(1).ok_or("missing OUT")?;
+    let trace = load(input)?;
+    store(&trace, output)?;
+    eprintln!("converted {input} -> {output}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(rest),
+        "stats" => cmd_stats(rest),
+        "segments" => cmd_segments(rest),
+        "convert" => cmd_convert(rest),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

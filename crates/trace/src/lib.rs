@@ -1,0 +1,33 @@
+//! # twofd-trace — heartbeat traces for the 2W-FD reproduction
+//!
+//! The paper evaluates every failure detector by replaying logged
+//! heartbeat arrival times. This crate defines the trace format and the
+//! synthetic generators that stand in for the unavailable real traces:
+//!
+//! * [`record`] — [`Trace`]/[`HeartbeatRecord`]: per-heartbeat sequence
+//!   number, send time and (optional) arrival time.
+//! * [`codec`] — compact binary (`.twtr`) and CSV serialization.
+//! * [`gen`] — synthetic WAN (four regimes at Table-I proportions) and
+//!   LAN generators with paper-matched statistics.
+//! * [`stats`] — loss rate `pL`, delay variance `V(D)`, percentiles.
+//! * [`segments`] — Table I sub-sampling for the per-period analysis.
+//! * [`presets`] — named network-scenario presets (quiet LAN, lossy
+//!   WAN, sustained/episodic congestion, scripted outages).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod codec;
+pub mod gen;
+pub mod presets;
+pub mod record;
+pub mod segments;
+pub mod stats;
+
+pub use codec::{
+    decode_binary, decode_csv, encode_binary, encode_csv, read_binary, write_binary, CodecError,
+};
+pub use gen::{generate_scripted, LanTraceConfig, WanTraceConfig};
+pub use record::{Arrival, HeartbeatRecord, Trace};
+pub use segments::{count_by_segment, table1_segments, Segment, PAPER_TABLE1, PAPER_WAN_SAMPLES};
+pub use stats::TraceStats;

@@ -1,0 +1,213 @@
+//! Named network-scenario presets.
+//!
+//! The ablation studies and failure-injection tests repeatedly need the
+//! same families of network conditions — "a quiet LAN", "a lossy WAN",
+//! "sustained congestion", "congestion episodes". This module gives each
+//! a name and one constructor, so experiment code reads as intent rather
+//! than parameter soup. Every preset takes a heartbeat count and returns
+//! a [`NetworkScenario`] usable with [`crate::generate_scripted`].
+
+use twofd_sim::delay::DelaySpec;
+use twofd_sim::loss::LossSpec;
+use twofd_sim::rng::DistSpec;
+use twofd_sim::scenario::NetworkScenario;
+
+/// A quiet switched LAN: ~100 µs delays, tiny jitter, no loss.
+pub fn quiet_lan(heartbeats: u64) -> NetworkScenario {
+    NetworkScenario::uniform(
+        "quiet-lan",
+        heartbeats,
+        DelaySpec::Iid {
+            dist: DistSpec::LogNormal {
+                mean: 100e-6,
+                std_dev: 15e-6,
+            },
+            floor_nanos: 10_000,
+        },
+        LossSpec::None,
+    )
+}
+
+/// A healthy WAN path: ~30 ms smooth delays, sporadic loss.
+pub fn stable_wan(heartbeats: u64) -> NetworkScenario {
+    NetworkScenario::uniform(
+        "stable-wan",
+        heartbeats,
+        DelaySpec::Ar1LogNormal {
+            mean_secs: 0.030,
+            std_dev_secs: 0.004,
+            rho: 0.8,
+            floor_nanos: 1_000_000,
+        },
+        LossSpec::Bernoulli { p: 0.002 },
+    )
+}
+
+/// A lossy, jittery WAN path: elevated iid delays, several percent loss.
+pub fn lossy_wan(heartbeats: u64, loss: f64) -> NetworkScenario {
+    NetworkScenario::uniform(
+        "lossy-wan",
+        heartbeats,
+        DelaySpec::Iid {
+            dist: DistSpec::LogNormal {
+                mean: 0.06,
+                std_dev: 0.025,
+            },
+            floor_nanos: 1_000_000,
+        },
+        LossSpec::Bernoulli { p: loss },
+    )
+}
+
+/// Sustained congestion: dense heavy-tailed queueing spikes on an
+/// elevated base — untrackable by any short window.
+pub fn sustained_congestion(heartbeats: u64) -> NetworkScenario {
+    NetworkScenario::uniform(
+        "sustained-congestion",
+        heartbeats,
+        DelaySpec::Episodic {
+            mean_secs: 0.15,
+            std_dev_secs: 0.02,
+            rho: 0.3,
+            floor_nanos: 1_000_000,
+            onset_prob: 1.0,
+            end_prob: 0.0,
+            spike_prob: 0.35,
+            spike_dist: DistSpec::Pareto {
+                x_min: 0.05,
+                alpha: 1.4,
+            },
+        },
+        LossSpec::GilbertElliott {
+            p_gb: 0.01,
+            p_bg: 0.12,
+            loss_good: 0.0,
+            loss_bad: 0.9,
+        },
+    )
+}
+
+/// Episodic congestion: short trains of heavy spikes separated by calm
+/// stretches — the regime where long estimation windows pay off.
+pub fn episodic_congestion(heartbeats: u64) -> NetworkScenario {
+    NetworkScenario::uniform(
+        "episodic-congestion",
+        heartbeats,
+        DelaySpec::Episodic {
+            mean_secs: 0.15,
+            std_dev_secs: 0.02,
+            rho: 0.3,
+            floor_nanos: 1_000_000,
+            onset_prob: 1.0 / 30.0,
+            end_prob: 1.0 / 5.0,
+            spike_prob: 0.9,
+            spike_dist: DistSpec::Pareto {
+                x_min: 0.05,
+                alpha: 1.4,
+            },
+        },
+        LossSpec::Bernoulli { p: 0.01 },
+    )
+}
+
+/// A total outage of `outage_heartbeats` in the middle of an otherwise
+/// stable WAN run — the deterministic burst used by failure-injection
+/// tests.
+pub fn wan_with_outage(heartbeats: u64, outage_heartbeats: u64) -> NetworkScenario {
+    assert!(
+        outage_heartbeats < heartbeats,
+        "outage must be shorter than the run"
+    );
+    let before = (heartbeats - outage_heartbeats) / 2;
+    let after = heartbeats - outage_heartbeats - before;
+    let delay = DelaySpec::Ar1LogNormal {
+        mean_secs: 0.030,
+        std_dev_secs: 0.004,
+        rho: 0.8,
+        floor_nanos: 1_000_000,
+    };
+    let mut phases = Vec::new();
+    let mut push = |name: &str, n: u64, loss: LossSpec| {
+        if n > 0 {
+            phases.push(twofd_sim::scenario::Phase {
+                name: name.to_string(),
+                heartbeats: n,
+                delay,
+                loss,
+            });
+        }
+    };
+    push("pre-outage", before, LossSpec::Bernoulli { p: 0.002 });
+    push("outage", outage_heartbeats, LossSpec::Bernoulli { p: 1.0 });
+    push("post-outage", after, LossSpec::Bernoulli { p: 0.002 });
+    NetworkScenario::new(phases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate_scripted;
+    use crate::stats::TraceStats;
+    use twofd_sim::time::Span;
+
+    fn stats(scenario: NetworkScenario, interval_ms: u64, seed: u64) -> TraceStats {
+        let t = generate_scripted("preset", Span::from_millis(interval_ms), scenario, seed, None);
+        TraceStats::compute(&t)
+    }
+
+    #[test]
+    fn quiet_lan_is_quiet() {
+        let s = stats(quiet_lan(20_000), 20, 1);
+        assert_eq!(s.loss_rate, 0.0);
+        assert!(s.delay_mean < 0.001);
+        assert!(s.delay_std() < 0.0001);
+    }
+
+    #[test]
+    fn stable_wan_has_sporadic_loss_and_smooth_delays() {
+        let s = stats(stable_wan(20_000), 100, 2);
+        assert!(s.loss_rate > 0.0 && s.loss_rate < 0.01);
+        assert!((s.delay_mean - 0.030).abs() < 0.005);
+    }
+
+    #[test]
+    fn lossy_wan_hits_requested_loss() {
+        let s = stats(lossy_wan(20_000, 0.05), 100, 3);
+        assert!((s.loss_rate - 0.05).abs() < 0.01, "loss {}", s.loss_rate);
+    }
+
+    #[test]
+    fn congestion_presets_are_heavy_tailed() {
+        let sustained = stats(sustained_congestion(20_000), 100, 4);
+        let episodic = stats(episodic_congestion(20_000), 100, 5);
+        // Both have p99 delays far above the median.
+        assert!(sustained.delay_percentiles.2 > 3.0 * sustained.delay_percentiles.0);
+        assert!(episodic.delay_percentiles.2 > 2.0 * episodic.delay_percentiles.0);
+        // Sustained congestion spikes a larger fraction of heartbeats.
+        assert!(sustained.delay_mean > episodic.delay_mean);
+    }
+
+    #[test]
+    fn outage_preset_loses_exactly_the_outage_window() {
+        let scenario = wan_with_outage(1_000, 50);
+        let t = generate_scripted("outage", Span::from_millis(100), scenario, 6, None);
+        // The middle 50 heartbeats are all lost.
+        let lost: Vec<u64> = t
+            .records
+            .iter()
+            .filter(|r| r.arrival.is_none())
+            .map(|r| r.seq)
+            .collect();
+        assert!(lost.len() >= 50);
+        let start = (1_000 - 50) / 2 + 1;
+        for seq in start..start + 50 {
+            assert!(lost.contains(&seq), "heartbeat {seq} not lost");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outage must be shorter")]
+    fn outage_longer_than_run_rejected() {
+        wan_with_outage(10, 20);
+    }
+}

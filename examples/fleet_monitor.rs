@@ -1,0 +1,56 @@
+//! Monitoring a fleet of processes with one service endpoint.
+//!
+//! Five heartbeat senders (distinct stream ids) target a single
+//! [`FleetMonitor`] socket. Two of them crash; the monitor's status
+//! table must flag exactly those two.
+//!
+//! Run: `cargo run --release --example fleet_monitor`
+
+use std::thread::sleep;
+use std::time::Duration;
+use twofd::core::TwoWindowFd;
+use twofd::net::{FleetMonitor, HeartbeatSender};
+use twofd::sim::Span;
+
+fn main() {
+    let interval = Span::from_millis(20);
+    let monitor = FleetMonitor::spawn(Box::new(move |stream| {
+        println!("  (building detector for newly seen stream {stream})");
+        Box::new(TwoWindowFd::new(1, 200, interval, Span::from_millis(60)))
+    }))
+    .expect("bind fleet monitor");
+    println!("fleet monitor on {}\n", monitor.local_addr());
+
+    let senders: Vec<HeartbeatSender> = (1..=5)
+        .map(|stream| {
+            HeartbeatSender::spawn(stream, interval, monitor.local_addr()).expect("spawn sender")
+        })
+        .collect();
+
+    sleep(Duration::from_millis(800));
+    print_statuses("steady state", &monitor);
+
+    println!("\n>>> crashing streams 2 and 4");
+    senders[1].crash();
+    senders[3].crash();
+    sleep(Duration::from_millis(500));
+    print_statuses("after crashes", &monitor);
+
+    let mut suspected = monitor.suspected();
+    suspected.sort_unstable();
+    println!("\nsuspected streams: {suspected:?} (expected [2, 4])");
+    assert_eq!(suspected, vec![2, 4]);
+    println!("fleet monitoring verdicts correct ✓");
+}
+
+fn print_statuses(label: &str, monitor: &FleetMonitor) {
+    println!("--- {label}: {} heartbeats received ---", monitor.received());
+    let mut statuses = monitor.statuses();
+    statuses.sort_by_key(|s| s.key);
+    for s in statuses {
+        println!(
+            "  stream {}: {:?} (last seq {:?})",
+            s.key, s.output, s.last_seq
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Chen's QoS configuration procedure in action (§V-A of the paper).
+//!
+//! An application states *what* it needs — "detect crashes within 1 s,
+//! at most one false suspicion per hour, corrected within 1 s" — and the
+//! procedure derives *how* to run the detector: the heartbeat interval
+//! `Δi` and the safety margin `Δto`, for the measured network behaviour
+//! `(pL, V(D))`. The example then validates the configuration by replay:
+//! the measured mistake recurrence must respect the requested bound.
+//!
+//! Run: `cargo run --release --example qos_tuning`
+
+use twofd::core::configure;
+use twofd::prelude::*;
+use twofd::sim::{DelaySpec, DistSpec, LossSpec, NetworkScenario};
+use twofd::trace::generate_scripted;
+
+fn main() {
+    // 1. The application's requirements.
+    let spec = QosSpec::new(
+        1.0,    // T_D^U: detect within 1 s
+        3600.0, // T_MR^U: at most one mistake per hour
+        1.0,    // T_M^U: mistakes corrected within 1 s
+    );
+
+    // 2. Measure the network from a short probe trace (the paper's
+    //    §V-A.1 estimation of pL and V(D)).
+    let probe_scenario = NetworkScenario::uniform(
+        "probe",
+        2_000,
+        DelaySpec::Iid {
+            dist: DistSpec::LogNormal {
+                mean: 0.04,
+                std_dev: 0.012,
+            },
+            floor_nanos: 1_000_000,
+        },
+        LossSpec::Bernoulli { p: 0.01 },
+    );
+    let probe = generate_scripted("probe", Span::from_millis(50), probe_scenario.clone(), 3, None);
+    let mut estimator = NetworkEstimator::new(1000);
+    for r in &probe.records {
+        if let Some(at) = r.arrival {
+            estimator.observe(r.seq, r.send, at);
+        }
+    }
+    let net = estimator.behavior();
+    println!(
+        "measured network: pL = {:.4}, V(D) = {:.3e} s² (sd {:.1} ms)",
+        net.loss_prob,
+        net.delay_var,
+        1e3 * net.delay_var.sqrt()
+    );
+
+    // 3. Configure.
+    let cfg = configure(&spec, &net).expect("spec achievable on this network");
+    println!(
+        "\nconfiguration: Δi = {} (heartbeat rate {:.2}/s), Δto = {}",
+        cfg.interval,
+        1.0 / cfg.interval.as_secs_f64(),
+        cfg.safety_margin,
+    );
+    assert_eq!(cfg.detection_budget(), Span::from_secs_f64(spec.detection_time));
+
+    // 4. Validate by replay over a long trace with the same behaviour.
+    let horizon_secs = 6.0 * 3600.0;
+    let n = (horizon_secs / cfg.interval.as_secs_f64()) as u64;
+    let long = NetworkScenario::uniform(
+        "validation",
+        n,
+        probe_scenario.phases[0].delay,
+        probe_scenario.phases[0].loss.clone(),
+    );
+    let trace = generate_scripted("validation", cfg.interval, long, 4, None);
+    let mut fd = TwoWindowFd::new(1, 1000, cfg.interval, cfg.safety_margin);
+    let m = replay(&mut fd, &trace).metrics();
+    println!(
+        "\nvalidation over {:.0} h of heartbeats:",
+        horizon_secs / 3600.0
+    );
+    println!(
+        "  detection time {:.0} ms (bound {:.0} ms)",
+        1e3 * m.detection_time,
+        1e3 * spec.detection_time
+    );
+    let recurrence = m.mistake_recurrence();
+    println!(
+        "  mistake recurrence {:.0} s (bound ≥ {:.0} s) — {} mistakes total",
+        recurrence, spec.mistake_recurrence, m.mistakes
+    );
+    println!(
+        "  mistake duration {:.1} ms (bound {:.0} ms)",
+        1e3 * m.avg_mistake_duration,
+        1e3 * spec.mistake_duration
+    );
+    let ok = m.detection_time <= spec.detection_time
+        && recurrence >= spec.mistake_recurrence
+        && m.avg_mistake_duration <= spec.mistake_duration;
+    println!("\nQoS requirement satisfied: {ok}");
+}

@@ -1,0 +1,100 @@
+//! Failure detection as a service (§V of the paper).
+//!
+//! Four applications with very different QoS requirements share one
+//! heartbeat stream. The example shows:
+//!
+//! 1. the per-application `(Δi_j, Δto_j)` Chen's procedure would give a
+//!    dedicated detector,
+//! 2. the combined configuration (`Δi_min`, widened per-app margins),
+//! 3. the network-load reduction, and
+//! 4. a live shared-stream simulation in which the remote host crashes
+//!    and every application detects it within its own budget.
+//!
+//! Run: `cargo run --release --example shared_service`
+
+use twofd::prelude::*;
+use twofd::service::{load_report, SharedServiceDetector};
+use twofd::sim::{DelaySpec, DistSpec, LossSpec, NetworkScenario};
+use twofd::trace::generate_scripted;
+
+fn main() {
+    // 1. Applications and their QoS tuples (T_D^U, T_MR^U, T_M^U).
+    let mut registry = AppRegistry::new();
+    let ids = [
+        registry.register("cluster-manager", QosSpec::new(0.5, 86_400.0, 0.5)),
+        registry.register("group-membership", QosSpec::new(1.0, 3_600.0, 1.0)),
+        registry.register("batch-scheduler", QosSpec::new(5.0, 600.0, 3.0)),
+        registry.register("monitoring-ui", QosSpec::new(10.0, 300.0, 5.0)),
+    ];
+    let net = NetworkBehavior::new(0.01, 0.01 * 0.01);
+
+    // 2. Combine (Steps 1–4 of §V-C).
+    let config = combine(&registry, &net).expect("all tuples achievable");
+    println!("shared heartbeat interval Δi_min = {}", config.interval);
+    println!(
+        "{:<18} {:>12} {:>12} {:>14} {:>9}",
+        "application", "own Δi (ms)", "own Δto(ms)", "shared Δto(ms)", "adapted"
+    );
+    for share in &config.shares {
+        println!(
+            "{:<18} {:>12.1} {:>12.1} {:>14.1} {:>9}",
+            share.name,
+            share.dedicated.interval.as_millis_f64(),
+            share.dedicated.safety_margin.as_millis_f64(),
+            share.shared_margin.as_millis_f64(),
+            share.adapted,
+        );
+    }
+
+    // 3. Network load over one hour.
+    let report = load_report(&config, Span::from_secs(3600));
+    println!(
+        "\nnetwork load over 1 h: shared {} msgs vs dedicated {} msgs (×{:.2} reduction)",
+        report.shared_messages, report.dedicated_messages, report.reduction_factor
+    );
+
+    // 4. Live shared stream with a crash at t = 60 s.
+    let crash_at = Nanos::from_secs(60);
+    let n = (90.0 / config.interval.as_secs_f64()) as u64;
+    let scenario = NetworkScenario::uniform(
+        "shared",
+        n,
+        DelaySpec::Iid {
+            dist: DistSpec::LogNormal {
+                mean: 0.03,
+                std_dev: 0.01,
+            },
+            floor_nanos: 1_000_000,
+        },
+        LossSpec::Bernoulli { p: 0.01 },
+    );
+    let trace = generate_scripted("shared", config.interval, scenario, 11, Some(crash_at));
+
+    let mut service = SharedServiceDetector::new(&config, ServiceAlgorithm::default());
+    for a in trace.arrivals() {
+        service.on_heartbeat(a.seq, a.at);
+    }
+    println!("\nremote host crashes at t = 60 s:");
+    for (id, name) in ids.iter().zip(["cluster-manager", "group-membership", "batch-scheduler", "monitoring-ui"]) {
+        // Find the instant this app's detector S-transitions for good:
+        // its final trust_until.
+        let mut lo = crash_at;
+        let mut hi = crash_at + Span::from_secs(30);
+        for _ in 0..50 {
+            let mid = Nanos((lo.0 + hi.0) / 2);
+            match service.output_for(*id, mid).unwrap() {
+                FdOutput::Trust => lo = mid,
+                FdOutput::Suspect => hi = mid,
+            }
+        }
+        let detection = hi.saturating_since(crash_at);
+        let budget = registry.get(*id).unwrap().qos.detection_time;
+        println!(
+            "  {:<18} suspects after {:>8} (budget {:>5.1} s) {}",
+            name,
+            format!("{detection}"),
+            budget,
+            if detection.as_secs_f64() <= budget { "✓" } else { "✗ OVER BUDGET" },
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! The paper's §IV-C2 comparison, in miniature: replay six failure
+//! detectors over the same WAN trace and print each one's QoS curve
+//! (detection time vs mistake rate vs query accuracy).
+//!
+//! This is the workload of Figures 6/7; the full-scale version lives in
+//! `cargo bench -p twofd-bench --bench fig6_7`.
+//!
+//! Run: `cargo run --release --example wan_comparison`
+
+use twofd::core::{replay, DetectorSpec};
+use twofd::prelude::*;
+
+fn main() {
+    let trace = WanTraceConfig::small(40_000, 7).generate();
+    println!(
+        "WAN trace: {} heartbeats over {:.0} s, {:.2}% lost\n",
+        trace.sent(),
+        trace.end_time().as_secs_f64(),
+        100.0 * trace.loss_rate(),
+    );
+    println!(
+        "{:<16} {:>10} {:>14} {:>12} {:>10}",
+        "detector", "td (ms)", "tmr (1/s)", "tm (ms)", "pa"
+    );
+
+    for spec in DetectorSpec::paper_comparison() {
+        // One aggressive and one conservative point per detector (the
+        // bench sweeps the full knob range).
+        let tunings: &[f64] = match &spec {
+            DetectorSpec::Bertier { .. } => &[0.0],
+            DetectorSpec::Phi { .. } | DetectorSpec::Ed { .. } => &[1.0, 4.0],
+            _ => &[0.05, 0.5],
+        };
+        for &tuning in tunings {
+            let mut fd = spec.build(trace.interval, tuning);
+            let m = replay(fd.as_mut(), &trace).metrics();
+            println!(
+                "{:<16} {:>10.1} {:>14.4e} {:>12.1} {:>10.6}",
+                fd.name(),
+                1e3 * m.detection_time,
+                m.mistake_rate,
+                1e3 * m.avg_mistake_duration,
+                m.query_accuracy,
+            );
+        }
+    }
+
+    println!(
+        "\nNote: detectors are tuned differently per row; compare rows at\n\
+         similar detection times. The full sweep is the fig6_7 bench."
+    );
+}

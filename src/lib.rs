@@ -1,0 +1,54 @@
+//! # twofd — 2W-FD: A Failure Detector Algorithm with QoS
+//!
+//! Facade crate of the 2W-FD reproduction. Re-exports the full public
+//! API of the workspace:
+//!
+//! * [`core`] — the 2W-FD algorithm, the Chen / Bertier /
+//!   φ-accrual / ED baselines, trace replay, QoS metrics and Chen's QoS
+//!   configuration procedure.
+//! * [`trace`] — heartbeat traces, codecs and the synthetic
+//!   WAN/LAN generators.
+//! * [`sim`] — the deterministic network simulation substrate.
+//! * [`service`] — failure detection as a shared service
+//!   for multiple applications with distinct QoS tuples.
+//! * [`net`] — a live UDP heartbeat transport.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use twofd::core::{replay, TwoWindowFd};
+//! use twofd::trace::WanTraceConfig;
+//! use twofd::sim::Span;
+//!
+//! // Synthesize a WAN-like heartbeat trace and replay the paper's
+//! // detector over it.
+//! let trace = WanTraceConfig::small(10_000, 42).generate();
+//! let mut fd = TwoWindowFd::paper_default(trace.interval, Span::from_millis(100));
+//! let metrics = replay(&mut fd, &trace).metrics();
+//! println!("detection time {:.3}s, mistake rate {:.2e}/s, accuracy {:.6}",
+//!          metrics.detection_time, metrics.mistake_rate, metrics.query_accuracy);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use twofd_core as core;
+pub use twofd_net as net;
+pub use twofd_service as service;
+pub use twofd_sim as sim;
+pub use twofd_trace as trace;
+
+// Flat re-exports of the most used items for `use twofd::prelude::*`.
+pub mod prelude {
+    //! One-line import of the common API surface.
+    pub use twofd_core::{
+        calibrate, configure, detect_crash, replay, BertierFd, ChenFd, Decision, DetectorSpec,
+        EdFd, FailureDetector, FdConfig, FdOutput, MultiWindowFd, NetworkBehavior,
+        NetworkEstimator, PhiAccrualFd, QosMetrics, QosSpec, ReplayResult, TwoWindowFd,
+    };
+    pub use twofd_service::{
+        analyze, combine, AppRegistry, ServiceAlgorithm, SharedServiceDetector,
+    };
+    pub use twofd_sim::{Nanos, Span};
+    pub use twofd_trace::{LanTraceConfig, Trace, TraceStats, WanTraceConfig};
+}

@@ -1,0 +1,103 @@
+//! Integration test of the paper's central claim (Eq. 13): at the same
+//! safety margin, the 2W-FD's mistakes are exactly the mistakes made by
+//! *both* single-window Chen detectors.
+
+use twofd::core::{replay, ChenFd, Mistake, TwoWindowFd};
+use twofd::prelude::*;
+
+fn mistake_sets(trace: &Trace, n1: usize, n2: usize, margin: Span) -> (Vec<Mistake>, Vec<Mistake>, Vec<Mistake>) {
+    let mut two = TwoWindowFd::new(n1, n2, trace.interval, margin);
+    let mut c1 = ChenFd::new(n1, trace.interval, margin);
+    let mut c2 = ChenFd::new(n2, trace.interval, margin);
+    (
+        replay(&mut two, trace).mistakes,
+        replay(&mut c1, trace).mistakes,
+        replay(&mut c2, trace).mistakes,
+    )
+}
+
+fn overlaps(m: &Mistake, log: &[Mistake]) -> bool {
+    log.iter().any(|o| m.start < o.end && o.start < m.end)
+}
+
+#[test]
+fn every_2w_mistake_is_made_by_both_chen_detectors() {
+    let trace = WanTraceConfig::small(30_000, 101).generate();
+    for margin_ms in [10u64, 50, 200] {
+        let (two, c1, c2) = mistake_sets(&trace, 1, 1000, Span::from_millis(margin_ms));
+        for m in &two {
+            assert!(
+                overlaps(m, &c1) && overlaps(m, &c2),
+                "margin {margin_ms} ms: 2W mistake {m:?} not contained in both Chen logs"
+            );
+        }
+    }
+}
+
+#[test]
+fn two_w_makes_no_more_mistakes_than_either_chen() {
+    let trace = WanTraceConfig::small(30_000, 202).generate();
+    for margin_ms in [10u64, 50, 200] {
+        let (two, c1, c2) = mistake_sets(&trace, 1, 1000, Span::from_millis(margin_ms));
+        assert!(
+            two.len() <= c1.len(),
+            "margin {margin_ms}: 2W {} vs chen(1) {}",
+            two.len(),
+            c1.len()
+        );
+        assert!(
+            two.len() <= c2.len(),
+            "margin {margin_ms}: 2W {} vs chen(1000) {}",
+            two.len(),
+            c2.len()
+        );
+    }
+}
+
+#[test]
+fn containment_holds_for_other_window_pairs() {
+    let trace = WanTraceConfig::small(15_000, 303).generate();
+    for (n1, n2) in [(1usize, 10usize), (5, 500), (10, 10_000)] {
+        let (two, c1, c2) = mistake_sets(&trace, n1, n2, Span::from_millis(40));
+        for m in &two {
+            assert!(
+                overlaps(m, &c1) && overlaps(m, &c2),
+                "pair ({n1},{n2}): uncontained mistake {m:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn containment_holds_on_the_lan_trace() {
+    let trace = LanTraceConfig::small(30_000, 404).generate();
+    // LAN margins are millisecond-scale (delays are ~100 µs).
+    let (two, c1, c2) = mistake_sets(&trace, 1, 1000, Span::from_micros(300));
+    for m in &two {
+        assert!(overlaps(m, &c1) && overlaps(m, &c2));
+    }
+    assert!(two.len() <= c1.len().min(c2.len()));
+}
+
+#[test]
+fn freshness_points_are_pointwise_max() {
+    // Stronger than set containment: at every heartbeat the 2W decision
+    // is the max of the two Chen decisions.
+    let trace = WanTraceConfig::small(5_000, 505).generate();
+    let margin = Span::from_millis(30);
+    let mut two = TwoWindowFd::new(1, 100, trace.interval, margin);
+    let mut c1 = ChenFd::new(1, trace.interval, margin);
+    let mut c2 = ChenFd::new(100, trace.interval, margin);
+    for a in trace.arrivals() {
+        let d = two.on_heartbeat(a.seq, a.at);
+        let d1 = c1.on_heartbeat(a.seq, a.at);
+        let d2 = c2.on_heartbeat(a.seq, a.at);
+        match (d, d1, d2) {
+            (Some(d), Some(d1), Some(d2)) => {
+                assert_eq!(d.trust_until, d1.trust_until.max(d2.trust_until));
+            }
+            (None, None, None) => {}
+            other => panic!("freshness disagreement: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Failure-injection tests: every detector must detect a real crash —
+//! the *completeness* side of the paper's model — under clean, lossy and
+//! bursty network conditions, within a bounded time.
+
+use twofd::core::{detect_crash, DetectorSpec};
+use twofd::prelude::*;
+use twofd::sim::{DelaySpec, DistSpec, LossSpec, NetworkScenario};
+use twofd::trace::generate_scripted;
+
+const DI_MS: u64 = 100;
+
+fn crash_trace(loss: LossSpec, delay: DelaySpec, crash_at_secs: u64, seed: u64) -> (Trace, Nanos) {
+    let crash_at = Nanos::from_secs(crash_at_secs);
+    let scenario = NetworkScenario::uniform("crash", 2 * crash_at_secs * 1000 / DI_MS, delay, loss);
+    let t = generate_scripted(
+        "crash",
+        Span::from_millis(DI_MS),
+        scenario,
+        seed,
+        Some(crash_at),
+    );
+    (t, crash_at)
+}
+
+fn all_detectors() -> Vec<(DetectorSpec, f64)> {
+    vec![
+        (DetectorSpec::TwoWindow { n1: 1, n2: 1000 }, 0.2),
+        (DetectorSpec::Chen { window: 1 }, 0.2),
+        (DetectorSpec::Chen { window: 1000 }, 0.2),
+        (DetectorSpec::Bertier { window: 1000 }, 0.0),
+        (DetectorSpec::Phi { window: 1000 }, 2.0),
+        (DetectorSpec::Ed { window: 1000 }, 2.0),
+    ]
+}
+
+#[test]
+fn every_detector_detects_a_crash_on_a_clean_link() {
+    let (trace, crash_at) = crash_trace(
+        LossSpec::None,
+        DelaySpec::Iid {
+            dist: DistSpec::LogNormal {
+                mean: 0.03,
+                std_dev: 0.005,
+            },
+            floor_nanos: 1_000_000,
+        },
+        60,
+        11,
+    );
+    for (spec, tuning) in all_detectors() {
+        let mut fd = spec.build(trace.interval, tuning);
+        let td = detect_crash(fd.as_mut(), &trace, crash_at)
+            .unwrap_or_else(|| panic!("{}: no heartbeat seen", spec.label()));
+        // Bounded detection: within a couple of seconds for every
+        // algorithm at these modest tunings.
+        assert!(
+            td < Span::from_secs(3),
+            "{}: detection took {td}",
+            spec.label()
+        );
+    }
+}
+
+#[test]
+fn crash_detected_despite_heavy_loss() {
+    let (trace, crash_at) = crash_trace(
+        LossSpec::Bernoulli { p: 0.3 },
+        DelaySpec::Constant { nanos: 20_000_000 },
+        60,
+        12,
+    );
+    for (spec, tuning) in all_detectors() {
+        let mut fd = spec.build(trace.interval, tuning);
+        let td = detect_crash(fd.as_mut(), &trace, crash_at).unwrap();
+        assert!(
+            td < Span::from_secs(10),
+            "{}: detection took {td} at 30% loss",
+            spec.label()
+        );
+    }
+}
+
+#[test]
+fn crash_during_a_loss_burst_is_still_detected() {
+    // Gilbert–Elliott bursts around the crash instant: the detector has
+    // stale state and an inflated margin, but must still converge.
+    let (trace, crash_at) = crash_trace(
+        LossSpec::GilbertElliott {
+            p_gb: 0.02,
+            p_bg: 0.1,
+            loss_good: 0.0,
+            loss_bad: 0.9,
+        },
+        DelaySpec::Iid {
+            dist: DistSpec::LogNormal {
+                mean: 0.05,
+                std_dev: 0.02,
+            },
+            floor_nanos: 1_000_000,
+        },
+        120,
+        13,
+    );
+    for (spec, tuning) in all_detectors() {
+        let mut fd = spec.build(trace.interval, tuning);
+        let td = detect_crash(fd.as_mut(), &trace, crash_at).unwrap();
+        assert!(
+            td < Span::from_secs(30),
+            "{}: detection took {td} under bursty loss",
+            spec.label()
+        );
+    }
+}
+
+#[test]
+fn detection_time_scales_with_conservativeness() {
+    let (trace, crash_at) = crash_trace(
+        LossSpec::None,
+        DelaySpec::Constant { nanos: 10_000_000 },
+        30,
+        14,
+    );
+    // For each tunable algorithm, a more conservative knob must not
+    // detect faster.
+    for spec in [
+        DetectorSpec::TwoWindow { n1: 1, n2: 100 },
+        DetectorSpec::Chen { window: 100 },
+        DetectorSpec::Phi { window: 100 },
+        DetectorSpec::Ed { window: 100 },
+    ] {
+        let mut prev = Span::ZERO;
+        for tuning in [0.1, 0.5, 2.0] {
+            let mut fd = spec.build(trace.interval, tuning);
+            let td = detect_crash(fd.as_mut(), &trace, crash_at).unwrap();
+            assert!(
+                td >= prev,
+                "{}: detection time not monotone in the knob",
+                spec.label()
+            );
+            prev = td;
+        }
+    }
+}
+
+#[test]
+fn suspicion_is_permanent_after_a_crash() {
+    // After the final S-transition there is no heartbeat to restore
+    // trust: output_at any later instant must be Suspect.
+    use twofd::core::{FailureDetector, FdOutput};
+    let (trace, crash_at) = crash_trace(
+        LossSpec::None,
+        DelaySpec::Constant { nanos: 10_000_000 },
+        30,
+        15,
+    );
+    let mut fd = TwoWindowFd::paper_default(trace.interval, Span::from_millis(100));
+    for a in trace.arrivals() {
+        fd.on_heartbeat(a.seq, a.at);
+    }
+    let td = fd.current_decision().unwrap().trust_until;
+    for probe_secs in [1u64, 10, 100, 10_000] {
+        let t = td + Span::from_secs(probe_secs);
+        assert_eq!(fd.output_at(t), FdOutput::Suspect);
+    }
+    let _ = crash_at;
+}

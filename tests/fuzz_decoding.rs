@@ -1,0 +1,60 @@
+//! Robustness of the decoders: arbitrary bytes must never panic, only
+//! return errors; mutated valid encodings must never be mis-accepted as
+//! a different trace.
+
+use proptest::prelude::*;
+use twofd::net::Heartbeat;
+use twofd::prelude::*;
+use twofd::trace::{decode_binary, decode_csv, encode_binary};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The binary trace decoder is total: any byte string yields
+    /// `Ok` or `Err`, never a panic, and `Ok` only for inputs that
+    /// re-encode to themselves.
+    #[test]
+    fn binary_decoder_never_panics(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(trace) = decode_binary(&data) {
+            // Anything accepted must round-trip canonically.
+            let re = encode_binary(&trace);
+            prop_assert_eq!(decode_binary(&re).unwrap(), trace);
+        }
+    }
+
+    /// The CSV decoder is total over arbitrary text.
+    #[test]
+    fn csv_decoder_never_panics(text in "\\PC{0,400}") {
+        let _ = decode_csv(&text);
+    }
+
+    /// The wire decoder is total over arbitrary datagrams.
+    #[test]
+    fn wire_decoder_never_panics(data in prop::collection::vec(any::<u8>(), 0..64)) {
+        if let Ok(hb) = Heartbeat::decode(&data) {
+            prop_assert_eq!(Heartbeat::decode(&hb.encode()).unwrap(), hb);
+        }
+    }
+
+    /// Single-byte corruption of a valid trace encoding either fails to
+    /// decode or decodes to a structurally valid trace (never panics,
+    /// never produces out-of-order records).
+    #[test]
+    fn corrupted_traces_fail_safely(
+        seed in any::<u64>(),
+        flip_at in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let trace = WanTraceConfig::small(50, seed).generate();
+        let mut data = encode_binary(&trace).to_vec();
+        let i = flip_at.index(data.len());
+        data[i] ^= 1 << flip_bit;
+        if let Ok(decoded) = decode_binary(&data) {
+            // Structural invariant enforced by the decoder.
+            prop_assert!(decoded
+                .records
+                .windows(2)
+                .all(|w| w[0].seq < w[1].seq));
+        }
+    }
+}

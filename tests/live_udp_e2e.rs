@@ -1,0 +1,111 @@
+//! End-to-end test over real UDP: sender and monitor on loopback, crash
+//! injection, detection within the expected window.
+
+use std::thread::sleep;
+use std::time::{Duration, Instant};
+use twofd::core::{ChenFd, FailureDetector, FdOutput, TwoWindowFd};
+use twofd::net::{HeartbeatSender, Monitor};
+use twofd::sim::Span;
+
+fn spawn_pair(interval: Span, margin: Span) -> (HeartbeatSender, Monitor) {
+    let detectors: Vec<Box<dyn FailureDetector + Send>> = vec![
+        Box::new(TwoWindowFd::new(1, 200, interval, margin)),
+        Box::new(ChenFd::new(200, interval, margin)),
+    ];
+    let monitor = Monitor::spawn(detectors).expect("bind monitor");
+    let sender = HeartbeatSender::spawn(1, interval, monitor.local_addr()).expect("spawn sender");
+    (sender, monitor)
+}
+
+fn wait_for(mut cond: impl FnMut() -> bool, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+#[test]
+fn trust_is_established_then_crash_is_detected() {
+    let interval = Span::from_millis(10);
+    let (sender, monitor) = spawn_pair(interval, Span::from_millis(50));
+
+    // Trust after a handful of heartbeats.
+    assert!(
+        wait_for(
+            || monitor.outputs().iter().all(|o| *o == FdOutput::Trust),
+            Duration::from_secs(3)
+        ),
+        "detectors never started trusting"
+    );
+    assert!(monitor.received() > 0);
+
+    // Crash: both detectors must suspect within interval + margin plus
+    // scheduling slack.
+    sender.crash();
+    let crash_instant = Instant::now();
+    assert!(
+        wait_for(
+            || monitor.outputs().iter().all(|o| *o == FdOutput::Suspect),
+            Duration::from_secs(3)
+        ),
+        "crash not detected"
+    );
+    let detection = crash_instant.elapsed();
+    assert!(
+        detection < Duration::from_secs(1),
+        "detection took {detection:?}"
+    );
+}
+
+#[test]
+fn partition_causes_a_mistake_that_heals() {
+    let interval = Span::from_millis(10);
+    let (sender, monitor) = spawn_pair(interval, Span::from_millis(40));
+    assert!(wait_for(
+        || monitor.outputs().iter().all(|o| *o == FdOutput::Trust),
+        Duration::from_secs(3)
+    ));
+
+    sender.pause();
+    assert!(
+        wait_for(
+            || monitor.output(0) == Some(FdOutput::Suspect),
+            Duration::from_secs(2)
+        ),
+        "partition not noticed"
+    );
+    // Hold the partition a few event-publisher ticks (20 ms granularity)
+    // so the S-transition lands in the event stream, not just in direct
+    // queries.
+    sleep(Duration::from_millis(100));
+    sender.resume();
+    assert!(
+        wait_for(
+            || monitor.output(0) == Some(FdOutput::Trust),
+            Duration::from_secs(2)
+        ),
+        "trust not restored after partition"
+    );
+
+    // The event stream recorded the S and the T transition.
+    let events: Vec<_> = monitor.events().try_iter().collect();
+    let suspects = events.iter().filter(|e| e.output == FdOutput::Suspect).count();
+    let trusts = events.iter().filter(|e| e.output == FdOutput::Trust).count();
+    assert!(suspects >= 1 && trusts >= 2, "events: {events:?}");
+}
+
+#[test]
+fn network_estimates_reflect_the_loopback_link() {
+    let interval = Span::from_millis(5);
+    let (sender, monitor) = spawn_pair(interval, Span::from_millis(50));
+    assert!(wait_for(|| monitor.received() > 100, Duration::from_secs(5)));
+    let est = monitor.network_estimate();
+    // Loopback: negligible loss, sub-millisecond jitter.
+    assert!(est.loss_prob < 0.05, "pL {}", est.loss_prob);
+    assert!(est.delay_var < 1e-4, "V(D) {}", est.delay_var);
+    drop(sender);
+}

@@ -1,0 +1,141 @@
+//! Small-scale checks of the paper's qualitative evaluation claims —
+//! the same experiments as the bench harnesses, shrunk to test size.
+
+use twofd::core::{calibrate, replay, DetectorSpec};
+use twofd::prelude::*;
+use twofd::trace::table1_segments;
+
+fn wan(samples: u64, seed: u64) -> Trace {
+    WanTraceConfig::small(samples, seed).generate()
+}
+
+/// §IV-C2 / Figures 6–7: at the paper's headline operating point
+/// (T_D = 215 ms), the 2W-FD makes no more mistakes than any baseline
+/// that can be calibrated to that detection time.
+#[test]
+fn two_w_wins_at_the_papers_operating_point() {
+    let trace = wan(60_000, 0x2BFD_0001);
+    let target = 0.215;
+    let count = |spec: &DetectorSpec| -> Option<u64> {
+        let cal = calibrate(spec, &trace, target, 0.002, 60.0)?;
+        let mut fd = spec.build(trace.interval, cal.tuning);
+        Some(replay(fd.as_mut(), &trace).metrics().mistakes)
+    };
+    let two_w = count(&DetectorSpec::TwoWindow { n1: 1, n2: 1000 }).unwrap();
+    for spec in [
+        DetectorSpec::Chen { window: 1 },
+        DetectorSpec::Chen { window: 1000 },
+        DetectorSpec::Phi { window: 1000 },
+        DetectorSpec::Ed { window: 1000 },
+    ] {
+        if let Some(m) = count(&spec) {
+            assert!(
+                two_w <= m + m / 20, // allow 5% noise at this scale
+                "2W made {two_w} mistakes vs {} for {}",
+                m,
+                spec.label()
+            );
+        }
+    }
+}
+
+/// Figure 4/5's orderings: (a) with the long window fixed, a smaller
+/// short window is better; (b) with the short window fixed, a larger
+/// long window is better; (c) gains saturate above a long window of
+/// ~1000.
+#[test]
+fn window_size_orderings_match_figure_4() {
+    let trace = wan(40_000, 0x2BFD_0002);
+    let mistakes = |n1: usize, n2: usize, margin: f64| -> u64 {
+        let spec = DetectorSpec::TwoWindow { n1, n2 };
+        let mut fd = spec.build(trace.interval, margin);
+        replay(fd.as_mut(), &trace).metrics().mistakes
+    };
+    for margin in [0.05, 0.15] {
+        // (a) smaller short window is better (or equal).
+        let small_short = mistakes(1, 1000, margin);
+        let big_short = mistakes(100, 1000, margin);
+        assert!(
+            small_short <= big_short,
+            "margin {margin}: short=1 {small_short} vs short=100 {big_short}"
+        );
+        // (b) larger long window is better, within reproduction noise
+        // (the paper reports the gains as small and saturating; on the
+        // synthetic trace the two curves run within a few percent of
+        // each other, so allow 3% before calling it a violation).
+        let small_long = mistakes(1, 10, margin);
+        let big_long = mistakes(1, 1000, margin);
+        assert!(
+            big_long <= small_long + small_long * 3 / 100,
+            "margin {margin}: long=1000 {big_long} vs long=10 {small_long}"
+        );
+    }
+}
+
+/// Figure 8: per-segment counts at T_D = 215 ms — the 2W-FD's total is
+/// the best, and it is never meaningfully worse than a baseline within
+/// any segment.
+#[test]
+fn segment_analysis_favours_two_w() {
+    let trace = wan(60_000, 0x2BFD_0001);
+    let segments = table1_segments(60_000);
+    let per_segment = |spec: &DetectorSpec| -> Option<Vec<u64>> {
+        let cal = calibrate(spec, &trace, 0.215, 0.002, 60.0)?;
+        let mut fd = spec.build(trace.interval, cal.tuning);
+        let result = replay(fd.as_mut(), &trace);
+        Some(twofd::core::mistakes_by_segment(&result.mistakes, &segments))
+    };
+    let two_w = per_segment(&DetectorSpec::TwoWindow { n1: 1, n2: 1000 }).unwrap();
+    let chen1 = per_segment(&DetectorSpec::Chen { window: 1 }).unwrap();
+    let chen1000 = per_segment(&DetectorSpec::Chen { window: 1000 }).unwrap();
+    let total = |v: &[u64]| v.iter().sum::<u64>();
+    assert!(total(&two_w) <= total(&chen1));
+    assert!(total(&two_w) <= total(&chen1000));
+    // Worm is where chen(1000) pays for its inertia; 2W must not.
+    assert!(two_w[2] < chen1000[2]);
+}
+
+/// The paper's LAN observation: "results present the same behavior" —
+/// at matched margins 2W is no worse than either Chen on LAN too.
+#[test]
+fn lan_results_same_tendency() {
+    let trace = LanTraceConfig::small(40_000, 0x2BFD_0003).generate();
+    let mistakes = |spec: DetectorSpec| -> u64 {
+        let mut fd = spec.build(trace.interval, 0.001); // 1 ms margin
+        replay(fd.as_mut(), &trace).metrics().mistakes
+    };
+    let two_w = mistakes(DetectorSpec::TwoWindow { n1: 1, n2: 1000 });
+    assert!(two_w <= mistakes(DetectorSpec::Chen { window: 1 }));
+    assert!(two_w <= mistakes(DetectorSpec::Chen { window: 1000 }));
+}
+
+/// Figures 10–12 shapes from the configuration sweeps.
+#[test]
+fn config_sweep_shapes() {
+    use twofd::core::configure;
+    let net = NetworkBehavior::new(0.01, 0.0004);
+
+    // Fig 10: both parameters grow with T_D^U.
+    let mut prev = (0.0f64, 0.0f64);
+    for i in 1..=8 {
+        let td = 0.5 * i as f64;
+        let cfg = configure(&QosSpec::new(td, 3600.0, 1.0), &net).unwrap();
+        let cur = (
+            cfg.interval.as_secs_f64(),
+            cfg.safety_margin.as_secs_f64(),
+        );
+        assert!(cur.0 >= prev.0 - 1e-9, "Δi not monotone in T_D at {td}");
+        prev = cur;
+    }
+
+    // Fig 11: Δi shrinks (and Δto grows) as the recurrence bound grows.
+    let weak = configure(&QosSpec::new(1.0, 30.0, 1.0), &net).unwrap();
+    let strong = configure(&QosSpec::new(1.0, 1e6, 1.0), &net).unwrap();
+    assert!(strong.interval <= weak.interval);
+    assert!(strong.safety_margin >= weak.safety_margin);
+
+    // Fig 12: Δi grows with the mistake-duration allowance.
+    let tight = configure(&QosSpec::new(1.0, 3600.0, 0.05), &net).unwrap();
+    let loose = configure(&QosSpec::new(1.0, 3600.0, 2.0), &net).unwrap();
+    assert!(loose.interval >= tight.interval);
+}

@@ -1,0 +1,116 @@
+//! Integration coverage of the scenario presets and the Timeline API
+//! against the detectors: intent-level experiments that read like the
+//! situations a deployment actually faces.
+
+use twofd::core::{replay, FdOutput, Timeline};
+use twofd::prelude::*;
+use twofd::trace::{generate_scripted, presets};
+
+#[test]
+fn quiet_lan_never_triggers_a_mistake() {
+    let trace = generate_scripted(
+        "lan",
+        Span::from_millis(20),
+        presets::quiet_lan(30_000),
+        1,
+        None,
+    );
+    let mut fd = TwoWindowFd::paper_default(trace.interval, Span::from_millis(5));
+    let result = replay(&mut fd, &trace);
+    assert!(result.mistakes.is_empty(), "{:?}", result.mistakes);
+    let tl = Timeline::from_replay(&result);
+    assert_eq!(tl.time_in(FdOutput::Suspect), Span::ZERO);
+}
+
+#[test]
+fn outage_produces_exactly_one_suspicion_period() {
+    // 50 consecutive lost heartbeats (5 s at Δi = 100 ms), margin 500 ms:
+    // every detector must suspect once and recover once.
+    let trace = generate_scripted(
+        "outage",
+        Span::from_millis(100),
+        presets::wan_with_outage(2_000, 50),
+        2,
+        None,
+    );
+    let mut fd = TwoWindowFd::paper_default(trace.interval, Span::from_millis(500));
+    let result = replay(&mut fd, &trace);
+    assert_eq!(result.mistakes.len(), 1, "{:?}", result.mistakes);
+    let m = result.mistakes[0];
+    assert!(!m.censored);
+    // The suspicion lasts roughly the outage minus the margin.
+    let dur = (m.end - m.start).as_secs_f64();
+    assert!(dur > 3.0 && dur < 6.0, "duration {dur}");
+    // Timeline view agrees.
+    let tl = Timeline::from_replay(&result);
+    assert_eq!(tl.s_transitions(), 1);
+    assert_eq!(tl.t_transitions(), 1);
+}
+
+#[test]
+fn congestion_presets_rank_detector_stress() {
+    // Sustained congestion must stress a fixed-margin detector more than
+    // a stable WAN, and the stable WAN more than a quiet LAN.
+    let margin = Span::from_millis(60);
+    let mistakes = |scenario| {
+        let trace = generate_scripted("x", Span::from_millis(100), scenario, 3, None);
+        let mut fd = TwoWindowFd::paper_default(trace.interval, margin);
+        replay(&mut fd, &trace).metrics().mistakes
+    };
+    let lan = mistakes(presets::quiet_lan(20_000));
+    let stable = mistakes(presets::stable_wan(20_000));
+    let congested = mistakes(presets::sustained_congestion(20_000));
+    assert!(lan <= stable, "lan {lan} vs stable {stable}");
+    assert!(
+        congested > 10 * stable.max(1),
+        "congested {congested} vs stable {stable}"
+    );
+}
+
+#[test]
+fn episodic_congestion_rewards_the_long_window() {
+    // On episodic congestion, 2W(1,1000) must clearly beat Chen(1) at
+    // the same margin — the design motivation of §III-B, isolated.
+    use twofd::core::{ChenFd, TwoWindowFd};
+    let trace = generate_scripted(
+        "episodic",
+        Span::from_millis(100),
+        presets::episodic_congestion(40_000),
+        4,
+        None,
+    );
+    let margin = Span::from_millis(50);
+    let two = {
+        let mut fd = TwoWindowFd::new(1, 1000, trace.interval, margin);
+        replay(&mut fd, &trace).metrics().mistakes
+    };
+    let chen1 = {
+        let mut fd = ChenFd::new(1, trace.interval, margin);
+        replay(&mut fd, &trace).metrics().mistakes
+    };
+    assert!(
+        two < chen1,
+        "2W {two} should beat Chen(1) {chen1} on episodic congestion"
+    );
+}
+
+#[test]
+fn timeline_containment_matches_replay_containment() {
+    use twofd::core::{ChenFd, TwoWindowFd};
+    let trace = generate_scripted(
+        "contain",
+        Span::from_millis(100),
+        presets::lossy_wan(10_000, 0.03),
+        5,
+        None,
+    );
+    let margin = Span::from_millis(30);
+    let run = |mut fd: Box<dyn twofd::core::FailureDetector>| {
+        Timeline::from_replay(&replay(fd.as_mut(), &trace))
+    };
+    let two = run(Box::new(TwoWindowFd::new(1, 500, trace.interval, margin)));
+    let c1 = run(Box::new(ChenFd::new(1, trace.interval, margin)));
+    let c500 = run(Box::new(ChenFd::new(500, trace.interval, margin)));
+    assert!(two.suspicion_contained_in(&c1));
+    assert!(two.suspicion_contained_in(&c500));
+}

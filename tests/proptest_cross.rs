@@ -1,0 +1,133 @@
+//! Cross-crate property tests: invariants of the replay pipeline over
+//! randomly generated network conditions.
+
+use proptest::prelude::*;
+use twofd::core::{replay, ChenFd, DetectorSpec, TwoWindowFd};
+use twofd::prelude::*;
+use twofd::sim::{DelaySpec, DistSpec, LossSpec, NetworkScenario};
+use twofd::trace::generate_scripted;
+
+/// Builds a random-but-valid trace from proptest-chosen parameters.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    (
+        50u64..400,          // heartbeats
+        1u64..200,           // interval ms
+        0.0f64..0.4,         // loss
+        0.001f64..0.3,       // delay mean (s)
+        0.0f64..0.1,         // delay std (s)
+        any::<u64>(),        // seed
+    )
+        .prop_map(|(n, interval_ms, loss, mean, std, seed)| {
+            let scenario = NetworkScenario::uniform(
+                "prop",
+                n,
+                DelaySpec::Iid {
+                    dist: DistSpec::LogNormal {
+                        mean,
+                        std_dev: std.min(mean), // keep the moment map sane
+                    },
+                    floor_nanos: 1,
+                },
+                LossSpec::Bernoulli { p: loss },
+            );
+            generate_scripted("prop", Span::from_millis(interval_ms), scenario, seed, None)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Replay invariants hold for every algorithm on any trace.
+    #[test]
+    fn replay_invariants(trace in arb_trace(), tuning in 0.01f64..5.0) {
+        for spec in DetectorSpec::paper_comparison() {
+            let mut fd = spec.build(trace.interval, tuning);
+            let r = replay(fd.as_mut(), &trace);
+            let m = r.metrics();
+            prop_assert!((0.0..=1.0).contains(&m.query_accuracy));
+            prop_assert!(m.worst_detection_time >= 0.0);
+            prop_assert!(r.fresh_heartbeats + r.stale_heartbeats == trace.received() as u64);
+            for w in r.mistakes.windows(2) {
+                prop_assert!(w[0].end <= w[1].start);
+            }
+            for mk in &r.mistakes {
+                prop_assert!(mk.start < mk.end);
+                prop_assert!(mk.end <= r.horizon);
+            }
+        }
+    }
+
+    /// Eq. 13 containment as a property over random network conditions.
+    ///
+    /// The exact per-trace invariant is a *point-set* one: because the
+    /// 2W freshness point is the max of the two Chen freshness points,
+    /// every instant at which the 2W-FD suspects is an instant at which
+    /// both single-window detectors suspect. (Mistake *counts* are not
+    /// per-trace monotone: the 2W-FD can restore trust in the middle of
+    /// a single long Chen mistake and re-suspect, splitting one mistake
+    /// into two. Aggregate counts on realistic traces still favour the
+    /// 2W-FD — see tests/containment.rs and the fig6_7 bench.)
+    #[test]
+    fn containment_property(trace in arb_trace(), margin_ms in 1u64..500, n1 in 1usize..20, extra in 1usize..100) {
+        let n2 = n1 + extra;
+        let margin = Span::from_millis(margin_ms);
+        let mut two = TwoWindowFd::new(n1, n2, trace.interval, margin);
+        let mut c1 = ChenFd::new(n1, trace.interval, margin);
+        let mut c2 = ChenFd::new(n2, trace.interval, margin);
+        let mt = replay(&mut two, &trace).mistakes;
+        let m1 = replay(&mut c1, &trace).mistakes;
+        let m2 = replay(&mut c2, &trace).mistakes;
+        // Total suspicion time is monotone.
+        let total = |ms: &[twofd::core::Mistake]| -> u64 {
+            ms.iter().map(|m| (m.end - m.start).0).sum()
+        };
+        prop_assert!(total(&mt) <= total(&m1));
+        prop_assert!(total(&mt) <= total(&m2));
+        // Point-set containment: each 2W mistake interval is fully
+        // covered by the union of each Chen detector's mistakes.
+        let covers = |log: &[twofd::core::Mistake], mk: &twofd::core::Mistake| -> bool {
+            // Logs are chronological and non-overlapping; walk and check
+            // that [start, end) is covered without gaps.
+            let mut cursor = mk.start;
+            for o in log {
+                if o.end <= cursor {
+                    continue;
+                }
+                if o.start > cursor {
+                    return false; // gap at `cursor`
+                }
+                cursor = o.end;
+                if cursor >= mk.end {
+                    return true;
+                }
+            }
+            cursor >= mk.end
+        };
+        for mk in &mt {
+            prop_assert!(covers(&m1, mk), "2W mistake {mk:?} not covered by chen({n1})");
+            prop_assert!(covers(&m2, mk), "2W mistake {mk:?} not covered by chen({n2})");
+        }
+    }
+
+    /// Suspect time computed from the mistake log always matches
+    /// 1 − PA within float tolerance.
+    #[test]
+    fn accuracy_consistent_with_mistake_log(trace in arb_trace()) {
+        let mut fd = TwoWindowFd::paper_default(trace.interval, Span::from_millis(50));
+        let r = replay(&mut fd, &trace);
+        let m = r.metrics();
+        let suspect: f64 = r.mistakes.iter().map(|mk| (mk.end - mk.start).as_secs_f64()).sum();
+        let observed = r.observed().as_secs_f64();
+        if observed > 0.0 {
+            let pa = (1.0 - suspect / observed).clamp(0.0, 1.0);
+            prop_assert!((pa - m.query_accuracy).abs() < 1e-9);
+        }
+    }
+
+    /// The binary codec round-trips arbitrary generated traces.
+    #[test]
+    fn codec_round_trip(trace in arb_trace()) {
+        let decoded = twofd::trace::decode_binary(&twofd::trace::encode_binary(&trace)).unwrap();
+        prop_assert_eq!(trace, decoded);
+    }
+}

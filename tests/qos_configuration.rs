@@ -1,0 +1,131 @@
+//! Integration tests of Chen's QoS configuration procedure: the output
+//! `(Δi, Δto)`, replayed over a network with the promised `(pL, V(D))`,
+//! must deliver the requested QoS.
+
+use twofd::core::configure;
+use twofd::prelude::*;
+use twofd::sim::{DelaySpec, DistSpec, LossSpec, NetworkScenario};
+use twofd::trace::generate_scripted;
+
+/// Builds a trace with the given behaviour at the given interval.
+fn trace_with(
+    interval: Span,
+    loss: f64,
+    delay_mean: f64,
+    delay_std: f64,
+    horizon_secs: f64,
+    seed: u64,
+) -> Trace {
+    let n = (horizon_secs / interval.as_secs_f64()).ceil() as u64;
+    let scenario = NetworkScenario::uniform(
+        "qos",
+        n.max(2),
+        DelaySpec::Iid {
+            dist: DistSpec::LogNormal {
+                mean: delay_mean,
+                std_dev: delay_std,
+            },
+            floor_nanos: 100_000,
+        },
+        LossSpec::Bernoulli { p: loss },
+    );
+    generate_scripted("qos", interval, scenario, seed, None)
+}
+
+#[test]
+fn configured_detector_meets_the_spec_on_matching_network() {
+    let loss = 0.01;
+    let delay_std = 0.012;
+    let net = NetworkBehavior::new(loss, delay_std * delay_std);
+    let spec = QosSpec::new(1.0, 3600.0, 1.0);
+    let cfg = configure(&spec, &net).unwrap();
+
+    // Replay 8 hours of heartbeats under exactly that behaviour.
+    let trace = trace_with(cfg.interval, loss, 0.04, delay_std, 8.0 * 3600.0, 17);
+    let mut fd = ChenFd::new(1000, cfg.interval, cfg.safety_margin);
+    let m = replay(&mut fd, &trace).metrics();
+
+    assert!(
+        m.detection_time <= spec.detection_time + 1e-6,
+        "T_D {} exceeds bound {}",
+        m.detection_time,
+        spec.detection_time
+    );
+    assert!(
+        m.mistake_recurrence() >= spec.mistake_recurrence,
+        "recurrence {} below bound {} ({} mistakes)",
+        m.mistake_recurrence(),
+        spec.mistake_recurrence,
+        m.mistakes
+    );
+    assert!(
+        m.avg_mistake_duration <= spec.mistake_duration,
+        "T_M {} exceeds bound {}",
+        m.avg_mistake_duration,
+        spec.mistake_duration
+    );
+}
+
+#[test]
+fn budget_identity_and_monotonicity_across_specs() {
+    let net = NetworkBehavior::new(0.02, 0.0004);
+    let mut last_interval = Span::ZERO;
+    for td in [0.4, 0.8, 1.6, 3.2] {
+        let cfg = configure(&QosSpec::new(td, 1800.0, 1.0), &net).unwrap();
+        assert_eq!(cfg.detection_budget(), Span::from_secs_f64(td));
+        assert!(
+            cfg.interval >= last_interval,
+            "interval not monotone in T_D^U"
+        );
+        last_interval = cfg.interval;
+    }
+}
+
+#[test]
+fn noisier_network_demands_faster_heartbeats() {
+    let spec = QosSpec::new(1.0, 7200.0, 1.0);
+    let quiet = configure(&spec, &NetworkBehavior::new(0.001, 1e-6)).unwrap();
+    let noisy = configure(&spec, &NetworkBehavior::new(0.10, 0.01)).unwrap();
+    assert!(
+        noisy.interval <= quiet.interval,
+        "noisy {:?} vs quiet {:?}",
+        noisy.interval,
+        quiet.interval
+    );
+}
+
+#[test]
+fn online_estimator_feeds_configure_consistently() {
+    // Estimate (pL, V(D)) from a probe trace, configure, and check the
+    // estimates are close to the generator's ground truth.
+    let interval = Span::from_millis(100);
+    let trace = trace_with(interval, 0.05, 0.05, 0.015, 600.0, 23);
+    let mut est = NetworkEstimator::new(5_000);
+    for r in &trace.records {
+        if let Some(at) = r.arrival {
+            est.observe(r.seq, r.send, at);
+        }
+    }
+    let behavior = est.behavior();
+    assert!((behavior.loss_prob - 0.05).abs() < 0.01, "pL {}", behavior.loss_prob);
+    assert!(
+        (behavior.delay_var.sqrt() - 0.015).abs() < 0.004,
+        "sd {}",
+        behavior.delay_var.sqrt()
+    );
+    let cfg = configure(&QosSpec::new(2.0, 3600.0, 1.0), &behavior).unwrap();
+    assert!(cfg.interval > Span::ZERO);
+    assert!(cfg.interval < Span::from_secs(2));
+}
+
+#[test]
+fn unachievable_specs_are_rejected_not_mangled() {
+    // 99% loss with a 10 ms mistake-duration bound: no interval works.
+    let err = configure(
+        &QosSpec::new(0.5, 1e6, 0.01),
+        &NetworkBehavior::new(0.99, 0.01),
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("unachievable"), "{msg}");
+}

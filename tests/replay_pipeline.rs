@@ -1,0 +1,135 @@
+//! Integration tests of the full pipeline: generation → serialization →
+//! replay → metrics, across crates.
+
+use twofd::core::{replay, DetectorSpec};
+use twofd::prelude::*;
+use twofd::trace::{decode_binary, decode_csv, encode_binary, encode_csv};
+
+#[test]
+fn replay_is_deterministic_end_to_end() {
+    for _ in 0..2 {
+        let run = || {
+            let trace = WanTraceConfig::small(20_000, 77).generate();
+            let mut fd = TwoWindowFd::paper_default(trace.interval, Span::from_millis(80));
+            replay(&mut fd, &trace)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn serialization_round_trip_preserves_replay_results() {
+    let trace = WanTraceConfig::small(10_000, 88).generate();
+    let binary = decode_binary(&encode_binary(&trace)).unwrap();
+    let csv = decode_csv(&encode_csv(&trace)).unwrap();
+    assert_eq!(trace, binary);
+    assert_eq!(trace, csv);
+
+    for spec in DetectorSpec::paper_comparison() {
+        let direct = {
+            let mut fd = spec.build(trace.interval, 0.5);
+            replay(fd.as_mut(), &trace)
+        };
+        let via_binary = {
+            let mut fd = spec.build(binary.interval, 0.5);
+            replay(fd.as_mut(), &binary)
+        };
+        assert_eq!(direct, via_binary, "{} diverged after codec", spec.label());
+    }
+}
+
+#[test]
+fn metrics_invariants_hold_for_every_detector() {
+    let trace = WanTraceConfig::small(20_000, 99).generate();
+    for spec in DetectorSpec::paper_comparison() {
+        for tuning in [0.05, 0.5, 3.0] {
+            let mut fd = spec.build(trace.interval, tuning);
+            let result = replay(fd.as_mut(), &trace);
+            let m = result.metrics();
+            let label = spec.label();
+
+            assert!((0.0..=1.0).contains(&m.query_accuracy), "{label}: PA {}", m.query_accuracy);
+            assert!(m.mistake_rate >= 0.0);
+            assert!(m.avg_mistake_duration >= 0.0);
+            assert!(m.detection_time >= 0.0);
+            assert!(m.worst_detection_time >= m.detection_time);
+            assert_eq!(m.mistakes as usize, result.mistakes.len());
+
+            // Mistakes are chronologically ordered, non-overlapping and
+            // within the observation window.
+            for w in result.mistakes.windows(2) {
+                assert!(w[0].end <= w[1].start, "{label}: overlapping mistakes");
+            }
+            for mk in &result.mistakes {
+                assert!(mk.start < mk.end, "{label}: empty mistake");
+                assert!(mk.end <= result.horizon, "{label}: mistake past horizon");
+            }
+            // Only the last mistake may be censored.
+            for mk in result.mistakes.iter().rev().skip(1) {
+                assert!(!mk.censored, "{label}: censored mistake not last");
+            }
+        }
+    }
+}
+
+#[test]
+fn larger_margins_never_increase_mistakes() {
+    let trace = WanTraceConfig::small(20_000, 111).generate();
+    for spec in [
+        DetectorSpec::Chen { window: 1 },
+        DetectorSpec::Chen { window: 1000 },
+        DetectorSpec::TwoWindow { n1: 1, n2: 1000 },
+    ] {
+        let mut last = u64::MAX;
+        for tuning in [0.0, 0.05, 0.2, 1.0, 5.0] {
+            let mut fd = spec.build(trace.interval, tuning);
+            let m = replay(fd.as_mut(), &trace).metrics();
+            assert!(
+                m.mistakes <= last,
+                "{}: mistakes increased from {last} to {} at Δto={tuning}",
+                spec.label(),
+                m.mistakes
+            );
+            last = m.mistakes;
+        }
+    }
+}
+
+#[test]
+fn crash_detection_respects_margin_ordering() {
+    use twofd::core::detect_crash;
+    use twofd::trace::generate_scripted;
+
+    let cfg = WanTraceConfig::small(2_000, 5);
+    let crash_at = Nanos::from_secs(150);
+    let trace = generate_scripted("crash", cfg.interval, cfg.scenario(), 5, Some(crash_at));
+
+    let mut tds = Vec::new();
+    for margin in [50u64, 200, 800] {
+        let mut fd = TwoWindowFd::paper_default(trace.interval, Span::from_millis(margin));
+        let td = detect_crash(&mut fd, &trace, crash_at).unwrap();
+        tds.push(td);
+    }
+    assert!(tds[0] < tds[1] && tds[1] < tds[2], "detection times {tds:?}");
+    // Exactly Δto apart for the Chen family (freshness point shifts by
+    // the margin delta).
+    assert_eq!(tds[1] - tds[0], Span::from_millis(150));
+    assert_eq!(tds[2] - tds[1], Span::from_millis(600));
+}
+
+#[test]
+fn lan_trace_is_nearly_mistake_free_at_modest_margins() {
+    let trace = LanTraceConfig::small(50_000, 6).generate();
+    // 10 ms margin on a network with ~100 µs delays and no loss.
+    let mut fd = TwoWindowFd::paper_default(trace.interval, Span::from_millis(10));
+    let m = replay(&mut fd, &trace).metrics();
+    // Only the rare scripted stalls can cause mistakes.
+    assert!(m.query_accuracy > 0.999, "PA {}", m.query_accuracy);
+    assert!(
+        m.mistakes < 10,
+        "unexpectedly many LAN mistakes: {}",
+        m.mistakes
+    );
+}

@@ -1,0 +1,133 @@
+//! Integration tests of the shared failure-detection service (§V):
+//! detection budgets preserved exactly, network load reduced, adapted
+//! applications' QoS improved.
+
+use twofd::prelude::*;
+use twofd::service::{load_report, SharedServiceDetector};
+use twofd::sim::{DelaySpec, DistSpec, LossSpec, NetworkScenario};
+use twofd::trace::generate_scripted;
+
+fn registry() -> AppRegistry {
+    let mut r = AppRegistry::new();
+    r.register("strict", QosSpec::new(0.4, 86_400.0, 0.4));
+    r.register("medium", QosSpec::new(1.5, 3_600.0, 1.0));
+    r.register("lax", QosSpec::new(6.0, 600.0, 3.0));
+    r
+}
+
+fn net() -> NetworkBehavior {
+    NetworkBehavior::new(0.01, 0.01 * 0.01)
+}
+
+#[test]
+fn combined_config_preserves_every_detection_budget() {
+    let r = registry();
+    let cfg = combine(&r, &net()).unwrap();
+    for (share, app) in cfg.shares.iter().zip(r.apps()) {
+        let budget = (cfg.interval + share.shared_margin).as_secs_f64();
+        assert!((budget - app.qos.detection_time).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn shared_stream_reduces_messages() {
+    let cfg = combine(&registry(), &net()).unwrap();
+    let report = load_report(&cfg, Span::from_secs(3600));
+    assert!(report.reduction_factor > 1.0);
+    assert!(report.shared_messages < report.dedicated_messages);
+    assert_eq!(
+        report.messages_saved,
+        report.dedicated_messages - report.shared_messages
+    );
+}
+
+#[test]
+fn adapted_apps_qos_improves_or_holds_in_replay() {
+    let r = registry();
+    let analysis = analyze(
+        &r,
+        &net(),
+        ServiceAlgorithm::Chen { window: 1000 },
+        Span::from_secs(3600),
+        |interval| {
+            let n = (1_800.0 / interval.as_secs_f64()).ceil() as u64;
+            let scenario = NetworkScenario::uniform(
+                "svc",
+                n.max(2),
+                DelaySpec::Iid {
+                    dist: DistSpec::LogNormal {
+                        mean: 0.02,
+                        std_dev: 0.01,
+                    },
+                    floor_nanos: 100_000,
+                },
+                LossSpec::Bernoulli { p: 0.01 },
+            );
+            generate_scripted("svc", interval, scenario, 31, None)
+        },
+    )
+    .unwrap();
+
+    for app in &analysis.apps {
+        if app.adapted {
+            assert!(
+                app.shared.mistake_rate <= app.dedicated.mistake_rate + 1e-9,
+                "{}: shared rate {} vs dedicated {}",
+                app.name,
+                app.shared.mistake_rate,
+                app.dedicated.mistake_rate
+            );
+        }
+    }
+    // The strictest app is never adapted.
+    assert!(!analysis.apps[0].adapted);
+    assert!(analysis.apps[1].adapted && analysis.apps[2].adapted);
+}
+
+#[test]
+fn live_service_crash_detected_within_each_budget() {
+    let r = registry();
+    let cfg = combine(&r, &net()).unwrap();
+    let crash_at = Nanos::from_secs(30);
+    let n = (60.0 / cfg.interval.as_secs_f64()) as u64;
+    let scenario = NetworkScenario::uniform(
+        "live",
+        n,
+        DelaySpec::Constant { nanos: 5_000_000 },
+        LossSpec::None,
+    );
+    let trace = generate_scripted("live", cfg.interval, scenario, 41, Some(crash_at));
+
+    let mut svc = SharedServiceDetector::new(&cfg, ServiceAlgorithm::default());
+    for a in trace.arrivals() {
+        svc.on_heartbeat(a.seq, a.at);
+    }
+    for (share, app) in cfg.shares.iter().zip(r.apps()) {
+        let budget = Span::from_secs_f64(app.qos.detection_time);
+        // Shortly before the budget expires (minus slack for delay and
+        // estimator noise) the app may still trust; at the budget plus
+        // slack it must suspect.
+        let at_budget = crash_at + budget + Span::from_millis(200);
+        assert_eq!(
+            svc.output_for(share.id, at_budget),
+            Some(FdOutput::Suspect),
+            "{} failed to suspect within its budget",
+            share.name
+        );
+    }
+    // The laxest app must still be trusting when the strictest one has
+    // already suspected (staggered detection).
+    let probe = crash_at + Span::from_secs_f64(0.4) + Span::from_millis(300);
+    assert_eq!(svc.output_for(cfg.shares[0].id, probe), Some(FdOutput::Suspect));
+    assert_eq!(svc.output_for(cfg.shares[2].id, probe), Some(FdOutput::Trust));
+}
+
+#[test]
+fn single_app_service_degenerates_to_dedicated() {
+    let mut r = AppRegistry::new();
+    r.register("only", QosSpec::new(1.0, 3600.0, 1.0));
+    let cfg = combine(&r, &net()).unwrap();
+    assert_eq!(cfg.shares.len(), 1);
+    assert_eq!(cfg.interval, cfg.shares[0].dedicated.interval);
+    assert!((load_report(&cfg, Span::from_secs(100)).reduction_factor - 1.0).abs() < 1e-9);
+}

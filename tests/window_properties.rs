@@ -1,0 +1,109 @@
+//! Additional cross-crate property tests on the estimation substrate:
+//! invariants that tie the estimator, the detectors and the metrics
+//! together over adversarial inputs.
+
+use proptest::prelude::*;
+use twofd::core::{ChenEstimator, FailureDetector, MultiWindowFd, TwoWindowFd};
+use twofd::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Growing the window never makes the estimator *forget* the latest
+    /// sample's influence entirely: with constant delays, every window
+    /// size predicts the same next arrival.
+    #[test]
+    fn constant_delays_make_window_size_irrelevant(
+        delay_ms in 0u64..1_000,
+        n in 1u64..200,
+        w1 in 1usize..50,
+        w2 in 50usize..2_000,
+    ) {
+        let interval = Span::from_millis(100);
+        let mut small = ChenEstimator::new(w1, interval);
+        let mut large = ChenEstimator::new(w2, interval);
+        for seq in 1..=n {
+            let at = Nanos(seq * interval.0 + delay_ms * 1_000_000);
+            small.observe(seq, at);
+            large.observe(seq, at);
+        }
+        prop_assert_eq!(
+            small.expected_next_arrival().unwrap(),
+            large.expected_next_arrival().unwrap()
+        );
+    }
+
+    /// A MultiWindowFd over any set of windows is never less
+    /// conservative than the single most conservative member at each
+    /// heartbeat.
+    #[test]
+    fn multi_window_is_max_of_members(
+        delays in prop::collection::vec(0u64..500, 2..100),
+        windows in prop::collection::vec(1usize..200, 1..5),
+        margin_ms in 0u64..500,
+    ) {
+        let interval = Span::from_millis(100);
+        let margin = Span::from_millis(margin_ms);
+        let mut multi = MultiWindowFd::new(&windows, interval, margin);
+        let mut singles: Vec<MultiWindowFd> = windows
+            .iter()
+            .map(|&w| MultiWindowFd::new(&[w], interval, margin))
+            .collect();
+        for (i, &d) in delays.iter().enumerate() {
+            let seq = i as u64 + 1;
+            let at = Nanos(seq * interval.0 + d * 1_000_000);
+            let combined = multi.on_heartbeat(seq, at).unwrap().trust_until;
+            let best = singles
+                .iter_mut()
+                .map(|s| s.on_heartbeat(seq, at).unwrap().trust_until)
+                .max()
+                .unwrap();
+            prop_assert_eq!(combined, best);
+        }
+    }
+
+    /// Shifting an entire trace in time shifts every decision by the
+    /// same amount (time-translation invariance of the detectors, which
+    /// is what makes replaying with an arbitrary clock origin sound).
+    #[test]
+    fn detectors_are_translation_invariant(
+        delays in prop::collection::vec(0u64..400, 2..80),
+        shift_secs in 1u64..100_000,
+    ) {
+        let interval = Span::from_millis(100);
+        let margin = Span::from_millis(40);
+        let shift = Span::from_secs(shift_secs);
+        let mut base = TwoWindowFd::new(1, 100, interval, margin);
+        let mut shifted = TwoWindowFd::new(1, 100, interval, margin);
+        for (i, &d) in delays.iter().enumerate() {
+            let seq = i as u64 + 1;
+            let at = Nanos(seq * interval.0 + d * 1_000_000);
+            let a = base.on_heartbeat(seq, at).unwrap().trust_until;
+            let b = shifted.on_heartbeat(seq, at + shift).unwrap().trust_until;
+            // The shifted detector believes sends also happened `shift`
+            // later (sequence-normalized offsets absorb the shift), so
+            // its freshness points are `shift` later — up to the 1 ns
+            // rounding of the f64 offset mean at large magnitudes.
+            let expect = (a + shift).0 as i128;
+            let got = b.0 as i128;
+            prop_assert!((expect - got).abs() <= 1, "expect {expect}, got {got}");
+        }
+    }
+
+    /// The trace generator's loss knob is honoured within statistical
+    /// tolerance — ties the sim substrate to the trace statistics.
+    #[test]
+    fn generated_loss_matches_spec(p in 0.0f64..0.5, seed in any::<u64>()) {
+        use twofd::sim::{DelaySpec, LossSpec, NetworkScenario};
+        use twofd::trace::generate_scripted;
+        let scenario = NetworkScenario::uniform(
+            "loss",
+            20_000,
+            DelaySpec::Constant { nanos: 1_000_000 },
+            LossSpec::Bernoulli { p },
+        );
+        let trace = generate_scripted("loss", Span::from_millis(10), scenario, seed, None);
+        let measured = trace.loss_rate();
+        prop_assert!((measured - p).abs() < 0.02, "spec {p}, measured {measured}");
+    }
+}
