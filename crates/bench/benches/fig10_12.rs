@@ -14,7 +14,12 @@ fn main() {
     let base = QosSpec::new(1.0, 3600.0, 1.0);
     eprintln!("[fig10_12] base tuple (T_D=1s, T_MR=1h, T_M=1s), pL=1%, sd(D)=20ms");
     let (fig10, fig11, fig12) = fig10_12_config_sweeps(&net, &base);
-    render_config_sweep("Figure 10: Δi/Δto vs detection time T_D^U", "td_u_s", &fig10).print();
+    render_config_sweep(
+        "Figure 10: Δi/Δto vs detection time T_D^U",
+        "td_u_s",
+        &fig10,
+    )
+    .print();
     render_config_sweep(
         "Figure 11: Δi/Δto vs mistake recurrence T_MR^U",
         "tmr_u_s",

@@ -12,14 +12,22 @@ fn main() {
     let samples = samples_from_env(100_000);
     let lan = std::env::var("TWOFD_BENCH_LAN").is_ok();
     let (scenario, trace) = if lan {
-        ("LAN", LanTraceConfig::small(samples, 0x2BFD_0002).generate())
+        (
+            "LAN",
+            LanTraceConfig::small(samples, 0x2BFD_0002).generate(),
+        )
     } else {
-        ("WAN", WanTraceConfig::small(samples, 0x2BFD_0001).generate())
+        (
+            "WAN",
+            WanTraceConfig::small(samples, 0x2BFD_0001).generate(),
+        )
     };
     eprintln!("[fig6_7] {scenario} trace with {samples} heartbeats; comparing 6 detectors…");
     let curves = fig6_7_comparison(&trace);
-    let (fig6, fig7) =
-        render_sweep_figures(&format!("Figures 6/7 ({scenario}, algorithm comparison)"), &curves);
+    let (fig6, fig7) = render_sweep_figures(
+        &format!("Figures 6/7 ({scenario}, algorithm comparison)"),
+        &curves,
+    );
     fig6.print();
     fig7.print();
 }

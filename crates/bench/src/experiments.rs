@@ -73,13 +73,7 @@ pub fn sweep(spec: &DetectorSpec, trace: &Trace, tunings: &[f64]) -> SweepCurve 
 pub fn fig4_5_window_sweep(trace: &Trace, pairs: &[(usize, usize)]) -> Vec<SweepCurve> {
     pairs
         .iter()
-        .map(|&(n1, n2)| {
-            sweep(
-                &DetectorSpec::TwoWindow { n1, n2 },
-                trace,
-                &MARGIN_SWEEP,
-            )
-        })
+        .map(|&(n1, n2)| sweep(&DetectorSpec::TwoWindow { n1, n2 }, trace, &MARGIN_SWEEP))
         .collect()
 }
 
@@ -177,12 +171,7 @@ pub struct MistakeOverlap {
 /// parameter, the safety margin Δto" — so the experiment calibrates the
 /// 2W-FD to the target detection time and runs both Chen detectors with
 /// the **same** Δto, which is the premise under which Eq. 13 holds.
-pub fn fig9_mistake_overlap(
-    trace: &Trace,
-    n1: usize,
-    n2: usize,
-    target_td: f64,
-) -> MistakeOverlap {
+pub fn fig9_mistake_overlap(trace: &Trace, n1: usize, n2: usize, target_td: f64) -> MistakeOverlap {
     let two_spec = DetectorSpec::TwoWindow { n1, n2 };
     let cal = calibrate(&two_spec, trace, target_td, 0.002, 60.0)
         .expect("calibration in range for the 2W-FD");
@@ -193,9 +182,8 @@ pub fn fig9_mistake_overlap(
     let two_w = run(&two_spec);
     let chen_small = run(&DetectorSpec::Chen { window: n1 });
     let chen_large = run(&DetectorSpec::Chen { window: n2 });
-    let overlaps = |m: &Mistake, log: &[Mistake]| {
-        log.iter().any(|o| m.start < o.end && o.start < m.end)
-    };
+    let overlaps =
+        |m: &Mistake, log: &[Mistake]| log.iter().any(|o| m.start < o.end && o.start < m.end);
     let contained = two_w
         .iter()
         .filter(|m| overlaps(m, &chen_small) && overlaps(m, &chen_large))
@@ -234,23 +222,43 @@ pub fn fig10_12_config_sweeps(
     base: &QosSpec,
 ) -> (Vec<ConfigPoint>, Vec<ConfigPoint>, Vec<ConfigPoint>) {
     let run = |spec: QosSpec, x: f64| -> Option<ConfigPoint> {
-        twofd_core::configure(&spec, net).ok().map(|cfg| ConfigPoint {
-            x,
-            delta_i: cfg.interval.as_secs_f64(),
-            delta_to: cfg.safety_margin.as_secs_f64(),
-        })
+        twofd_core::configure(&spec, net)
+            .ok()
+            .map(|cfg| ConfigPoint {
+                x,
+                delta_i: cfg.interval.as_secs_f64(),
+                delta_to: cfg.safety_margin.as_secs_f64(),
+            })
     };
 
     let fig10 = (1..=20)
         .filter_map(|i| {
             let td = 0.25 * i as f64;
-            run(QosSpec { detection_time: td, ..*base }, td)
+            run(
+                QosSpec {
+                    detection_time: td,
+                    ..*base
+                },
+                td,
+            )
         })
         .collect();
 
     let fig11 = [
-        1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 56.0, 100.0, 300.0, 1_000.0, 3_600.0, 86_400.0,
-        604_800.0, 2_592_000.0,
+        1.0,
+        2.0,
+        4.0,
+        8.0,
+        16.0,
+        32.0,
+        56.0,
+        100.0,
+        300.0,
+        1_000.0,
+        3_600.0,
+        86_400.0,
+        604_800.0,
+        2_592_000.0,
     ]
     .iter()
     .filter_map(|&tmr| {
@@ -288,7 +296,13 @@ pub fn table1_report(samples: u64, seed: u64) -> Figure {
     let segments = table1_segments(samples);
     let mut fig = Figure::new(
         format!("Table I: WAN subsamples at scale {samples} (paper: 5,845,712)"),
-        &["from_seq", "to_seq", "loss_rate", "delay_mean_s", "delay_p99_s"],
+        &[
+            "from_seq",
+            "to_seq",
+            "loss_rate",
+            "delay_mean_s",
+            "delay_p99_s",
+        ],
     );
     for seg in &segments {
         let sub = seg.slice(&trace);
@@ -404,10 +418,7 @@ pub fn render_fig8(rows: &[SegmentedMistakes], segment_names: &[String]) -> Figu
         cols.push(n.as_str());
     }
     cols.push("total");
-    let mut fig = Figure::new(
-        "Figure 8: mistakes per WAN segment at fixed T_D",
-        &cols,
-    );
+    let mut fig = Figure::new("Figure 8: mistakes per WAN segment at fixed T_D", &cols);
     for row in rows {
         let mut s = Series::new(row.label.clone());
         let mut r = vec![row.achieved_td];

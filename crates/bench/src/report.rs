@@ -65,11 +65,7 @@ impl Figure {
         out.push_str(&format!("\n== {} ==\n", self.title));
         for s in &self.series {
             out.push_str(&format!("\n-- {} --\n", s.label));
-            let widths: Vec<usize> = self
-                .columns
-                .iter()
-                .map(|c| c.len().max(12))
-                .collect();
+            let widths: Vec<usize> = self.columns.iter().map(|c| c.len().max(12)).collect();
             for (c, w) in self.columns.iter().zip(&widths) {
                 out.push_str(&format!("{c:>w$} ", w = w));
             }

@@ -159,7 +159,11 @@ mod tests {
             fd.on_heartbeat(seq, arrival(seq, 10));
         }
         // Perfectly periodic arrivals → errors are ~0 → margin ~0.
-        assert!(fd.current_margin_secs() < 1e-6, "{}", fd.current_margin_secs());
+        assert!(
+            fd.current_margin_secs() < 1e-6,
+            "{}",
+            fd.current_margin_secs()
+        );
     }
 
     #[test]

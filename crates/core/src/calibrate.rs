@@ -52,7 +52,9 @@ pub fn calibrate(
     // Chen-family shortcut: TD(Δto) = TD(0) + Δto exactly.
     if matches!(
         spec,
-        DetectorSpec::Chen { .. } | DetectorSpec::TwoWindow { .. } | DetectorSpec::MultiWindow { .. }
+        DetectorSpec::Chen { .. }
+            | DetectorSpec::TwoWindow { .. }
+            | DetectorSpec::MultiWindow { .. }
     ) {
         let base = measure_td(spec, trace, 0.0);
         if target_td < base - tol {
@@ -70,7 +72,7 @@ pub fn calibrate(
     // above zero (Φ/κ must be positive).
     let lo_knob = 1e-6;
     let mut lo = lo_knob;
-    let mut lo_td = measure_td(spec, trace, lo);
+    let lo_td = measure_td(spec, trace, lo);
     if lo_td > target_td + tol {
         return None;
     }
@@ -79,28 +81,22 @@ pub fn calibrate(
     if hi_td < target_td - tol {
         return None;
     }
-    for _ in 0..50 {
+    // Run the bisection to convergence instead of stopping at the first
+    // knob within `tol`: returning early hands the detector up to `tol`
+    // of extra (or missing) detection time, a real mistake-count bias
+    // when the Chen family is calibrated to the target exactly.
+    for _ in 0..60 {
         let mid = 0.5 * (lo + hi);
-        let td = measure_td(spec, trace, mid);
-        if (td - target_td).abs() <= tol {
-            return Some(Calibration {
-                tuning: mid,
-                achieved_td: td,
-            });
-        }
-        if td < target_td {
+        if measure_td(spec, trace, mid) < target_td {
             lo = mid;
-            lo_td = td;
         } else {
             hi = mid;
         }
     }
-    // Bisection exhausted: return the closer bracket end.
-    let _ = lo_td;
-    let td = measure_td(spec, trace, lo);
+    let tuning = 0.5 * (lo + hi);
     Some(Calibration {
-        tuning: lo,
-        achieved_td: td,
+        tuning,
+        achieved_td: measure_td(spec, trace, tuning),
     })
 }
 
@@ -186,7 +182,10 @@ mod tests {
             DetectorSpec::Ed { window: 1000 },
         ] {
             let knobs = [0.1, 0.5, 1.0, 2.0, 4.0];
-            let tds: Vec<f64> = knobs.iter().map(|&k| measure_td(&spec, &trace, k)).collect();
+            let tds: Vec<f64> = knobs
+                .iter()
+                .map(|&k| measure_td(&spec, &trace, k))
+                .collect();
             for w in tds.windows(2) {
                 assert!(
                     w[1] >= w[0] - 1e-9,

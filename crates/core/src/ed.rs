@@ -86,7 +86,11 @@ impl EdFd {
 
 impl FailureDetector for EdFd {
     fn name(&self) -> String {
-        format!("ed({},κ={:.2})", self.interarrivals.capacity(), self.config.kappa)
+        format!(
+            "ed({},κ={:.2})",
+            self.interarrivals.capacity(),
+            self.config.kappa
+        )
     }
 
     fn on_heartbeat(&mut self, seq: u64, arrival: Nanos) -> Option<Decision> {
@@ -157,7 +161,10 @@ mod tests {
         // μ = 100 ms exactly (periodic arrivals with constant delay).
         let expected = 0.1 * 2.0 * core::f64::consts::LN_10;
         let got = (d.trust_until - a).as_secs_f64();
-        assert!((got - expected).abs() < 1e-6, "got {got}, expected {expected}");
+        assert!(
+            (got - expected).abs() < 1e-6,
+            "got {got}, expected {expected}"
+        );
     }
 
     #[test]
@@ -166,8 +173,12 @@ mod tests {
         let mut fd = warmed_up(kappa);
         let d = fd.on_heartbeat(201, arrival(201, 10)).unwrap();
         let e = fd.threshold();
-        let before = fd.suspicion(d.trust_until - Span::from_micros(100)).unwrap();
-        let after = fd.suspicion(d.trust_until + Span::from_micros(100)).unwrap();
+        let before = fd
+            .suspicion(d.trust_until - Span::from_micros(100))
+            .unwrap();
+        let after = fd
+            .suspicion(d.trust_until + Span::from_micros(100))
+            .unwrap();
         assert!(before < e);
         assert!(after >= e * 0.9999);
     }

@@ -58,7 +58,7 @@ pub use detector::{Decision, FailureDetector, FdOutput};
 pub use ed::{EdConfig, EdFd};
 pub use estimator::ChenEstimator;
 pub use metrics::{mistakes_by_segment, Mistake, QosMetrics};
-pub use multi::{ProcessSet, ProcessStatus};
+pub use multi::{DetectorBuilder, ProcessSet, ProcessStatus, SharedFactory, StreamTransition};
 pub use netest::NetworkEstimator;
 pub use phi::{PhiAccrualFd, PhiConfig};
 pub use qos::{configure, recurrence_lower_bound, ConfigError, FdConfig, NetworkBehavior, QosSpec};

@@ -77,10 +77,7 @@ impl QosMetrics {
         interval: Span,
     ) -> QosMetrics {
         let observed_secs = observed.as_secs_f64();
-        let suspect: f64 = mistakes
-            .iter()
-            .map(|m| m.duration().as_secs_f64())
-            .sum();
+        let suspect: f64 = mistakes.iter().map(|m| m.duration().as_secs_f64()).sum();
         let closed: Vec<&Mistake> = mistakes.iter().filter(|m| !m.censored).collect();
         let avg_mistake_duration = if closed.is_empty() {
             if mistakes.is_empty() {
@@ -162,7 +159,13 @@ mod tests {
 
     #[test]
     fn metrics_on_clean_replay() {
-        let m = QosMetrics::from_mistakes(&[], Span::from_secs(100), 215.0, 1000, Span::from_millis(100));
+        let m = QosMetrics::from_mistakes(
+            &[],
+            Span::from_secs(100),
+            215.0,
+            1000,
+            Span::from_millis(100),
+        );
         assert_eq!(m.mistakes, 0);
         assert_eq!(m.mistake_rate, 0.0);
         assert_eq!(m.query_accuracy, 1.0);

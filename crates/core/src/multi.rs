@@ -4,21 +4,82 @@
 //! deployment (and the service vision of §V) watches a *fleet*. A
 //! [`ProcessSet`] owns one failure-detector instance per monitored
 //! process, keyed by an application-chosen identifier, with uniform
-//! construction via a factory closure and bulk status queries.
+//! construction via a [`DetectorBuilder`] and bulk status queries.
 //!
 //! The per-process detectors are fully independent — exactly `n` copies
 //! of the paper's two-process model — so all single-process QoS results
 //! carry over unchanged.
+//!
+//! ## Push-mode transitions
+//!
+//! Beyond pull-style queries ([`ProcessSet::output`],
+//! [`ProcessSet::statuses`]), a process set can *publish* its output
+//! changes as [`StreamTransition`]s with **exact** timestamps:
+//!
+//! * a T-transition is stamped with the arrival time of the heartbeat
+//!   that restored trust;
+//! * an S-transition is stamped with the decision's `trust_until` — the
+//!   instant the output actually flipped — no matter how much later the
+//!   expiry is noticed (by [`ProcessSet::sweep`] or by the next fresh
+//!   heartbeat synthesizing the missed transition).
+//!
+//! Because every timestamp is derived from decisions rather than from
+//! when bookkeeping happens to run, the published event timeline for a
+//! stream is a pure function of its heartbeat schedule — identical to
+//! what [`crate::replay::replay`] reconstructs offline. The sharded
+//! monitor runtime in `twofd-net` is built on exactly this property.
+//!
+//! Expiries are tracked in a min-heap keyed by `trust_until` with lazy
+//! deletion: each fresh heartbeat pushes its new horizon and stale
+//! entries are discarded when popped, so a sweep costs O(expired · log n)
+//! rather than O(streams).
 
 use crate::detector::{Decision, FailureDetector, FdOutput};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::hash::Hash;
+use std::sync::Arc;
 use twofd_sim::time::Nanos;
 
-/// A bank of per-process failure detectors.
-pub struct ProcessSet<K, F> {
-    factory: F,
-    detectors: HashMap<K, Box<dyn FailureDetector + Send>>,
+/// Builds the failure detector for a newly seen process.
+///
+/// Implemented for every `Fn(&K) -> Box<dyn FailureDetector + Send>`
+/// closure and for `Arc`-wrapped factories, so one factory can be shared
+/// across the shards of a partitioned monitor without a global lock.
+pub trait DetectorBuilder<K> {
+    /// Constructs the detector instance for process `key`.
+    fn build(&self, key: &K) -> Box<dyn FailureDetector + Send>;
+}
+
+impl<K, F> DetectorBuilder<K> for F
+where
+    F: Fn(&K) -> Box<dyn FailureDetector + Send>,
+{
+    fn build(&self, key: &K) -> Box<dyn FailureDetector + Send> {
+        self(key)
+    }
+}
+
+/// An `Arc`-shared detector factory: clone one factory across the
+/// shards of a partitioned monitor without a global lock.
+pub type SharedFactory<K> = Arc<dyn Fn(&K) -> Box<dyn FailureDetector + Send> + Send + Sync>;
+
+impl<K> DetectorBuilder<K> for SharedFactory<K> {
+    fn build(&self, key: &K) -> Box<dyn FailureDetector + Send> {
+        (self)(key)
+    }
+}
+
+/// A published Trust/Suspect output change of one monitored process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamTransition<K> {
+    /// The process whose output changed.
+    pub key: K,
+    /// The output in force *from* [`StreamTransition::at`].
+    pub output: FdOutput,
+    /// Exact instant the output changed (arrival time for T, the
+    /// decision's `trust_until` for S).
+    pub at: Nanos,
 }
 
 /// A snapshot of one monitored process's state.
@@ -34,49 +95,160 @@ pub struct ProcessStatus<K> {
     pub trust_until: Option<Nanos>,
 }
 
-impl<K, F> ProcessSet<K, F>
+struct Entry {
+    fd: Box<dyn FailureDetector + Send>,
+    /// Last output published as a [`StreamTransition`]; processes start
+    /// as (implicitly published) `Suspect`.
+    last_published: FdOutput,
+}
+
+/// A bank of per-process failure detectors.
+pub struct ProcessSet<K, B> {
+    builder: B,
+    detectors: HashMap<K, Entry>,
+    /// Min-heap of `(trust_until, key)` expiry candidates, lazily
+    /// deleted: entries outdated by fresher heartbeats are skipped when
+    /// popped.
+    expiries: BinaryHeap<Reverse<(Nanos, K)>>,
+}
+
+impl<K, B> ProcessSet<K, B>
 where
-    K: Eq + Hash + Clone,
-    F: FnMut(&K) -> Box<dyn FailureDetector + Send>,
+    K: Eq + Hash + Ord + Clone,
+    B: DetectorBuilder<K>,
 {
-    /// Creates an empty set; `factory` builds the detector for a process
-    /// the first time a heartbeat from it is seen (or when registered
-    /// explicitly).
-    pub fn new(factory: F) -> Self {
+    /// Creates an empty set; `builder` constructs the detector for a
+    /// process the first time a heartbeat from it is seen (or when
+    /// registered explicitly).
+    pub fn new(builder: B) -> Self {
         ProcessSet {
-            factory,
+            builder,
             detectors: HashMap::new(),
+            expiries: BinaryHeap::new(),
         }
     }
 
     /// Pre-registers a process so it is reported (as `Suspect`) before
     /// its first heartbeat.
     pub fn register(&mut self, key: K) {
-        let factory = &mut self.factory;
-        self.detectors
-            .entry(key.clone())
-            .or_insert_with(|| factory(&key));
+        let builder = &self.builder;
+        self.detectors.entry(key.clone()).or_insert_with(|| Entry {
+            fd: builder.build(&key),
+            last_published: FdOutput::Suspect,
+        });
     }
 
     /// Removes a process from monitoring; returns whether it existed.
+    /// Any queued expiry entries for it are discarded lazily.
     pub fn deregister(&mut self, key: &K) -> bool {
         self.detectors.remove(key).is_some()
     }
 
     /// Feeds a heartbeat from process `key`, auto-registering unknown
     /// processes. Returns the decision (None for stale heartbeats).
+    ///
+    /// Use [`ProcessSet::on_heartbeat_with_events`] to also collect the
+    /// output transitions this heartbeat caused.
     pub fn on_heartbeat(&mut self, key: K, seq: u64, arrival: Nanos) -> Option<Decision> {
-        let factory = &mut self.factory;
-        let fd = self
-            .detectors
-            .entry(key.clone())
-            .or_insert_with(|| factory(&key));
-        fd.on_heartbeat(seq, arrival)
+        let mut scratch = Vec::new();
+        self.on_heartbeat_with_events(key, seq, arrival, &mut scratch)
+    }
+
+    /// Feeds a heartbeat and appends any resulting output transitions to
+    /// `events`, stamped with exact transition times:
+    ///
+    /// * if the previous trust horizon expired strictly before this
+    ///   arrival and the expiry was not yet published (no sweep ran), the
+    ///   missed S-transition is synthesized at the old `trust_until`;
+    /// * if the heartbeat restores trust, a T-transition is stamped at
+    ///   its arrival time.
+    pub fn on_heartbeat_with_events(
+        &mut self,
+        key: K,
+        seq: u64,
+        arrival: Nanos,
+        events: &mut Vec<StreamTransition<K>>,
+    ) -> Option<Decision> {
+        let builder = &self.builder;
+        let entry = self.detectors.entry(key.clone()).or_insert_with(|| Entry {
+            fd: builder.build(&key),
+            last_published: FdOutput::Suspect,
+        });
+        let prev = entry.fd.current_decision();
+        let decision = entry.fd.on_heartbeat(seq, arrival)?;
+
+        // Expiry between the previous fresh arrival and this one that no
+        // sweep noticed: publish it now, stamped at the expiry instant.
+        if entry.last_published == FdOutput::Trust {
+            if let Some(p) = prev {
+                if p.trust_until < arrival {
+                    entry.last_published = FdOutput::Suspect;
+                    events.push(StreamTransition {
+                        key: key.clone(),
+                        output: FdOutput::Suspect,
+                        at: p.trust_until,
+                    });
+                }
+            }
+        }
+
+        if decision.trust_until > arrival {
+            if entry.last_published == FdOutput::Suspect {
+                entry.last_published = FdOutput::Trust;
+                events.push(StreamTransition {
+                    key: key.clone(),
+                    output: FdOutput::Trust,
+                    at: arrival,
+                });
+            }
+            self.expiries.push(Reverse((decision.trust_until, key)));
+        }
+        // else: the heartbeat arrived past its own freshness point — the
+        // detector stays suspicious (Chen §II-B1's "no fresh message").
+
+        Some(decision)
+    }
+
+    /// Publishes the S-transition of every stream whose trust horizon
+    /// expired strictly before `now`, stamped at the exact expiry
+    /// instant. Strict comparison keeps a heartbeat arriving exactly at
+    /// its predecessor's horizon from producing a zero-length suspicion,
+    /// matching the replay reconstruction.
+    pub fn sweep(&mut self, now: Nanos, events: &mut Vec<StreamTransition<K>>) {
+        while let Some(Reverse((t, _))) = self.expiries.peek() {
+            if *t >= now {
+                break;
+            }
+            let Reverse((t, key)) = self.expiries.pop().expect("peeked entry");
+            let Some(entry) = self.detectors.get_mut(&key) else {
+                continue; // deregistered since the entry was queued
+            };
+            let Some(d) = entry.fd.current_decision() else {
+                continue;
+            };
+            if d.trust_until > t {
+                continue; // stale: a fresher heartbeat re-queued the horizon
+            }
+            if entry.last_published == FdOutput::Trust {
+                entry.last_published = FdOutput::Suspect;
+                events.push(StreamTransition {
+                    key,
+                    output: FdOutput::Suspect,
+                    at: d.trust_until,
+                });
+            }
+        }
+    }
+
+    /// Earliest queued expiry candidate (a scheduling hint: the entry may
+    /// be outdated by fresher heartbeats and expire later, never earlier).
+    pub fn next_expiry(&self) -> Option<Nanos> {
+        self.expiries.peek().map(|Reverse((t, _))| *t)
     }
 
     /// The output for process `key` at time `t` (`None` if unknown).
     pub fn output(&self, key: &K, t: Nanos) -> Option<FdOutput> {
-        self.detectors.get(key).map(|fd| fd.output_at(t))
+        self.detectors.get(key).map(|e| e.fd.output_at(t))
     }
 
     /// Status snapshot of every monitored process at time `t`, in
@@ -84,11 +256,11 @@ where
     pub fn statuses(&self, t: Nanos) -> Vec<ProcessStatus<K>> {
         self.detectors
             .iter()
-            .map(|(key, fd)| ProcessStatus {
+            .map(|(key, e)| ProcessStatus {
                 key: key.clone(),
-                output: fd.output_at(t),
-                last_seq: fd.last_seq(),
-                trust_until: fd.current_decision().map(|d| d.trust_until),
+                output: e.fd.output_at(t),
+                last_seq: e.fd.last_seq(),
+                trust_until: e.fd.current_decision().map(|d| d.trust_until),
             })
             .collect()
     }
@@ -97,9 +269,22 @@ where
     pub fn suspected(&self, t: Nanos) -> Vec<K> {
         self.detectors
             .iter()
-            .filter(|(_, fd)| fd.output_at(t) == FdOutput::Suspect)
+            .filter(|(_, e)| e.fd.output_at(t) == FdOutput::Suspect)
             .map(|(k, _)| k.clone())
             .collect()
+    }
+
+    /// `(trusted, suspected)` process counts at time `t`.
+    pub fn counts(&self, t: Nanos) -> (usize, usize) {
+        let mut trusted = 0;
+        let mut suspect = 0;
+        for e in self.detectors.values() {
+            match e.fd.output_at(t) {
+                FdOutput::Trust => trusted += 1,
+                FdOutput::Suspect => suspect += 1,
+            }
+        }
+        (trusted, suspect)
     }
 
     /// Number of monitored processes.
@@ -121,10 +306,11 @@ mod tests {
 
     const DI: Span = Span(100_000_000);
 
-    fn set() -> ProcessSet<&'static str, impl FnMut(&&'static str) -> Box<dyn FailureDetector + Send>>
+    fn set() -> ProcessSet<&'static str, impl Fn(&&'static str) -> Box<dyn FailureDetector + Send>>
     {
         ProcessSet::new(|_key: &&str| {
             Box::new(TwoWindowFd::new(1, 100, DI, Span::from_millis(40)))
+                as Box<dyn FailureDetector + Send>
         })
     }
 
@@ -161,6 +347,7 @@ mod tests {
         assert_eq!(s.output(&"alive", now), Some(FdOutput::Trust));
         assert_eq!(s.output(&"dead", now), Some(FdOutput::Suspect));
         assert_eq!(s.suspected(now), vec!["dead"]);
+        assert_eq!(s.counts(now), (1, 1));
     }
 
     #[test]
@@ -195,5 +382,113 @@ mod tests {
         // Stale for a, fresh for b.
         assert!(s.on_heartbeat("a", 4, hb(5)).is_none());
         assert!(s.on_heartbeat("b", 4, hb(5)).is_some());
+    }
+
+    #[test]
+    fn arc_factories_build_detectors() {
+        let factory: SharedFactory<u64> = Arc::new(|_k: &u64| {
+            Box::new(TwoWindowFd::new(1, 100, DI, Span::from_millis(40)))
+                as Box<dyn FailureDetector + Send>
+        });
+        let mut s = ProcessSet::new(factory);
+        s.on_heartbeat(7u64, 1, hb(1));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn first_fresh_heartbeat_publishes_trust_at_arrival() {
+        let mut s = set();
+        let mut events = Vec::new();
+        s.on_heartbeat_with_events("a", 1, hb(1), &mut events);
+        assert_eq!(
+            events,
+            vec![StreamTransition {
+                key: "a",
+                output: FdOutput::Trust,
+                at: hb(1)
+            }]
+        );
+        // The next fresh heartbeat keeps trusting: no further event.
+        events.clear();
+        s.on_heartbeat_with_events("a", 2, hb(2), &mut events);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn sweep_publishes_suspicion_at_exact_expiry() {
+        let mut s = set();
+        let mut events = Vec::new();
+        s.on_heartbeat_with_events("a", 1, hb(1), &mut events);
+        let trust_until = s.statuses(hb(1))[0].trust_until.unwrap();
+        events.clear();
+
+        // Sweeping before the horizon publishes nothing; the horizon
+        // itself is exclusive (strict comparison).
+        s.sweep(trust_until, &mut events);
+        assert!(events.is_empty());
+        s.sweep(trust_until + Span(1), &mut events);
+        assert_eq!(
+            events,
+            vec![StreamTransition {
+                key: "a",
+                output: FdOutput::Suspect,
+                at: trust_until
+            }]
+        );
+        // Idempotent: the expiry is published once.
+        events.clear();
+        s.sweep(trust_until + Span::from_millis(5), &mut events);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn missed_expiry_is_synthesized_on_next_heartbeat() {
+        let mut s = set();
+        let mut events = Vec::new();
+        s.on_heartbeat_with_events("a", 1, hb(1), &mut events);
+        let trust_until = s.statuses(hb(1))[0].trust_until.unwrap();
+        events.clear();
+
+        // No sweep runs; the next heartbeat arrives long after expiry.
+        let late = trust_until + Span::from_secs(1);
+        s.on_heartbeat_with_events("a", 2, late, &mut events);
+        assert_eq!(events.len(), 2, "{events:?}");
+        assert_eq!(
+            events[0],
+            StreamTransition {
+                key: "a",
+                output: FdOutput::Suspect,
+                at: trust_until
+            }
+        );
+        assert_eq!(events[1].output, FdOutput::Trust);
+        assert_eq!(events[1].at, late);
+    }
+
+    #[test]
+    fn stale_heap_entries_are_skipped() {
+        let mut s = set();
+        let mut events = Vec::new();
+        for seq in 1..=5 {
+            s.on_heartbeat_with_events("a", seq, hb(seq), &mut events);
+        }
+        events.clear();
+        // Sweep past the first four (superseded) horizons but before the
+        // live one: nothing may be published.
+        let live = s.statuses(hb(5))[0].trust_until.unwrap();
+        s.sweep(live - Span(1), &mut events);
+        assert!(events.is_empty());
+        assert!(s.next_expiry().is_some());
+    }
+
+    #[test]
+    fn deregistered_streams_never_publish() {
+        let mut s = set();
+        let mut events = Vec::new();
+        s.on_heartbeat_with_events("a", 1, hb(1), &mut events);
+        s.deregister(&"a");
+        events.clear();
+        s.sweep(Nanos::from_secs(3600), &mut events);
+        assert!(events.is_empty());
     }
 }

@@ -170,7 +170,11 @@ fn log_recurrence_bound(
         // avert the mistake, so the mistake-probability bound is 1 and
         // the recurrence bound is one mistake per sending period.
         let log_f = delta_i.ln();
-        return if log_f > early_exit { None } else { Some(log_f) };
+        return if log_f > early_exit {
+            None
+        } else {
+            Some(log_f)
+        };
     }
     // Π_j p_j computed in log space: the factors get astronomically
     // small for small Δi and would underflow a plain product.

@@ -122,16 +122,15 @@ pub fn replay(fd: &mut dyn FailureDetector, trace: &Trace) -> ReplayResult {
         }
 
         // Does this heartbeat restore trust?
-        if decision.trust_until > a.at
-            && !trusting {
-                result.mistakes.push(Mistake {
-                    start: open_start.take().expect("suspect period has a start"),
-                    end: a.at,
-                    after_seq: last_fresh_seq,
-                    censored: false,
-                });
-                trusting = true;
-            }
+        if decision.trust_until > a.at && !trusting {
+            result.mistakes.push(Mistake {
+                start: open_start.take().expect("suspect period has a start"),
+                end: a.at,
+                after_seq: last_fresh_seq,
+                censored: false,
+            });
+            trusting = true;
+        }
         // else: the heartbeat arrived past its own freshness point — the
         // detector stays suspicious and the mistake remains open.
 
@@ -168,11 +167,7 @@ pub fn replay(fd: &mut dyn FailureDetector, trace: &Trace) -> ReplayResult {
 /// sender crashed at `crash_at` and returns how long after the crash the
 /// detector's final S-transition occurs (zero if it was already
 /// suspecting). Returns `None` if the trace delivered no heartbeat.
-pub fn detect_crash(
-    fd: &mut dyn FailureDetector,
-    trace: &Trace,
-    crash_at: Nanos,
-) -> Option<Span> {
+pub fn detect_crash(fd: &mut dyn FailureDetector, trace: &Trace, crash_at: Nanos) -> Option<Span> {
     let arrivals = trace.arrivals();
     let mut last_decision = None;
     for a in &arrivals {

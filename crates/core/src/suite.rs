@@ -113,9 +113,7 @@ impl DetectorSpec {
                 Span::from_secs_f64(tuning.max(0.0)),
             )),
             DetectorSpec::Bertier { window } => Box::new(BertierFd::new(*window, interval)),
-            DetectorSpec::Phi { window } => {
-                Box::new(PhiAccrualFd::with_threshold(*window, tuning))
-            }
+            DetectorSpec::Phi { window } => Box::new(PhiAccrualFd::with_threshold(*window, tuning)),
             DetectorSpec::Ed { window } => Box::new(EdFd::with_kappa(*window, tuning)),
             DetectorSpec::TwoWindow { n1, n2 } => Box::new(TwoWindowFd::new(
                 *n1,

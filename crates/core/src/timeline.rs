@@ -89,10 +89,7 @@ impl Timeline {
     /// The output at instant `t` (clamped to the observation window).
     pub fn output_at(&self, t: Nanos) -> FdOutput {
         let t = t.clamp(self.start, self.end);
-        match self
-            .transitions
-            .binary_search_by(|tr| tr.at.cmp(&t))
-        {
+        match self.transitions.binary_search_by(|tr| tr.at.cmp(&t)) {
             // Transition exactly at t: its output is in force from t.
             Ok(i) => self.transitions[i].to,
             Err(0) => self.initial,

@@ -146,15 +146,25 @@ impl SumWindow {
 
 /// Ring of `f64` samples with O(1) running mean and variance.
 ///
-/// Maintains `Σx` and `Σx²`. For the magnitudes seen here (inter-arrival
-/// times of at most a few seconds over windows of at most tens of
-/// thousands of samples) the cancellation error of the two-sums formula
-/// is far below the nanosecond scale the detectors care about; the
-/// property tests compare against a two-pass reference to enforce this.
+/// Maintains shifted sums `Σ(x − c)` and `Σ(x − c)²` where `c` is the
+/// first sample ever pushed. A raw `Σx²` loses mantissa catastrophically
+/// when the samples are large and close together — exactly the regime of
+/// nanosecond-magnitude timestamps (`x ≈ 10¹²`, spread ≈ 10¹): `x²`
+/// lands near 10²⁴ where an f64's resolution is ≈ 10⁸, wiping out the
+/// variance entirely. Centering on the first sample keeps the summed
+/// quantities at the *spread's* magnitude instead; the mean adds `c`
+/// back and the variance is shift-invariant. The property tests compare
+/// against a two-pass reference at both ordinary and ns-scale
+/// magnitudes to enforce this.
 #[derive(Debug, Clone)]
 pub struct MomentsWindow {
     ring: RingWindow<f64>,
+    /// Shift applied to every retained sample: the first sample pushed.
+    origin: f64,
+    origin_set: bool,
+    /// `Σ(x − origin)` over retained samples.
     sum: f64,
+    /// `Σ(x − origin)²` over retained samples.
     sum_sq: f64,
 }
 
@@ -163,6 +173,8 @@ impl MomentsWindow {
     pub fn new(capacity: usize) -> Self {
         MomentsWindow {
             ring: RingWindow::new(capacity),
+            origin: 0.0,
+            origin_set: false,
             sum: 0.0,
             sum_sq: 0.0,
         }
@@ -171,12 +183,18 @@ impl MomentsWindow {
     /// Pushes a sample, maintaining the running moments.
     pub fn push(&mut self, value: f64) {
         debug_assert!(value.is_finite(), "window samples must be finite");
-        if let Some(evicted) = self.ring.push(value) {
-            self.sum -= evicted;
-            self.sum_sq -= evicted * evicted;
+        if !self.origin_set {
+            self.origin = value;
+            self.origin_set = true;
         }
-        self.sum += value;
-        self.sum_sq += value * value;
+        if let Some(evicted) = self.ring.push(value) {
+            let e = evicted - self.origin;
+            self.sum -= e;
+            self.sum_sq -= e * e;
+        }
+        let c = value - self.origin;
+        self.sum += c;
+        self.sum_sq += c * c;
     }
 
     /// Mean of the retained samples (`None` when empty).
@@ -184,7 +202,7 @@ impl MomentsWindow {
         if self.ring.is_empty() {
             None
         } else {
-            Some(self.sum / self.ring.len() as f64)
+            Some(self.origin + self.sum / self.ring.len() as f64)
         }
     }
 
@@ -195,8 +213,9 @@ impl MomentsWindow {
         if n == 0 {
             return None;
         }
-        let mean = self.sum / n as f64;
-        Some((self.sum_sq / n as f64 - mean * mean).max(0.0))
+        // Shift-invariant: computed entirely on the centered samples.
+        let mean_c = self.sum / n as f64;
+        Some((self.sum_sq / n as f64 - mean_c * mean_c).max(0.0))
     }
 
     /// Standard deviation of the retained samples (`None` when empty).
@@ -342,6 +361,48 @@ mod tests {
                 let var = naive.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
                 prop_assert!((w.mean().unwrap() - mean).abs() < 1e-9);
                 prop_assert!((w.variance().unwrap() - var).abs() < 1e-7);
+            }
+        }
+
+        #[test]
+        fn moments_window_survives_ns_scale_magnitudes(
+            base in 1.0e12f64..2.0e15,
+            jitters in prop::collection::vec(0.0f64..2.0e7, 2..200),
+            cap in 1usize..50,
+        ) {
+            // Timestamp-like samples: enormous offset, small spread. A raw
+            // Σx/Σx² implementation loses the entire variance to mantissa
+            // cancellation here (x² ≈ 1e24+, f64 resolution ≈ 1e8). The
+            // reference is itself computed centered — at these magnitudes
+            // an uncentered two-pass reference would be the noisier side.
+            let mut w = MomentsWindow::new(cap);
+            let mut naive: Vec<f64> = Vec::new();
+            let origin = base + jitters[0];
+            for &j in &jitters {
+                let v = base + j;
+                w.push(v);
+                naive.push(v);
+                if naive.len() > cap {
+                    naive.remove(0);
+                }
+                let n = naive.len() as f64;
+                let centered: Vec<f64> = naive.iter().map(|x| x - origin).collect();
+                let mean_c = centered.iter().sum::<f64>() / n;
+                let mean = origin + mean_c;
+                let var = centered.iter().map(|c| (c - mean_c).powi(2)).sum::<f64>() / n;
+                // Sub-nanosecond mean accuracy despite the 1e12+ offset.
+                prop_assert!((w.mean().unwrap() - mean).abs() < 0.5);
+                // Cancellation floor scales with the centered second
+                // moment (window may drift from the origin), far below
+                // the jitter scale the detectors act on.
+                let msq = centered.iter().map(|c| c * c).sum::<f64>() / n;
+                let tol = 1e-6 * var + 1e-10 * msq + 1e-9;
+                prop_assert!(
+                    (w.variance().unwrap() - var).abs() < tol,
+                    "var {} vs two-pass {}",
+                    w.variance().unwrap(),
+                    var
+                );
             }
         }
 

@@ -8,8 +8,19 @@
 //! arrivals from receiver-side timestamps only, and `V(D)` is
 //! skew-invariant).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use twofd_sim::time::Nanos;
+
+/// A source of monotone [`Nanos`] instants.
+///
+/// The sharded monitor runtime reads its sweep times through this trait
+/// so production code runs on a [`MonotonicClock`] while deterministic
+/// tests drive the exact same runtime from a [`ManualClock`].
+pub trait TimeSource: Send + Sync {
+    /// The current instant on this source's axis.
+    fn now(&self) -> Nanos;
+}
 
 /// A monotonic clock with a fixed origin.
 #[derive(Debug, Clone, Copy)]
@@ -37,6 +48,45 @@ impl MonotonicClock {
     }
 }
 
+impl TimeSource for MonotonicClock {
+    fn now(&self) -> Nanos {
+        MonotonicClock::now(self)
+    }
+}
+
+/// A manually advanced clock for deterministic tests and replays.
+///
+/// Starts at zero and only moves when told to; [`ManualClock::advance_to`]
+/// is monotone (attempts to move backwards are ignored), so concurrent
+/// readers always observe a non-decreasing time axis.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// Creates a clock reading zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock to `t` (no-op if `t` is in the past).
+    pub fn advance_to(&self, t: Nanos) {
+        self.now.fetch_max(t.0, Ordering::SeqCst);
+    }
+
+    /// The current manual time.
+    pub fn now(&self) -> Nanos {
+        Nanos(self.now.load(Ordering::SeqCst))
+    }
+}
+
+impl TimeSource for ManualClock {
+    fn now(&self) -> Nanos {
+        ManualClock::now(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,6 +108,18 @@ mod tests {
         sleep(Duration::from_millis(10));
         let b = clock.now();
         assert!((b - a) >= twofd_sim::time::Span::from_millis(9));
+    }
+
+    #[test]
+    fn manual_clock_only_moves_forward() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), Nanos(0));
+        c.advance_to(Nanos(500));
+        assert_eq!(c.now(), Nanos(500));
+        c.advance_to(Nanos(100)); // ignored: monotone
+        assert_eq!(c.now(), Nanos(500));
+        let dynamic: &dyn TimeSource = &c;
+        assert_eq!(dynamic.now(), Nanos(500));
     }
 
     #[test]

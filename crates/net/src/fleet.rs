@@ -2,13 +2,23 @@
 //!
 //! The wire format carries a stream id precisely so that one monitoring
 //! endpoint can watch many monitored processes — the deployment shape of
-//! a failure-detection *service*. [`FleetMonitor`] demultiplexes
-//! incoming heartbeats by stream id into a
-//! [`twofd_core::ProcessSet`], building a detector per stream on first
-//! contact via a user-supplied factory.
+//! a failure-detection *service*. [`FleetMonitor`] binds the UDP socket,
+//! decodes and timestamps each datagram on an ingestion thread, and
+//! routes it into a [`ShardRuntime`]: per-stream detectors partitioned
+//! across shard workers behind bounded queues, each shard proactively
+//! sweeping its expiry heap (see [`crate::shard`] for the architecture).
+//!
+//! Compared to the original single-`Mutex<ProcessSet>` design, queries
+//! only contend with the one shard that owns the queried stream,
+//! ingestion never blocks (overload drops-oldest and counts), and
+//! Trust→Suspect transitions are *pushed* on the [`FleetMonitor::events`]
+//! channel at their exact expiry instants instead of being discovered by
+//! polling.
 
-use crate::clock::MonotonicClock;
+use crate::clock::{MonotonicClock, TimeSource};
+use crate::shard::{FleetEvent, RuntimeStats, ShardConfig, ShardRuntime};
 use crate::wire::Heartbeat;
+use crossbeam::channel::Receiver;
 use parking_lot::Mutex;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
@@ -16,77 +26,81 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
-use twofd_core::{FailureDetector, FdOutput, ProcessSet, ProcessStatus};
+use twofd_core::{FdOutput, ProcessStatus};
 
-/// Builds the detector for a newly seen stream.
-pub type DetectorFactory = Box<dyn FnMut(&u64) -> Box<dyn FailureDetector + Send> + Send>;
+pub use crate::shard::DetectorFactory;
 
-struct Shared {
-    set: Mutex<ProcessSet<u64, DetectorFactory>>,
-    stop: AtomicBool,
-    received: AtomicU64,
-    rejected: AtomicU64,
-    clock: MonotonicClock,
-}
-
-/// Handle to a running fleet monitor. Dropping it stops the thread.
+/// Handle to a running fleet monitor. Dropping it stops the ingestion
+/// thread and all shard workers.
 pub struct FleetMonitor {
-    shared: Arc<Shared>,
+    runtime: Arc<ShardRuntime>,
+    stop: Arc<AtomicBool>,
+    rejected: Arc<AtomicU64>,
     thread: Mutex<Option<JoinHandle<()>>>,
     local_addr: SocketAddr,
 }
 
 impl FleetMonitor {
-    /// Binds a localhost socket and starts demultiplexing heartbeats.
+    /// Binds a localhost socket and starts demultiplexing heartbeats
+    /// with the default [`ShardConfig`].
     pub fn spawn(factory: DetectorFactory) -> io::Result<FleetMonitor> {
+        Self::spawn_with(ShardConfig::default(), factory)
+    }
+
+    /// Binds a localhost socket and starts demultiplexing heartbeats
+    /// into a sharded runtime tuned by `config`.
+    pub fn spawn_with(config: ShardConfig, factory: DetectorFactory) -> io::Result<FleetMonitor> {
         let socket = UdpSocket::bind(("127.0.0.1", 0))?;
         let local_addr = socket.local_addr()?;
+        // Short read timeout so the thread notices stop requests.
         socket.set_read_timeout(Some(Duration::from_millis(20)))?;
 
-        let shared = Arc::new(Shared {
-            set: Mutex::new(ProcessSet::new(factory)),
-            stop: AtomicBool::new(false),
-            received: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            clock: MonotonicClock::new(),
-        });
-        let thread_shared = Arc::clone(&shared);
-        let thread = thread::Builder::new()
-            .name("twofd-fleet-monitor".into())
-            .spawn(move || {
-                let mut buf = [0u8; 128];
-                loop {
-                    if thread_shared.stop.load(Ordering::Acquire) {
-                        return;
+        let clock = Arc::new(MonotonicClock::new());
+        let runtime = Arc::new(ShardRuntime::new(
+            config,
+            factory,
+            Arc::clone(&clock) as Arc<dyn TimeSource>,
+        ));
+        let stop = Arc::new(AtomicBool::new(false));
+        let rejected = Arc::new(AtomicU64::new(0));
+
+        let thread = {
+            let runtime = Arc::clone(&runtime);
+            let stop = Arc::clone(&stop);
+            let rejected = Arc::clone(&rejected);
+            thread::Builder::new()
+                .name("twofd-fleet-ingest".into())
+                .spawn(move || {
+                    let mut buf = [0u8; 128];
+                    loop {
+                        if stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                        let len = match socket.recv(&mut buf) {
+                            Ok(len) => len,
+                            Err(e)
+                                if e.kind() == io::ErrorKind::WouldBlock
+                                    || e.kind() == io::ErrorKind::TimedOut =>
+                            {
+                                continue;
+                            }
+                            Err(_) => return,
+                        };
+                        let arrival = clock.now();
+                        match Heartbeat::decode(&buf[..len]) {
+                            Ok(hb) => runtime.ingest(hb.stream, hb.seq, arrival),
+                            Err(_) => {
+                                rejected.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
                     }
-                    let len = match socket.recv(&mut buf) {
-                        Ok(len) => len,
-                        Err(e)
-                            if e.kind() == io::ErrorKind::WouldBlock
-                                || e.kind() == io::ErrorKind::TimedOut =>
-                        {
-                            continue;
-                        }
-                        Err(_) => return,
-                    };
-                    let arrival = thread_shared.clock.now();
-                    match Heartbeat::decode(&buf[..len]) {
-                        Ok(hb) => {
-                            thread_shared.received.fetch_add(1, Ordering::Relaxed);
-                            thread_shared
-                                .set
-                                .lock()
-                                .on_heartbeat(hb.stream, hb.seq, arrival);
-                        }
-                        Err(_) => {
-                            thread_shared.rejected.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                }
-            })?;
+                })?
+        };
 
         Ok(FleetMonitor {
-            shared,
+            runtime,
+            stop,
+            rejected,
             thread: Mutex::new(Some(thread)),
             local_addr,
         })
@@ -100,51 +114,66 @@ impl FleetMonitor {
     /// Pre-registers a stream so it is reported (as suspect) before its
     /// first heartbeat.
     pub fn register(&self, stream: u64) {
-        self.shared.set.lock().register(stream);
+        self.runtime.register(stream);
     }
 
     /// Current output for one stream (`None` if never seen/registered).
     pub fn output(&self, stream: u64) -> Option<FdOutput> {
-        let now = self.shared.clock.now();
-        self.shared.set.lock().output(&stream, now)
+        self.runtime.output(stream)
     }
 
     /// Status snapshot of every monitored stream.
     pub fn statuses(&self) -> Vec<ProcessStatus<u64>> {
-        let now = self.shared.clock.now();
-        self.shared.set.lock().statuses(now)
+        self.runtime.statuses()
     }
 
     /// Streams currently suspected.
     pub fn suspected(&self) -> Vec<u64> {
-        let now = self.shared.clock.now();
-        self.shared.set.lock().suspected(now)
+        self.runtime.suspected()
     }
 
-    /// Valid heartbeats received so far.
+    /// Valid heartbeats received so far (including any later dropped by
+    /// shard backpressure; see [`FleetMonitor::stats`]).
     pub fn received(&self) -> u64 {
-        self.shared.received.load(Ordering::Relaxed)
+        self.runtime.stats().received()
     }
 
     /// Malformed datagrams dropped so far.
     pub fn rejected(&self) -> u64 {
-        self.shared.rejected.load(Ordering::Relaxed)
+        self.rejected.load(Ordering::Relaxed)
     }
 
     /// Number of streams currently monitored.
     pub fn len(&self) -> usize {
-        self.shared.set.lock().len()
+        self.runtime.len()
     }
 
     /// True when no stream is monitored.
     pub fn is_empty(&self) -> bool {
-        self.shared.set.lock().is_empty()
+        self.runtime.is_empty()
+    }
+
+    /// The stream of Trust/Suspect transitions, stamped with exact
+    /// transition times (sweeper-published, no query required).
+    pub fn events(&self) -> &Receiver<FleetEvent> {
+        self.runtime.events()
+    }
+
+    /// Observability snapshot: per-shard received/dropped/stale counts,
+    /// queue depths, live/suspect tallies and transition totals.
+    pub fn stats(&self) -> RuntimeStats {
+        self.runtime.stats()
+    }
+
+    /// Transition events dropped because the event channel was full.
+    pub fn events_dropped(&self) -> u64 {
+        self.runtime.events_dropped()
     }
 }
 
 impl Drop for FleetMonitor {
     fn drop(&mut self) {
-        self.shared.stop.store(true, Ordering::Release);
+        self.stop.store(true, Ordering::Release);
         if let Some(handle) = self.thread.lock().take() {
             let _ = handle.join();
         }
@@ -156,14 +185,17 @@ mod tests {
     use super::*;
     use crate::sender::HeartbeatSender;
     use std::time::Instant;
-    use twofd_core::TwoWindowFd;
+    use twofd_core::{FailureDetector, TwoWindowFd};
     use twofd_sim::time::Span;
 
+    fn factory(interval: Span, margin: Span) -> DetectorFactory {
+        Arc::new(move |_stream: &u64| {
+            Box::new(TwoWindowFd::new(1, 100, interval, margin)) as Box<dyn FailureDetector + Send>
+        })
+    }
+
     fn fleet(interval: Span, margin: Span) -> FleetMonitor {
-        FleetMonitor::spawn(Box::new(move |_stream| {
-            Box::new(TwoWindowFd::new(1, 100, interval, margin))
-        }))
-        .expect("bind fleet monitor")
+        FleetMonitor::spawn(factory(interval, margin)).expect("bind fleet monitor")
     }
 
     fn wait_for(mut cond: impl FnMut() -> bool, timeout: Duration) -> bool {
@@ -226,8 +258,34 @@ mod tests {
     fn garbage_does_not_create_streams() {
         let monitor = fleet(Span::from_millis(10), Span::from_millis(50));
         let sock = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
-        sock.send_to(b"not a heartbeat", monitor.local_addr()).unwrap();
+        sock.send_to(b"not a heartbeat", monitor.local_addr())
+            .unwrap();
         assert!(wait_for(|| monitor.rejected() == 1, Duration::from_secs(2)));
         assert!(monitor.is_empty());
+    }
+
+    #[test]
+    fn stats_cover_the_fleet() {
+        let interval = Span::from_millis(10);
+        let monitor = fleet(interval, Span::from_millis(50));
+        let senders: Vec<_> = (0..4u64)
+            .map(|s| HeartbeatSender::spawn(s, interval, monitor.local_addr()).unwrap())
+            .collect();
+        assert!(wait_for(
+            || monitor.stats().live() == 4,
+            Duration::from_secs(3)
+        ));
+        let stats = monitor.stats();
+        assert_eq!(stats.streams(), 4);
+        assert_eq!(stats.suspect(), 0);
+        assert!(stats.received() >= 4);
+        assert_eq!(stats.dropped(), 0);
+        // Default config: four shards, one stream each under modulo
+        // routing of ids 0..4.
+        assert_eq!(stats.shards.len(), 4);
+        assert!(stats.shards.iter().all(|s| s.streams == 1), "{stats:?}");
+        // Each stream published its Suspect→Trust transition.
+        assert_eq!(stats.shards.iter().map(|s| s.to_trust).sum::<u64>(), 4);
+        drop(senders);
     }
 }

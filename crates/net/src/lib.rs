@@ -11,8 +11,11 @@
 //! * [`monitor`] — the monitoring process `q`: a receiver thread feeding
 //!   any set of [`twofd_core::FailureDetector`]s and an online
 //!   `(pL, V(D))` estimator, with a transition event stream.
+//! * [`shard`] — the sharded monitor runtime: per-stream detectors
+//!   partitioned across bounded-queue shard workers with proactive
+//!   freshness sweeping and drop-oldest backpressure.
 //! * [`fleet`] — one socket monitoring many senders, demultiplexed by
-//!   the wire format's stream id.
+//!   the wire format's stream id into the sharded runtime.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -21,10 +24,12 @@ pub mod clock;
 pub mod fleet;
 pub mod monitor;
 pub mod sender;
+pub mod shard;
 pub mod wire;
 
-pub use clock::MonotonicClock;
+pub use clock::{ManualClock, MonotonicClock, TimeSource};
 pub use fleet::{DetectorFactory, FleetMonitor};
 pub use monitor::{Monitor, TransitionEvent};
 pub use sender::HeartbeatSender;
+pub use shard::{FleetEvent, RuntimeStats, ShardConfig, ShardRuntime, ShardStats};
 pub use wire::{Heartbeat, WireError, WIRE_SIZE};

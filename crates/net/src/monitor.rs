@@ -5,11 +5,14 @@
 //! fed to every registered [`FailureDetector`] (one per application in
 //! the shared-service deployment) plus a [`NetworkEstimator`] for
 //! `(pL, V(D))`. Clients query outputs at any time; an optional
-//! crossbeam channel streams Trust/Suspect transitions.
+//! crossbeam channel streams Trust/Suspect transitions. The channel is
+//! *bounded*: if no one drains it, transitions beyond its capacity are
+//! dropped (newest-first) and counted in
+//! [`Monitor::events_dropped`] rather than growing memory without limit.
 
 use crate::clock::MonotonicClock;
 use crate::wire::Heartbeat;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
@@ -45,7 +48,11 @@ struct Shared {
     rejected: AtomicU64,
     clock: MonotonicClock,
     events: Sender<TransitionEvent>,
+    events_dropped: AtomicU64,
 }
+
+/// Default capacity of the transition-event channel.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
 
 /// Handle to a running heartbeat monitor.
 ///
@@ -59,15 +66,26 @@ pub struct Monitor {
 
 impl Monitor {
     /// Binds a fresh localhost socket and starts receiving, feeding the
-    /// given detectors (at least one required).
+    /// given detectors (at least one required). The event channel holds
+    /// up to [`DEFAULT_EVENT_CAPACITY`] undrained transitions.
     pub fn spawn(detectors: Vec<Box<dyn FailureDetector + Send>>) -> io::Result<Monitor> {
+        Self::spawn_with_event_capacity(detectors, DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// Like [`Monitor::spawn`] with an explicit event-channel capacity.
+    /// Transitions that would overflow the channel are dropped and
+    /// counted in [`Monitor::events_dropped`].
+    pub fn spawn_with_event_capacity(
+        detectors: Vec<Box<dyn FailureDetector + Send>>,
+        event_capacity: usize,
+    ) -> io::Result<Monitor> {
         assert!(!detectors.is_empty(), "monitor needs at least one detector");
         let socket = UdpSocket::bind(("127.0.0.1", 0))?;
         let local_addr = socket.local_addr()?;
         // Short read timeout so the thread notices stop requests.
         socket.set_read_timeout(Some(Duration::from_millis(20)))?;
 
-        let (tx, rx) = unbounded();
+        let (tx, rx) = bounded(event_capacity.max(1));
         let n = detectors.len();
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
@@ -80,6 +98,7 @@ impl Monitor {
             rejected: AtomicU64::new(0),
             clock: MonotonicClock::new(),
             events: tx,
+            events_dropped: AtomicU64::new(0),
         });
 
         let thread_shared = Arc::clone(&shared);
@@ -164,6 +183,12 @@ impl Monitor {
         &self.event_rx
     }
 
+    /// Transitions dropped because the bounded event channel was full
+    /// (i.e. nobody drained [`Monitor::events`] fast enough).
+    pub fn events_dropped(&self) -> u64 {
+        self.shared.events_dropped.load(Ordering::Relaxed)
+    }
+
     /// The monitor's clock (for interpreting event timestamps).
     pub fn now(&self) -> Nanos {
         self.shared.clock.now()
@@ -196,11 +221,14 @@ impl Shared {
             let out = d.output_at(now);
             if out != last_outputs[i] {
                 last_outputs[i] = out;
-                let _ = self.events.send(TransitionEvent {
+                let event = TransitionEvent {
                     detector: i,
                     output: out,
                     at: now,
-                });
+                };
+                if let Err(TrySendError::Full(_)) = self.events.try_send(event) {
+                    self.events_dropped.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
     }
@@ -323,5 +351,32 @@ mod tests {
     #[should_panic(expected = "at least one detector")]
     fn rejects_empty_detector_list() {
         let _ = Monitor::spawn(vec![]);
+    }
+
+    #[test]
+    fn undrained_event_channel_drops_and_counts() {
+        // Capacity 1 and two detectors: the simultaneous T-transitions on
+        // the first heartbeats overflow the channel, which must drop the
+        // excess and count it rather than block or grow.
+        let m = Monitor::spawn_with_event_capacity(detectors(Span::from_millis(10)), 1).unwrap();
+        let sock = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        let clock = MonotonicClock::new();
+        for seq in 1..=10u64 {
+            let hb = Heartbeat {
+                stream: 1,
+                seq,
+                sent_at: clock.now(),
+            };
+            sock.send_to(&hb.encode(), m.local_addr()).unwrap();
+            thread::sleep(Duration::from_millis(10));
+        }
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(m.outputs(), vec![FdOutput::Trust, FdOutput::Trust]);
+        assert_eq!(m.events().len(), 1, "channel holds exactly its capacity");
+        assert!(
+            m.events_dropped() >= 1,
+            "overflowing transition must be counted, got {}",
+            m.events_dropped()
+        );
     }
 }

@@ -1,0 +1,629 @@
+//! Sharded monitor runtime for high-cardinality fleets.
+//!
+//! The original fleet monitor funneled every datagram through a single
+//! `Mutex<ProcessSet>`: one lock serializing ingestion, queries and (had
+//! it existed) expiry sweeping across the whole fleet. This module
+//! partitions that state by stream id:
+//!
+//! ```text
+//!             ingest(stream, seq, arrival)
+//!                        │  route: stream % n_shards
+//!        ┌───────────────┼───────────────┐
+//!   [bounded q]     [bounded q]     [bounded q]     force_send:
+//!        │               │               │          drop-oldest +
+//!   shard worker    shard worker    shard worker    per-shard counter
+//!   own ProcessSet  own ProcessSet  own ProcessSet
+//!   + sweeper       + sweeper       + sweeper
+//!        └───────────────┴───────────────┘
+//!                 bounded events channel (counted drops)
+//! ```
+//!
+//! * **No cross-shard locking** — each shard worker owns its own
+//!   [`ProcessSet`]; a shard's mutex is only ever contended between that
+//!   worker and direct queries against the same shard.
+//! * **Bounded everything** — ingestion never blocks: a full shard queue
+//!   drops its *oldest* heartbeat (the one a fresher heartbeat from the
+//!   same regime supersedes anyway — sequence-number freshness makes
+//!   drop-oldest strictly better than drop-newest here) and counts it.
+//!   The event channel drops (and counts) on overflow instead of growing
+//!   without bound.
+//! * **Proactive freshness sweeping** — each worker sweeps its shard's
+//!   expiry heap between batches, publishing Trust→Suspect transitions
+//!   at the exact `trust_until` instant without anyone querying.
+//!
+//! Because transitions carry exact timestamps (see
+//! [`twofd_core::multi`]), the per-stream event timeline is a pure
+//! function of the heartbeat schedule — scheduling jitter between
+//! workers and sweepers cannot change it. The `shard_equivalence`
+//! integration test exploits this to check the sharded runtime against
+//! the sequential replay oracle event-for-event.
+
+use crate::clock::TimeSource;
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+use twofd_core::{FailureDetector, FdOutput, ProcessSet, ProcessStatus, StreamTransition};
+use twofd_sim::time::Nanos;
+
+/// Builds the detector for a newly seen stream; shared by all shards.
+pub type DetectorFactory = Arc<dyn Fn(&u64) -> Box<dyn FailureDetector + Send> + Send + Sync>;
+
+/// A Trust/Suspect transition of one monitored stream, as published by
+/// the sharded runtime.
+pub type FleetEvent = StreamTransition<u64>;
+
+/// Tuning knobs of the sharded runtime.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Number of shard workers (streams are routed by `id % n_shards`).
+    pub n_shards: usize,
+    /// Per-shard heartbeat queue capacity; overflow drops the oldest
+    /// queued heartbeat and counts it.
+    pub queue_capacity: usize,
+    /// How long an idle worker sleeps between queue polls and expiry
+    /// sweeps. Bounds the wall-time lag between a heartbeat's enqueue
+    /// and its processing, and how late an S-transition is *published*;
+    /// event timestamps are exact regardless. Workers poll rather than
+    /// park on the queue so the ingest path never pays a wakeup.
+    pub sweep_interval: Duration,
+    /// Capacity of the shared transition-event channel; overflow drops
+    /// the newest event and counts it.
+    pub event_capacity: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            n_shards: 4,
+            queue_capacity: 1024,
+            sweep_interval: Duration::from_millis(5),
+            event_capacity: 4096,
+        }
+    }
+}
+
+/// One heartbeat routed to a shard.
+type Job = (u64, u64, Nanos); // (stream, seq, arrival)
+
+/// Largest number of heartbeats a worker applies under one lock
+/// acquisition. Batching amortizes locking; the cap keeps queries from
+/// starving under sustained floods.
+const MAX_BATCH: usize = 512;
+
+struct ShardShared {
+    set: Mutex<ProcessSet<u64, DetectorFactory>>,
+    /// Heartbeats routed to this shard.
+    received: AtomicU64,
+    /// Heartbeats evicted by drop-oldest backpressure.
+    dropped: AtomicU64,
+    /// Heartbeats applied by the worker (fresh + stale).
+    processed: AtomicU64,
+    /// Stale (duplicate/reordered) heartbeats ignored by detectors.
+    stale: AtomicU64,
+    /// Suspect→Trust transitions published.
+    to_trust: AtomicU64,
+    /// Trust→Suspect transitions published.
+    to_suspect: AtomicU64,
+}
+
+struct Shard {
+    tx: Option<Sender<Job>>,
+    shared: Arc<ShardShared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+/// Observability snapshot of one shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Heartbeats routed to this shard.
+    pub received: u64,
+    /// Heartbeats evicted by drop-oldest backpressure.
+    pub dropped: u64,
+    /// Stale heartbeats ignored by detectors.
+    pub stale: u64,
+    /// Heartbeats currently queued, awaiting the worker.
+    pub queue_depth: usize,
+    /// Streams owned by this shard.
+    pub streams: usize,
+    /// Streams currently output `Trust`.
+    pub live: usize,
+    /// Streams currently output `Suspect`.
+    pub suspect: usize,
+    /// Suspect→Trust transitions published so far.
+    pub to_trust: u64,
+    /// Trust→Suspect transitions published so far.
+    pub to_suspect: u64,
+}
+
+/// Observability snapshot of the whole runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Per-shard breakdown, indexed by shard.
+    pub shards: Vec<ShardStats>,
+    /// Transition events dropped because the event channel was full.
+    pub events_dropped: u64,
+}
+
+impl RuntimeStats {
+    /// Total heartbeats routed.
+    pub fn received(&self) -> u64 {
+        self.shards.iter().map(|s| s.received).sum()
+    }
+
+    /// Total heartbeats dropped by backpressure.
+    pub fn dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.dropped).sum()
+    }
+
+    /// Total stale heartbeats ignored.
+    pub fn stale(&self) -> u64 {
+        self.shards.iter().map(|s| s.stale).sum()
+    }
+
+    /// Total monitored streams.
+    pub fn streams(&self) -> usize {
+        self.shards.iter().map(|s| s.streams).sum()
+    }
+
+    /// Streams currently trusted, fleet-wide.
+    pub fn live(&self) -> usize {
+        self.shards.iter().map(|s| s.live).sum()
+    }
+
+    /// Streams currently suspected, fleet-wide.
+    pub fn suspect(&self) -> usize {
+        self.shards.iter().map(|s| s.suspect).sum()
+    }
+
+    /// Total transitions published (both directions).
+    pub fn transitions(&self) -> u64 {
+        self.shards.iter().map(|s| s.to_trust + s.to_suspect).sum()
+    }
+}
+
+/// The socket-free sharded monitor core.
+///
+/// [`ShardRuntime::ingest`] routes timestamped heartbeats to per-stream
+/// detectors across `n_shards` worker threads; queries and the
+/// [`ShardRuntime::events`] channel read the results. The UDP layer
+/// ([`crate::fleet::FleetMonitor`]) is a thin shell around this.
+pub struct ShardRuntime {
+    shards: Vec<Shard>,
+    events_rx: Receiver<FleetEvent>,
+    events_dropped: Arc<AtomicU64>,
+    clock: Arc<dyn TimeSource>,
+}
+
+impl ShardRuntime {
+    /// Starts `config.n_shards` workers building detectors via `factory`
+    /// and reading sweep times from `clock`.
+    ///
+    /// # Panics
+    /// If `n_shards` or `queue_capacity` is zero.
+    pub fn new(config: ShardConfig, factory: DetectorFactory, clock: Arc<dyn TimeSource>) -> Self {
+        assert!(config.n_shards > 0, "need at least one shard");
+        assert!(
+            config.queue_capacity > 0,
+            "shard queues must hold something"
+        );
+        let (events_tx, events_rx) = bounded(config.event_capacity.max(1));
+        let events_dropped = Arc::new(AtomicU64::new(0));
+
+        let shards = (0..config.n_shards)
+            .map(|i| {
+                let (tx, rx) = bounded::<Job>(config.queue_capacity);
+                let shared = Arc::new(ShardShared {
+                    set: Mutex::new(ProcessSet::new(Arc::clone(&factory))),
+                    received: AtomicU64::new(0),
+                    dropped: AtomicU64::new(0),
+                    processed: AtomicU64::new(0),
+                    stale: AtomicU64::new(0),
+                    to_trust: AtomicU64::new(0),
+                    to_suspect: AtomicU64::new(0),
+                });
+                let worker = {
+                    let shared = Arc::clone(&shared);
+                    let events_tx = events_tx.clone();
+                    let events_dropped = Arc::clone(&events_dropped);
+                    let clock = Arc::clone(&clock);
+                    let sweep_interval = config.sweep_interval;
+                    thread::Builder::new()
+                        .name(format!("twofd-shard-{i}"))
+                        .spawn(move || {
+                            shard_worker(
+                                shared,
+                                rx,
+                                events_tx,
+                                events_dropped,
+                                clock,
+                                sweep_interval,
+                            )
+                        })
+                        .expect("spawn shard worker")
+                };
+                Shard {
+                    tx: Some(tx),
+                    shared,
+                    worker: Some(worker),
+                }
+            })
+            .collect();
+
+        ShardRuntime {
+            shards,
+            events_rx,
+            events_dropped,
+            clock,
+        }
+    }
+
+    fn shard_of(&self, stream: u64) -> &Shard {
+        &self.shards[(stream % self.shards.len() as u64) as usize]
+    }
+
+    /// Routes one decoded, timestamped heartbeat to its shard. Never
+    /// blocks: a full shard queue evicts its oldest heartbeat and counts
+    /// the drop.
+    pub fn ingest(&self, stream: u64, seq: u64, arrival: Nanos) {
+        let shard = self.shard_of(stream);
+        shard.shared.received.fetch_add(1, Ordering::Relaxed);
+        match shard
+            .tx
+            .as_ref()
+            .expect("runtime is live")
+            .force_send((stream, seq, arrival))
+        {
+            Ok(Some(_displaced)) => {
+                shard.shared.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(None) => {}
+            Err(_) => {} // worker already shut down
+        }
+    }
+
+    /// Pre-registers a stream so it is reported (as suspect) before its
+    /// first heartbeat.
+    pub fn register(&self, stream: u64) {
+        self.shard_of(stream).shared.set.lock().register(stream);
+    }
+
+    /// Current output for one stream (`None` if never seen/registered).
+    pub fn output(&self, stream: u64) -> Option<FdOutput> {
+        let now = self.clock.now();
+        self.shard_of(stream).shared.set.lock().output(&stream, now)
+    }
+
+    /// Status snapshot of every monitored stream, across all shards.
+    pub fn statuses(&self) -> Vec<ProcessStatus<u64>> {
+        let now = self.clock.now();
+        self.shards
+            .iter()
+            .flat_map(|s| s.shared.set.lock().statuses(now))
+            .collect()
+    }
+
+    /// Streams currently suspected, across all shards.
+    pub fn suspected(&self) -> Vec<u64> {
+        let now = self.clock.now();
+        self.shards
+            .iter()
+            .flat_map(|s| s.shared.set.lock().suspected(now))
+            .collect()
+    }
+
+    /// Number of streams currently monitored.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.shared.set.lock().len()).sum()
+    }
+
+    /// True when no stream is monitored.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.shared.set.lock().is_empty())
+    }
+
+    /// The stream of Trust/Suspect transitions, timestamped exactly.
+    pub fn events(&self) -> &Receiver<FleetEvent> {
+        &self.events_rx
+    }
+
+    /// Transition events dropped because the event channel was full.
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Observability snapshot: per-shard counters, queue depths and
+    /// live/suspect tallies.
+    pub fn stats(&self) -> RuntimeStats {
+        let now = self.clock.now();
+        let shards = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let (streams, live, suspect, queue_depth) = {
+                    let set = s.shared.set.lock();
+                    let (live, suspect) = set.counts(now);
+                    let depth = s.tx.as_ref().map(|tx| tx.len()).unwrap_or(0);
+                    (set.len(), live, suspect, depth)
+                };
+                ShardStats {
+                    shard: i,
+                    received: s.shared.received.load(Ordering::Relaxed),
+                    dropped: s.shared.dropped.load(Ordering::Relaxed),
+                    stale: s.shared.stale.load(Ordering::Relaxed),
+                    queue_depth,
+                    streams,
+                    live,
+                    suspect,
+                    to_trust: s.shared.to_trust.load(Ordering::Relaxed),
+                    to_suspect: s.shared.to_suspect.load(Ordering::Relaxed),
+                }
+            })
+            .collect();
+        RuntimeStats {
+            shards,
+            events_dropped: self.events_dropped(),
+        }
+    }
+
+    /// Blocks until every heartbeat ingested *before this call* has been
+    /// applied by its shard worker (dropped heartbeats count as handled).
+    /// Benches and deterministic tests use this as a barrier.
+    pub fn flush(&self) {
+        loop {
+            let behind = self.shards.iter().any(|s| {
+                let shared = &s.shared;
+                let received = shared.received.load(Ordering::SeqCst);
+                let dropped = shared.dropped.load(Ordering::SeqCst);
+                let processed = shared.processed.load(Ordering::SeqCst);
+                processed + dropped < received
+            });
+            if !behind {
+                return;
+            }
+            thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+impl Drop for ShardRuntime {
+    fn drop(&mut self) {
+        for shard in &mut self.shards {
+            shard.tx.take(); // disconnects the queue; worker drains and exits
+        }
+        for shard in &mut self.shards {
+            if let Some(handle) = shard.worker.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+fn shard_worker(
+    shared: Arc<ShardShared>,
+    rx: Receiver<Job>,
+    events_tx: Sender<FleetEvent>,
+    events_dropped: Arc<AtomicU64>,
+    clock: Arc<dyn TimeSource>,
+    sweep_interval: Duration,
+) {
+    let mut events: Vec<FleetEvent> = Vec::new();
+    loop {
+        // Read the sweep time *before* draining: anything enqueued before
+        // the clock reached `now` is applied first, so the sweep can
+        // never expire a horizon that a queued heartbeat extends.
+        let now = clock.now();
+        let mut disconnected = false;
+        let mut drained_all = true;
+        let mut batch = 0usize;
+        {
+            let mut set = shared.set.lock();
+            loop {
+                if batch >= MAX_BATCH {
+                    // Queue may still hold heartbeats: sweeping now
+                    // could mis-order against them. Sweep next pass.
+                    drained_all = rx.is_empty();
+                    break;
+                }
+                match rx.try_recv() {
+                    Ok(job) => {
+                        apply(&mut set, &shared, job, &mut events);
+                        batch += 1;
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        disconnected = true;
+                        break;
+                    }
+                }
+            }
+            if drained_all {
+                set.sweep(now, &mut events);
+            }
+        }
+        publish(&shared, &events_tx, &events_dropped, &mut events);
+        if disconnected {
+            return;
+        }
+        if batch == 0 {
+            // Idle: poll again after the sweep interval. Polling instead
+            // of parking on the queue keeps `ingest` wakeup-free.
+            thread::sleep(sweep_interval);
+        }
+    }
+}
+
+fn apply(
+    set: &mut ProcessSet<u64, DetectorFactory>,
+    shared: &ShardShared,
+    (stream, seq, arrival): Job,
+    events: &mut Vec<FleetEvent>,
+) {
+    if set
+        .on_heartbeat_with_events(stream, seq, arrival, events)
+        .is_none()
+    {
+        shared.stale.fetch_add(1, Ordering::Relaxed);
+    }
+    shared.processed.fetch_add(1, Ordering::SeqCst);
+}
+
+fn publish(
+    shared: &ShardShared,
+    events_tx: &Sender<FleetEvent>,
+    events_dropped: &AtomicU64,
+    events: &mut Vec<FleetEvent>,
+) {
+    for event in events.drain(..) {
+        match event.output {
+            FdOutput::Trust => shared.to_trust.fetch_add(1, Ordering::Relaxed),
+            FdOutput::Suspect => shared.to_suspect.fetch_add(1, Ordering::Relaxed),
+        };
+        if let Err(TrySendError::Full(_)) = events_tx.try_send(event) {
+            events_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use twofd_core::TwoWindowFd;
+    use twofd_sim::time::Span;
+
+    const DI: Span = Span(100_000_000); // 100 ms
+
+    fn factory() -> DetectorFactory {
+        Arc::new(|_stream: &u64| {
+            Box::new(TwoWindowFd::new(1, 100, DI, Span::from_millis(40)))
+                as Box<dyn FailureDetector + Send>
+        })
+    }
+
+    fn runtime_with_manual_clock(n_shards: usize) -> (ShardRuntime, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        let config = ShardConfig {
+            n_shards,
+            sweep_interval: Duration::from_millis(1),
+            ..ShardConfig::default()
+        };
+        let rt = ShardRuntime::new(config, factory(), clock.clone() as Arc<dyn TimeSource>);
+        (rt, clock)
+    }
+
+    fn hb(seq: u64) -> Nanos {
+        Nanos(seq * DI.0 + 10_000_000)
+    }
+
+    #[test]
+    fn routes_streams_across_shards() {
+        let (rt, clock) = runtime_with_manual_clock(4);
+        for stream in 0..8u64 {
+            clock.advance_to(hb(1));
+            rt.ingest(stream, 1, hb(1));
+        }
+        rt.flush();
+        assert_eq!(rt.len(), 8);
+        let stats = rt.stats();
+        assert_eq!(stats.shards.len(), 4);
+        // stream % 4 routing: two streams per shard.
+        for s in &stats.shards {
+            assert_eq!(s.streams, 2, "{stats:?}");
+            assert_eq!(s.received, 2);
+        }
+        assert_eq!(stats.received(), 8);
+        assert_eq!(stats.dropped(), 0);
+    }
+
+    #[test]
+    fn sweeper_publishes_suspicion_without_queries() {
+        let (rt, clock) = runtime_with_manual_clock(2);
+        for seq in 1..=5u64 {
+            clock.advance_to(hb(seq));
+            rt.ingest(9, seq, hb(seq));
+        }
+        rt.flush();
+        assert_eq!(rt.output(9), Some(FdOutput::Trust));
+        // Advance far past the trust horizon; the sweeper alone must
+        // publish the S-transition, stamped at the exact expiry.
+        let trust_until = rt.statuses()[0].trust_until.unwrap();
+        clock.advance_to(trust_until + Span::from_secs(1));
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        let mut got = Vec::new();
+        while got.len() < 2 && std::time::Instant::now() < deadline {
+            got.extend(rt.events().try_iter());
+            thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(got.len(), 2, "{got:?}");
+        assert_eq!(got[0].output, FdOutput::Trust);
+        assert_eq!(got[0].at, hb(1));
+        assert_eq!(got[1].output, FdOutput::Suspect);
+        assert_eq!(got[1].at, trust_until);
+        let stats = rt.stats();
+        assert_eq!(stats.suspect(), 1);
+        assert_eq!(stats.live(), 0);
+        assert_eq!(stats.transitions(), 2);
+    }
+
+    #[test]
+    fn stale_heartbeats_are_counted() {
+        let (rt, clock) = runtime_with_manual_clock(1);
+        clock.advance_to(hb(3));
+        rt.ingest(1, 3, hb(3));
+        rt.ingest(1, 2, hb(3)); // stale: lower seq
+        rt.flush();
+        assert_eq!(rt.stats().stale(), 1);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        // One shard, tiny queue, and a clock pinned at zero so the worker
+        // mostly idles between 1 ms sweeps while we flood the queue.
+        let clock = Arc::new(ManualClock::new());
+        let config = ShardConfig {
+            n_shards: 1,
+            queue_capacity: 4,
+            sweep_interval: Duration::from_millis(50),
+            ..ShardConfig::default()
+        };
+        let rt = ShardRuntime::new(config, factory(), clock.clone() as Arc<dyn TimeSource>);
+        for seq in 1..=10_000u64 {
+            rt.ingest(1, seq, hb(seq));
+        }
+        rt.flush();
+        let stats = rt.stats();
+        assert_eq!(stats.received(), 10_000);
+        assert!(stats.dropped() > 0, "{stats:?}");
+        // Every heartbeat is accounted for: processed + dropped = received.
+        assert_eq!(
+            stats.dropped() + rt.shards[0].shared.processed.load(Ordering::SeqCst),
+            10_000
+        );
+    }
+
+    #[test]
+    fn register_before_first_heartbeat() {
+        let (rt, _clock) = runtime_with_manual_clock(3);
+        rt.register(42);
+        assert_eq!(rt.output(42), Some(FdOutput::Suspect));
+        assert_eq!(rt.output(41), None);
+        assert_eq!(rt.suspected(), vec![42]);
+        assert!(!rt.is_empty());
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        let (rt, clock) = runtime_with_manual_clock(8);
+        clock.advance_to(hb(1));
+        for stream in 0..64u64 {
+            rt.ingest(stream, 1, hb(1));
+        }
+        drop(rt); // must not hang
+    }
+}

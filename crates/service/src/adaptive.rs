@@ -100,7 +100,10 @@ impl AdaptiveServiceSim {
         loss: LossSpec,
         seed: u64,
     ) -> Result<Self, CombineError> {
-        assert!(!reconfig_period.is_zero(), "reconfig period must be positive");
+        assert!(
+            !reconfig_period.is_zero(),
+            "reconfig period must be positive"
+        );
         let current = combine(&registry, &initial_guess)?;
         let initial = ReconfigRecord {
             at: Nanos::ZERO,
@@ -164,7 +167,8 @@ impl AdaptiveServiceSim {
                     let seq = self.next_seq;
                     if !self.loss.is_lost(&mut self.rng, now) {
                         let arrival = now + self.delay.delay(&mut self.rng, now);
-                        self.queue.schedule(arrival, Event::Deliver { seq, send: now });
+                        self.queue
+                            .schedule(arrival, Event::Deliver { seq, send: now });
                     }
                     self.queue
                         .schedule(now + self.current.interval, Event::Send);

@@ -119,7 +119,10 @@ impl std::error::Error for CombineError {}
 /// // …and fewer messages than one detector per app.
 /// assert!(shared.load_reduction() > 1.0);
 /// ```
-pub fn combine(registry: &AppRegistry, net: &NetworkBehavior) -> Result<SharedConfig, CombineError> {
+pub fn combine(
+    registry: &AppRegistry,
+    net: &NetworkBehavior,
+) -> Result<SharedConfig, CombineError> {
     if registry.is_empty() {
         return Err(CombineError::EmptyRegistry);
     }
@@ -146,8 +149,7 @@ pub fn combine(registry: &AppRegistry, net: &NetworkBehavior) -> Result<SharedCo
     let shares = dedicated
         .into_iter()
         .map(|(app, cfg)| {
-            let shared_margin =
-                Span::from_secs_f64(app.qos.detection_time) - interval;
+            let shared_margin = Span::from_secs_f64(app.qos.detection_time) - interval;
             AppShare {
                 id: app.id,
                 name: app.name.clone(),
@@ -199,10 +201,7 @@ mod tests {
 
     #[test]
     fn shared_interval_is_the_minimum() {
-        let r = registry_of(&[
-            ("strict", 0.3, 86_400.0, 0.5),
-            ("lax", 3.0, 600.0, 2.0),
-        ]);
+        let r = registry_of(&[("strict", 0.3, 86_400.0, 0.5), ("lax", 3.0, 600.0, 2.0)]);
         let combined = combine(&r, &net()).unwrap();
         let min = combined
             .shares
@@ -234,16 +233,9 @@ mod tests {
 
     #[test]
     fn adapted_apps_get_larger_margins() {
-        let r = registry_of(&[
-            ("strict", 0.3, 86_400.0, 0.5),
-            ("lax", 3.0, 600.0, 2.0),
-        ]);
+        let r = registry_of(&[("strict", 0.3, 86_400.0, 0.5), ("lax", 3.0, 600.0, 2.0)]);
         let combined = combine(&r, &net()).unwrap();
-        let lax = combined
-            .shares
-            .iter()
-            .find(|s| s.name == "lax")
-            .unwrap();
+        let lax = combined.shares.iter().find(|s| s.name == "lax").unwrap();
         assert!(lax.adapted);
         assert!(lax.shared_margin > lax.dedicated.safety_margin);
     }

@@ -148,7 +148,13 @@ pub struct EpisodicSpikeDelay<M> {
 
 impl<M> EpisodicSpikeDelay<M> {
     /// Creates the process, starting in the calm state.
-    pub fn new(base: M, onset_prob: f64, end_prob: f64, spike_prob: f64, spike_dist: DistSpec) -> Self {
+    pub fn new(
+        base: M,
+        onset_prob: f64,
+        end_prob: f64,
+        spike_prob: f64,
+        spike_dist: DistSpec,
+    ) -> Self {
         for (name, p) in [
             ("onset_prob", onset_prob),
             ("end_prob", end_prob),

@@ -172,10 +172,7 @@ impl LossSpec {
             } => Box::new(GilbertElliottLoss::new(*p_gb, *p_bg, *loss_good, *loss_bad)),
             LossSpec::Scripted { base, windows } => Box::new(ScriptedLoss {
                 base: base.build(),
-                windows: windows
-                    .iter()
-                    .map(|&(s, e)| (Nanos(s), Nanos(e)))
-                    .collect(),
+                windows: windows.iter().map(|&(s, e)| (Nanos(s), Nanos(e))).collect(),
             }),
         }
     }
@@ -238,7 +235,9 @@ mod tests {
     fn gilbert_elliott_produces_bursts() {
         let mut rng = SimRng::seed_from_u64(3);
         let mut m = GilbertElliottLoss::new(0.002, 0.05, 0.0, 1.0);
-        let outcomes: Vec<bool> = (0..200_000).map(|_| m.is_lost(&mut rng, Nanos::ZERO)).collect();
+        let outcomes: Vec<bool> = (0..200_000)
+            .map(|_| m.is_lost(&mut rng, Nanos::ZERO))
+            .collect();
         // Longest run of consecutive losses should be far longer than a
         // Bernoulli process with the same rate would plausibly produce.
         let mut longest = 0usize;

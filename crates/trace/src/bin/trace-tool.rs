@@ -97,7 +97,11 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     println!("delay mean:        {:.3} ms", 1e3 * s.delay_mean);
     println!("delay std:         {:.3} ms", 1e3 * s.delay_std());
     println!("delay var (V(D)):  {:.6e} s^2", s.delay_var);
-    println!("delay min/max:     {:.3} / {:.1} ms", 1e3 * s.delay_min, 1e3 * s.delay_max);
+    println!(
+        "delay min/max:     {:.3} / {:.1} ms",
+        1e3 * s.delay_min,
+        1e3 * s.delay_max
+    );
     let (p50, p90, p99, p999) = s.delay_percentiles;
     println!(
         "delay p50/p90/p99/p99.9: {:.2} / {:.2} / {:.2} / {:.2} ms",

@@ -112,8 +112,8 @@ impl Default for WanTraceConfig {
             stable_spike_scale: 0.25,
             stable_spike_shape: 1.5,
             worm_spike_prob: 0.9,
-            worm_episode_onset: 1.0 / 30.0,
-            worm_episode_end: 1.0 / 5.0,
+            worm_episode_onset: 1.0,
+            worm_episode_end: 0.0,
             spike_scale: 0.05,
             spike_shape: 1.4,
         }
@@ -180,7 +180,9 @@ impl WanTraceConfig {
                 name: "Stable 1".into(),
                 heartbeats: segs[0].len(),
                 delay: stable_delay,
-                loss: LossSpec::Bernoulli { p: self.stable_loss },
+                loss: LossSpec::Bernoulli {
+                    p: self.stable_loss,
+                },
             },
             Phase {
                 name: "Burst".into(),
@@ -198,7 +200,9 @@ impl WanTraceConfig {
                 name: "Stable 2".into(),
                 heartbeats: segs[3].len(),
                 delay: stable_delay,
-                loss: LossSpec::Bernoulli { p: self.stable_loss },
+                loss: LossSpec::Bernoulli {
+                    p: self.stable_loss,
+                },
             },
         ])
     }
@@ -310,11 +314,17 @@ mod tests {
         let stats = TraceStats::compute(&trace);
         // Loss: dominated by stable (~0.1%) plus worm (~8% over a third
         // of the trace) → overall a few percent.
-        assert!(stats.loss_rate > 0.005 && stats.loss_rate < 0.10,
-            "loss {}", stats.loss_rate);
+        assert!(
+            stats.loss_rate > 0.005 && stats.loss_rate < 0.10,
+            "loss {}",
+            stats.loss_rate
+        );
         // Delay mean sits between stable and worm means.
-        assert!(stats.delay_mean > 0.10 && stats.delay_mean < 0.20,
-            "delay mean {}", stats.delay_mean);
+        assert!(
+            stats.delay_mean > 0.10 && stats.delay_mean < 0.20,
+            "delay mean {}",
+            stats.delay_mean
+        );
     }
 
     #[test]
@@ -339,8 +349,11 @@ mod tests {
         let trace = cfg.generate();
         let stats = TraceStats::compute(&trace);
         assert_eq!(stats.loss_rate, 0.0);
-        assert!((stats.delay_mean - 100e-6).abs() < 30e-6,
-            "delay mean {}", stats.delay_mean);
+        assert!(
+            (stats.delay_mean - 100e-6).abs() < 30e-6,
+            "delay mean {}",
+            stats.delay_mean
+        );
         assert!(stats.delay_max < 2.0);
     }
 

@@ -151,7 +151,13 @@ mod tests {
     use twofd_sim::time::Span;
 
     fn stats(scenario: NetworkScenario, interval_ms: u64, seed: u64) -> TraceStats {
-        let t = generate_scripted("preset", Span::from_millis(interval_ms), scenario, seed, None);
+        let t = generate_scripted(
+            "preset",
+            Span::from_millis(interval_ms),
+            scenario,
+            seed,
+            None,
+        );
         TraceStats::compute(&t)
     }
 

@@ -6,17 +6,19 @@
 //!
 //! Run: `cargo run --release --example fleet_monitor`
 
+use std::sync::Arc;
 use std::thread::sleep;
 use std::time::Duration;
-use twofd::core::TwoWindowFd;
+use twofd::core::{FailureDetector, TwoWindowFd};
 use twofd::net::{FleetMonitor, HeartbeatSender};
 use twofd::sim::Span;
 
 fn main() {
     let interval = Span::from_millis(20);
-    let monitor = FleetMonitor::spawn(Box::new(move |stream| {
+    let monitor = FleetMonitor::spawn(Arc::new(move |stream: &u64| {
         println!("  (building detector for newly seen stream {stream})");
         Box::new(TwoWindowFd::new(1, 200, interval, Span::from_millis(60)))
+            as Box<dyn FailureDetector + Send>
     }))
     .expect("bind fleet monitor");
     println!("fleet monitor on {}\n", monitor.local_addr());
@@ -40,11 +42,25 @@ fn main() {
     suspected.sort_unstable();
     println!("\nsuspected streams: {suspected:?} (expected [2, 4])");
     assert_eq!(suspected, vec![2, 4]);
+
+    let stats = monitor.stats();
+    println!(
+        "runtime stats: {} shards, {} received, {} dropped, {} live / {} suspect, {} transitions",
+        stats.shards.len(),
+        stats.received(),
+        stats.dropped(),
+        stats.live(),
+        stats.suspect(),
+        stats.transitions(),
+    );
     println!("fleet monitoring verdicts correct ✓");
 }
 
 fn print_statuses(label: &str, monitor: &FleetMonitor) {
-    println!("--- {label}: {} heartbeats received ---", monitor.received());
+    println!(
+        "--- {label}: {} heartbeats received ---",
+        monitor.received()
+    );
     let mut statuses = monitor.statuses();
     statuses.sort_by_key(|s| s.key);
     for s in statuses {

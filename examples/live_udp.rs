@@ -28,9 +28,12 @@ fn main() {
     println!("monitor listening on {}", monitor.local_addr());
 
     // The monitored process p.
-    let sender =
-        HeartbeatSender::spawn(1, interval, monitor.local_addr()).expect("spawn sender");
-    println!("sender started ({} every {})", sender.local_addr(), interval);
+    let sender = HeartbeatSender::spawn(1, interval, monitor.local_addr()).expect("spawn sender");
+    println!(
+        "sender started ({} every {})",
+        sender.local_addr(),
+        interval
+    );
 
     let phase = |name: &str, secs: f64, monitor: &Monitor| {
         sleep(Duration::from_secs_f64(secs));

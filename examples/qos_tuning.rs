@@ -36,7 +36,13 @@ fn main() {
         },
         LossSpec::Bernoulli { p: 0.01 },
     );
-    let probe = generate_scripted("probe", Span::from_millis(50), probe_scenario.clone(), 3, None);
+    let probe = generate_scripted(
+        "probe",
+        Span::from_millis(50),
+        probe_scenario.clone(),
+        3,
+        None,
+    );
     let mut estimator = NetworkEstimator::new(1000);
     for r in &probe.records {
         if let Some(at) = r.arrival {
@@ -59,7 +65,10 @@ fn main() {
         1.0 / cfg.interval.as_secs_f64(),
         cfg.safety_margin,
     );
-    assert_eq!(cfg.detection_budget(), Span::from_secs_f64(spec.detection_time));
+    assert_eq!(
+        cfg.detection_budget(),
+        Span::from_secs_f64(spec.detection_time)
+    );
 
     // 4. Validate by replay over a long trace with the same behaviour.
     let horizon_secs = 6.0 * 3600.0;

@@ -32,7 +32,10 @@ fn main() {
     println!("\n2W-FD(1,1000), Δto = 50 ms:");
     println!("  detection time   T_D  = {:.1} ms", 1e3 * m.detection_time);
     println!("  mistake rate     T_MR = {:.4e} /s", m.mistake_rate);
-    println!("  mistake duration T_M  = {:.1} ms", 1e3 * m.avg_mistake_duration);
+    println!(
+        "  mistake duration T_M  = {:.1} ms",
+        1e3 * m.avg_mistake_duration
+    );
     println!("  query accuracy   P_A  = {:.6}", m.query_accuracy);
     println!("  mistakes: {} over {:.0} s", m.mistakes, m.observed_secs);
 
@@ -42,13 +45,7 @@ fn main() {
     let crash_at = Nanos::from_secs(80);
     let crash_trace = {
         use twofd::trace::generate_scripted;
-        generate_scripted(
-            "crashy",
-            cfg.interval,
-            cfg.scenario(),
-            42,
-            Some(crash_at),
-        )
+        generate_scripted("crashy", cfg.interval, cfg.scenario(), 42, Some(crash_at))
     };
     let mut fd = TwoWindowFd::paper_default(crash_trace.interval, Span::from_millis(50));
     let td = detect_crash(&mut fd, &crash_trace, crash_at).expect("heartbeats delivered");

@@ -75,7 +75,12 @@ fn main() {
         service.on_heartbeat(a.seq, a.at);
     }
     println!("\nremote host crashes at t = 60 s:");
-    for (id, name) in ids.iter().zip(["cluster-manager", "group-membership", "batch-scheduler", "monitoring-ui"]) {
+    for (id, name) in ids.iter().zip([
+        "cluster-manager",
+        "group-membership",
+        "batch-scheduler",
+        "monitoring-ui",
+    ]) {
         // Find the instant this app's detector S-transitions for good:
         // its final trust_until.
         let mut lo = crash_at;
@@ -94,7 +99,11 @@ fn main() {
             name,
             format!("{detection}"),
             budget,
-            if detection.as_secs_f64() <= budget { "✓" } else { "✗ OVER BUDGET" },
+            if detection.as_secs_f64() <= budget {
+                "✓"
+            } else {
+                "✗ OVER BUDGET"
+            },
         );
     }
 }

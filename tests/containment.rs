@@ -5,7 +5,12 @@
 use twofd::core::{replay, ChenFd, Mistake, TwoWindowFd};
 use twofd::prelude::*;
 
-fn mistake_sets(trace: &Trace, n1: usize, n2: usize, margin: Span) -> (Vec<Mistake>, Vec<Mistake>, Vec<Mistake>) {
+fn mistake_sets(
+    trace: &Trace,
+    n1: usize,
+    n2: usize,
+    margin: Span,
+) -> (Vec<Mistake>, Vec<Mistake>, Vec<Mistake>) {
     let mut two = TwoWindowFd::new(n1, n2, trace.interval, margin);
     let mut c1 = ChenFd::new(n1, trace.interval, margin);
     let mut c2 = ChenFd::new(n2, trace.interval, margin);

@@ -93,8 +93,14 @@ fn partition_causes_a_mistake_that_heals() {
 
     // The event stream recorded the S and the T transition.
     let events: Vec<_> = monitor.events().try_iter().collect();
-    let suspects = events.iter().filter(|e| e.output == FdOutput::Suspect).count();
-    let trusts = events.iter().filter(|e| e.output == FdOutput::Trust).count();
+    let suspects = events
+        .iter()
+        .filter(|e| e.output == FdOutput::Suspect)
+        .count();
+    let trusts = events
+        .iter()
+        .filter(|e| e.output == FdOutput::Trust)
+        .count();
     assert!(suspects >= 1 && trusts >= 2, "events: {events:?}");
 }
 
@@ -102,7 +108,10 @@ fn partition_causes_a_mistake_that_heals() {
 fn network_estimates_reflect_the_loopback_link() {
     let interval = Span::from_millis(5);
     let (sender, monitor) = spawn_pair(interval, Span::from_millis(50));
-    assert!(wait_for(|| monitor.received() > 100, Duration::from_secs(5)));
+    assert!(wait_for(
+        || monitor.received() > 100,
+        Duration::from_secs(5)
+    ));
     let est = monitor.network_estimate();
     // Loopback: negligible loss, sub-millisecond jitter.
     assert!(est.loss_prob < 0.05, "pL {}", est.loss_prob);

@@ -83,7 +83,10 @@ fn segment_analysis_favours_two_w() {
         let cal = calibrate(spec, &trace, 0.215, 0.002, 60.0)?;
         let mut fd = spec.build(trace.interval, cal.tuning);
         let result = replay(fd.as_mut(), &trace);
-        Some(twofd::core::mistakes_by_segment(&result.mistakes, &segments))
+        Some(twofd::core::mistakes_by_segment(
+            &result.mistakes,
+            &segments,
+        ))
     };
     let two_w = per_segment(&DetectorSpec::TwoWindow { n1: 1, n2: 1000 }).unwrap();
     let chen1 = per_segment(&DetectorSpec::Chen { window: 1 }).unwrap();
@@ -120,10 +123,7 @@ fn config_sweep_shapes() {
     for i in 1..=8 {
         let td = 0.5 * i as f64;
         let cfg = configure(&QosSpec::new(td, 3600.0, 1.0), &net).unwrap();
-        let cur = (
-            cfg.interval.as_secs_f64(),
-            cfg.safety_margin.as_secs_f64(),
-        );
+        let cur = (cfg.interval.as_secs_f64(), cfg.safety_margin.as_secs_f64());
         assert!(cur.0 >= prev.0 - 1e-9, "Δi not monotone in T_D at {td}");
         prev = cur;
     }

@@ -10,12 +10,12 @@ use twofd::trace::generate_scripted;
 /// Builds a random-but-valid trace from proptest-chosen parameters.
 fn arb_trace() -> impl Strategy<Value = Trace> {
     (
-        50u64..400,          // heartbeats
-        1u64..200,           // interval ms
-        0.0f64..0.4,         // loss
-        0.001f64..0.3,       // delay mean (s)
-        0.0f64..0.1,         // delay std (s)
-        any::<u64>(),        // seed
+        50u64..400,    // heartbeats
+        1u64..200,     // interval ms
+        0.0f64..0.4,   // loss
+        0.001f64..0.3, // delay mean (s)
+        0.0f64..0.1,   // delay std (s)
+        any::<u64>(),  // seed
     )
         .prop_map(|(n, interval_ms, loss, mean, std, seed)| {
             let scenario = NetworkScenario::uniform(

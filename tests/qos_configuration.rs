@@ -107,7 +107,11 @@ fn online_estimator_feeds_configure_consistently() {
         }
     }
     let behavior = est.behavior();
-    assert!((behavior.loss_prob - 0.05).abs() < 0.01, "pL {}", behavior.loss_prob);
+    assert!(
+        (behavior.loss_prob - 0.05).abs() < 0.01,
+        "pL {}",
+        behavior.loss_prob
+    );
     assert!(
         (behavior.delay_var.sqrt() - 0.015).abs() < 0.004,
         "sd {}",

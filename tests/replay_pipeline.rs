@@ -50,7 +50,11 @@ fn metrics_invariants_hold_for_every_detector() {
             let m = result.metrics();
             let label = spec.label();
 
-            assert!((0.0..=1.0).contains(&m.query_accuracy), "{label}: PA {}", m.query_accuracy);
+            assert!(
+                (0.0..=1.0).contains(&m.query_accuracy),
+                "{label}: PA {}",
+                m.query_accuracy
+            );
             assert!(m.mistake_rate >= 0.0);
             assert!(m.avg_mistake_duration >= 0.0);
             assert!(m.detection_time >= 0.0);
@@ -112,7 +116,10 @@ fn crash_detection_respects_margin_ordering() {
         let td = detect_crash(&mut fd, &trace, crash_at).unwrap();
         tds.push(td);
     }
-    assert!(tds[0] < tds[1] && tds[1] < tds[2], "detection times {tds:?}");
+    assert!(
+        tds[0] < tds[1] && tds[1] < tds[2],
+        "detection times {tds:?}"
+    );
     // Exactly Δto apart for the Chen family (freshness point shifts by
     // the margin delta).
     assert_eq!(tds[1] - tds[0], Span::from_millis(150));

@@ -1,0 +1,222 @@
+//! The sharded runtime against the sequential replay oracle.
+//!
+//! Because the runtime stamps transitions with their *exact* instants
+//! (S at `trust_until`, T at the restoring arrival — see
+//! `twofd_core::multi`), the per-stream event timeline is a pure
+//! function of the heartbeat schedule: worker scheduling, sweep timing
+//! and batching must not be observable. These tests drive a
+//! [`ShardRuntime`] on a [`ManualClock`] through deterministic delivery
+//! schedules and demand event-for-event equality with
+//! [`twofd::core::replay`], plus a live-UDP crash test where the
+//! sweeper (never a query) reports the suspicion.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread::sleep;
+use std::time::{Duration, Instant};
+use twofd::core::{replay, FailureDetector, FdOutput, Timeline, TwoWindowFd};
+use twofd::net::{
+    FleetMonitor, HeartbeatSender, ManualClock, ShardConfig, ShardRuntime, TimeSource,
+};
+use twofd::sim::{Nanos, Span};
+use twofd::trace::{Trace, WanTraceConfig};
+
+const SHORT_WINDOW: usize = 8;
+const LONG_WINDOW: usize = 50;
+const MARGIN: Span = Span(15_000_000); // 15 ms — tight enough to make mistakes
+
+fn detector(interval: Span) -> TwoWindowFd {
+    TwoWindowFd::new(SHORT_WINDOW, LONG_WINDOW, interval, MARGIN)
+}
+
+/// The events the runtime must publish for one stream: a T at the first
+/// fresh arrival if the detector starts out trusting, then exactly the
+/// replay timeline's transitions (every S at its mistake start, every T
+/// at its restoring arrival; a censored tail keeps its S).
+fn expected_events(trace: &Trace) -> Vec<(FdOutput, Nanos)> {
+    let mut fd = detector(trace.interval);
+    let result = replay(&mut fd, trace);
+    let tl = Timeline::from_replay(&result);
+    let mut expected = Vec::new();
+    if tl.output_at(result.first_arrival) == FdOutput::Trust {
+        expected.push((FdOutput::Trust, result.first_arrival));
+    }
+    expected.extend(tl.transitions().iter().map(|t| (t.to, t.at)));
+    expected
+}
+
+#[test]
+fn sharded_runtime_matches_sequential_replay_event_for_event() {
+    for seed in [3u64, 17, 40] {
+        let n_streams = 6u64;
+        let traces: BTreeMap<u64, Trace> = (0..n_streams)
+            .map(|s| (s, WanTraceConfig::small(300, seed * 100 + s).generate()))
+            .collect();
+        let interval = traces[&0].interval;
+
+        // Merge every stream's deliveries into one global arrival order.
+        let mut schedule: Vec<(Nanos, u64, u64)> = traces
+            .iter()
+            .flat_map(|(&stream, trace)| {
+                trace
+                    .arrivals()
+                    .into_iter()
+                    .map(move |a| (a.at, stream, a.seq))
+            })
+            .collect();
+        schedule.sort_unstable();
+        let global_horizon = traces.values().map(Trace::end_time).max().unwrap();
+
+        let clock = Arc::new(ManualClock::new());
+        let rt = ShardRuntime::new(
+            ShardConfig {
+                n_shards: 3,
+                queue_capacity: 4096,
+                sweep_interval: Duration::from_millis(1),
+                event_capacity: 1 << 16,
+            },
+            Arc::new(move |_stream: &u64| {
+                Box::new(detector(interval)) as Box<dyn FailureDetector + Send>
+            }),
+            clock.clone() as Arc<dyn TimeSource>,
+        );
+
+        // The determinism protocol: the clock reaches an arrival instant
+        // only after every earlier heartbeat is already enqueued, so no
+        // sweep can expire a horizon a pending heartbeat extends.
+        for &(at, stream, seq) in &schedule {
+            clock.advance_to(at);
+            rt.ingest(stream, seq, at);
+        }
+        rt.flush();
+        clock.advance_to(global_horizon);
+
+        let expected: BTreeMap<u64, Vec<(FdOutput, Nanos)>> = traces
+            .iter()
+            .map(|(&s, t)| (s, expected_events(t)))
+            .collect();
+        // Replay only observes a stream up to its own trace horizon; the
+        // runtime keeps sweeping until the latest one. Events stamped at
+        // or past a stream's horizon are outside the oracle's window.
+        let expected_total: usize = expected.values().map(Vec::len).sum();
+
+        let mut actual: BTreeMap<u64, Vec<(FdOutput, Nanos)>> = BTreeMap::new();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut seen = 0usize;
+        while seen < expected_total && Instant::now() < deadline {
+            for ev in rt.events().try_iter() {
+                if ev.at < traces[&ev.key].end_time() {
+                    seen += 1;
+                }
+                actual.entry(ev.key).or_default().push((ev.output, ev.at));
+            }
+            sleep(Duration::from_millis(1));
+        }
+        // Grace pass: catch any extra events the runtime wrongly emits.
+        sleep(Duration::from_millis(20));
+        for ev in rt.events().try_iter() {
+            actual.entry(ev.key).or_default().push((ev.output, ev.at));
+        }
+        assert_eq!(rt.events_dropped(), 0);
+
+        for (stream, trace) in &traces {
+            let horizon = trace.end_time();
+            let got: Vec<_> = actual
+                .remove(stream)
+                .unwrap_or_default()
+                .into_iter()
+                .filter(|&(_, at)| at < horizon)
+                .collect();
+            assert_eq!(
+                got, expected[stream],
+                "seed {seed} stream {stream} diverged from the replay oracle"
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_is_reported_by_the_sweeper_over_udp() {
+    let interval = Span::from_millis(10);
+    let monitor = FleetMonitor::spawn(Arc::new(move |_stream: &u64| {
+        Box::new(TwoWindowFd::new(1, 100, interval, Span::from_millis(40)))
+            as Box<dyn FailureDetector + Send>
+    }))
+    .expect("bind fleet monitor");
+    let sender = HeartbeatSender::spawn(7, interval, monitor.local_addr()).expect("spawn sender");
+
+    // Never query outputs: the event channel alone must tell the story.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut events = Vec::new();
+    while events.is_empty() && Instant::now() < deadline {
+        events.extend(monitor.events().try_iter());
+        sleep(Duration::from_millis(5));
+    }
+    assert_eq!(
+        events.first().map(|e| (e.key, e.output)),
+        Some((7, FdOutput::Trust)),
+        "expected the stream to establish trust first: {events:?}"
+    );
+
+    sender.crash();
+    let crash_instant = Instant::now();
+    let deadline = crash_instant + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        if let Some(s) = monitor
+            .events()
+            .try_iter()
+            .find(|e| e.output == FdOutput::Suspect)
+        {
+            assert_eq!(s.key, 7);
+            // The sweeper pushed the S-transition; detection latency is
+            // interval + margin plus sweep/scheduling slack.
+            assert!(
+                crash_instant.elapsed() < Duration::from_secs(2),
+                "suspicion published too late"
+            );
+            return;
+        }
+        sleep(Duration::from_millis(5));
+    }
+    panic!("sweeper never published the S-transition after the crash");
+}
+
+#[test]
+fn saturated_shard_queue_drops_and_counts_instead_of_blocking() {
+    // A runtime whose single worker is effectively stalled (huge sweep
+    // interval, clock pinned at zero) and whose queue holds 8 entries.
+    let clock = Arc::new(ManualClock::new());
+    let rt = ShardRuntime::new(
+        ShardConfig {
+            n_shards: 1,
+            queue_capacity: 8,
+            sweep_interval: Duration::from_millis(200),
+            event_capacity: 64,
+        },
+        Arc::new(|_stream: &u64| {
+            Box::new(TwoWindowFd::new(
+                1,
+                100,
+                Span::from_millis(10),
+                Span::from_millis(40),
+            )) as Box<dyn FailureDetector + Send>
+        }),
+        clock as Arc<dyn TimeSource>,
+    );
+
+    // 50k ingests must return promptly (never block) and be fully
+    // accounted for as processed-or-dropped.
+    let start = Instant::now();
+    for seq in 1..=50_000u64 {
+        rt.ingest(seq % 256, seq, Nanos(seq));
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "ingestion blocked on a saturated queue"
+    );
+    rt.flush();
+    let stats = rt.stats();
+    assert_eq!(stats.received(), 50_000);
+    assert!(stats.dropped() > 0, "{stats:?}");
+    assert!(stats.shards[0].queue_depth <= 8);
+}

@@ -118,8 +118,14 @@ fn live_service_crash_detected_within_each_budget() {
     // The laxest app must still be trusting when the strictest one has
     // already suspected (staggered detection).
     let probe = crash_at + Span::from_secs_f64(0.4) + Span::from_millis(300);
-    assert_eq!(svc.output_for(cfg.shares[0].id, probe), Some(FdOutput::Suspect));
-    assert_eq!(svc.output_for(cfg.shares[2].id, probe), Some(FdOutput::Trust));
+    assert_eq!(
+        svc.output_for(cfg.shares[0].id, probe),
+        Some(FdOutput::Suspect)
+    );
+    assert_eq!(
+        svc.output_for(cfg.shares[2].id, probe),
+        Some(FdOutput::Trust)
+    );
 }
 
 #[test]

@@ -1,0 +1,467 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the `channel` module slice this workspace uses: MPMC
+//! bounded/unbounded channels with cloneable `Sender`/`Receiver`,
+//! timeouts, and non-blocking operations, implemented over
+//! `Mutex` + `Condvar`. One deliberate extension beyond the upstream
+//! API: [`channel::Sender::force_send`], a drop-oldest enqueue used by
+//! the sharded monitor runtime for lossy backpressure (upstream offers
+//! the same semantics on `ArrayQueue::force_push`).
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! MPMC channels (stand-in for `crossbeam-channel`).
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+        /// Receivers parked on `not_empty`. Senders skip the condvar
+        /// notification (a syscall on the hot enqueue path) when no one
+        /// is waiting.
+        recv_waiting: usize,
+        /// Senders parked on `not_full`; same idea for the dequeue path.
+        send_waiting: usize,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        capacity: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Error on [`Sender::send`]: every receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error on [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    /// Error on [`Receiver::recv`]: channel empty and every sender gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error on [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Nothing queued right now.
+        Empty,
+        /// Channel empty and every sender gone.
+        Disconnected,
+    }
+
+    /// Error on [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived within the timeout.
+        Timeout,
+        /// Channel empty and every sender gone.
+        Disconnected,
+    }
+
+    /// The sending half; clone freely across threads.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half; clone freely across threads.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Creates a channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Creates a channel buffering at most `capacity` messages.
+    ///
+    /// # Panics
+    /// If `capacity` is zero (rendezvous channels are not supported by
+    /// this stand-in; nothing in the workspace uses them).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(capacity > 0, "zero-capacity channels are not supported");
+        with_capacity(Some(capacity))
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        // Pre-size bounded queues (capped so a huge bound doesn't
+        // reserve memory it may never use) to keep the enqueue hot path
+        // free of growth reallocations.
+        let prealloc = capacity.unwrap_or(0).min(1 << 16);
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(prealloc),
+                senders: 1,
+                receivers: 1,
+                recv_waiting: 0,
+                send_waiting: 0,
+            }),
+            capacity,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Inner<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            self.state.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends, blocking while the channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.inner.lock();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match self.inner.capacity {
+                    Some(cap) if state.queue.len() >= cap => {
+                        state.send_waiting += 1;
+                        state = self
+                            .inner
+                            .not_full
+                            .wait(state)
+                            .unwrap_or_else(|e| e.into_inner());
+                        state.send_waiting -= 1;
+                    }
+                    _ => break,
+                }
+            }
+            state.queue.push_back(value);
+            let wake = state.recv_waiting > 0;
+            drop(state);
+            if wake {
+                self.inner.not_empty.notify_one();
+            }
+            Ok(())
+        }
+
+        /// Sends without blocking; fails when full or disconnected.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.inner.lock();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.inner.capacity {
+                if state.queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            state.queue.push_back(value);
+            let wake = state.recv_waiting > 0;
+            drop(state);
+            if wake {
+                self.inner.not_empty.notify_one();
+            }
+            Ok(())
+        }
+
+        /// Sends without blocking, evicting the *oldest* queued message
+        /// when the channel is full. Returns the displaced message, if
+        /// any. This is the drop-oldest backpressure primitive of the
+        /// sharded monitor runtime.
+        pub fn force_send(&self, value: T) -> Result<Option<T>, SendError<T>> {
+            let mut state = self.inner.lock();
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            let displaced = match self.inner.capacity {
+                Some(cap) if state.queue.len() >= cap => state.queue.pop_front(),
+                _ => None,
+            };
+            state.queue.push_back(value);
+            let wake = state.recv_waiting > 0;
+            drop(state);
+            if wake {
+                self.inner.not_empty.notify_one();
+            }
+            Ok(displaced)
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.lock().queue.len()
+        }
+
+        /// True when nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// True when a bounded channel is at capacity.
+        pub fn is_full(&self) -> bool {
+            match self.inner.capacity {
+                Some(cap) => self.len() >= cap,
+                None => false,
+            }
+        }
+
+        /// The channel's capacity (`None` when unbounded).
+        pub fn capacity(&self) -> Option<usize> {
+            self.inner.capacity
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.lock().senders += 1;
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.lock();
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives, blocking while the channel is empty.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.inner.lock();
+            loop {
+                if let Some(v) = state.queue.pop_front() {
+                    let wake = state.send_waiting > 0;
+                    drop(state);
+                    if wake {
+                        self.inner.not_full.notify_one();
+                    }
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state.recv_waiting += 1;
+                state = self
+                    .inner
+                    .not_empty
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+                state.recv_waiting -= 1;
+            }
+        }
+
+        /// Receives without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.inner.lock();
+            if let Some(v) = state.queue.pop_front() {
+                let wake = state.send_waiting > 0;
+                drop(state);
+                if wake {
+                    self.inner.not_full.notify_one();
+                }
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Receives, blocking at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.inner.lock();
+            loop {
+                if let Some(v) = state.queue.pop_front() {
+                    let wake = state.send_waiting > 0;
+                    drop(state);
+                    if wake {
+                        self.inner.not_full.notify_one();
+                    }
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                state.recv_waiting += 1;
+                let (guard, _) = self
+                    .inner
+                    .not_empty
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                state = guard;
+                state.recv_waiting -= 1;
+            }
+        }
+
+        /// Non-blocking iterator draining whatever is queued right now.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { receiver: self }
+        }
+
+        /// Blocking iterator; ends when every sender is gone.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.lock().queue.len()
+        }
+
+        /// True when nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.lock().receivers += 1;
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.lock();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+
+    /// Iterator for [`Receiver::try_iter`].
+    pub struct TryIter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.try_recv().ok()
+        }
+    }
+
+    /// Iterator for [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn unbounded_fifo() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![1, 2]);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn bounded_try_send_fills() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert!(tx.is_full());
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![2, 3]);
+        }
+
+        #[test]
+        fn force_send_drops_oldest() {
+            let (tx, rx) = bounded(2);
+            assert_eq!(tx.force_send(1), Ok(None));
+            assert_eq!(tx.force_send(2), Ok(None));
+            assert_eq!(tx.force_send(3), Ok(Some(1)));
+            assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![2, 3]);
+        }
+
+        #[test]
+        fn disconnect_signalling() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = unbounded();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            let handle = thread::spawn(move || {
+                thread::sleep(Duration::from_millis(20));
+                tx.send(9).unwrap();
+            });
+            assert_eq!(rx.recv_timeout(Duration::from_secs(2)), Ok(9));
+            handle.join().unwrap();
+        }
+
+        #[test]
+        fn mpmc_cross_thread() {
+            let (tx, rx) = bounded(4);
+            let producers: Vec<_> = (0..3)
+                .map(|p| {
+                    let tx = tx.clone();
+                    thread::spawn(move || {
+                        for i in 0..100u32 {
+                            tx.send(p * 1000 + i).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            drop(tx);
+            let collector = thread::spawn(move || rx.iter().count());
+            for h in producers {
+                h.join().unwrap();
+            }
+            assert_eq!(collector.join().unwrap(), 300);
+        }
+    }
+}

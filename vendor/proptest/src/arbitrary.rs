@@ -1,0 +1,79 @@
+//! The [`any`] strategy and the [`Arbitrary`] trait.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use core::marker::PhantomData;
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over the full domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite values across many magnitudes (no NaN/inf: upstream's
+    /// default `any::<f64>()` likewise excludes them unless asked).
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let exp = (rng.next_u64() % 41) as i32 - 20;
+        let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+        sign * unit * 10f64.powi(exp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_u8_covers_all_octets_eventually() {
+        let mut rng = TestRng::for_test("any_u8_covers");
+        let mut seen = [false; 256];
+        for _ in 0..20_000 {
+            seen[u8::arbitrary(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn any_f64_is_finite() {
+        let mut rng = TestRng::for_test("any_f64_finite");
+        for _ in 0..10_000 {
+            assert!(f64::arbitrary(&mut rng).is_finite());
+        }
+    }
+}

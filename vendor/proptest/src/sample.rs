@@ -1,0 +1,43 @@
+//! Sampling helpers (`prop::sample`).
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// An index into a collection whose length is only known at use time.
+///
+/// Mirrors `proptest::sample::Index`: generate one with
+/// `any::<Index>()`, then project it onto a concrete length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Maps this abstract index onto `0..len`.
+    ///
+    /// # Panics
+    /// If `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_always_in_bounds() {
+        let mut rng = TestRng::for_test("index_bounds");
+        for len in [1usize, 2, 7, 1000] {
+            for _ in 0..200 {
+                assert!(Index::arbitrary(&mut rng).index(len) < len);
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The [`Strategy`] trait and combinators.
+
+use crate::test_runner::TestRng;
+use core::ops::Range;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream, strategies here are generate-only (no value tree /
+/// shrinking); `generate` must be deterministic given the RNG state.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`, retrying a bounded number
+    /// of times (upstream rejects globally; here it panics if the
+    /// predicate is pathologically narrow).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            base: self,
+            pred,
+            whence,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy yielding one constant value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone, Copy)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone, Copy)]
+pub struct Filter<S, F> {
+    base: S,
+    pred: F,
+    whence: &'static str,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.base.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 candidates: {}", self.whence);
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::for_test("ranges_respect_bounds");
+        for _ in 0..1_000 {
+            let u = (5u64..17).generate(&mut rng);
+            assert!((5..17).contains(&u));
+            let i = (-10i64..-2).generate(&mut rng);
+            assert!((-10..-2).contains(&i));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let mut rng = TestRng::for_test("map_and_tuple_compose");
+        let s = (1u64..10, 0.0f64..1.0).prop_map(|(n, x)| n as f64 + x);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((1.0..11.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn filter_retries() {
+        let mut rng = TestRng::for_test("filter_retries");
+        let s = (0u64..100).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut rng) % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! String strategies: `&str` patterns as strategies.
+//!
+//! Upstream interprets a `&str` strategy as a full regex. This
+//! stand-in honours only the piece the workspace uses — a trailing
+//! `{lo,hi}` repetition bound — and generates printable, non-control
+//! characters (the `\PC` class), which is exactly what the CSV-decoder
+//! robustness test feeds.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Printable sample alphabet: ASCII plus a few multi-byte characters so
+/// decoders see non-trivial UTF-8.
+const EXTRA: [char; 8] = ['é', 'λ', 'Ж', '→', '∀', '中', '🦀', '\u{00A0}'];
+
+fn repetition_bounds(pattern: &str) -> (usize, usize) {
+    // Parse a trailing "{lo,hi}" if present; otherwise default 0..=64.
+    if let Some(open) = pattern.rfind('{') {
+        if let Some(close) = pattern[open..].find('}') {
+            let body = &pattern[open + 1..open + close];
+            if let Some((lo, hi)) = body.split_once(',') {
+                if let (Ok(lo), Ok(hi)) = (lo.trim().parse(), hi.trim().parse()) {
+                    return (lo, hi);
+                }
+            } else if let Ok(n) = body.trim().parse::<usize>() {
+                return (n, n);
+            }
+        }
+    }
+    (0, 64)
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = repetition_bounds(self);
+        let span = (hi - lo + 1) as u64;
+        let n = lo + (rng.next_u64() % span) as usize;
+        (0..n)
+            .map(|_| {
+                let roll = rng.next_u64();
+                if roll.is_multiple_of(8) {
+                    EXTRA[(roll >> 8) as usize % EXTRA.len()]
+                } else {
+                    // Printable ASCII: 0x20..=0x7E.
+                    char::from(0x20 + ((roll >> 8) % 95) as u8)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honours_trailing_repetition_bound() {
+        let mut rng = TestRng::for_test("string_bounds");
+        for _ in 0..300 {
+            let s = "\\PC{0,40}".generate(&mut rng);
+            assert!(s.chars().count() <= 40);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn exact_repetition() {
+        let mut rng = TestRng::for_test("string_exact");
+        let s = "x{7}".generate(&mut rng);
+        assert_eq!(s.chars().count(), 7);
+    }
+}

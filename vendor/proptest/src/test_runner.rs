@@ -1,0 +1,74 @@
+//! Test configuration and the deterministic RNG behind strategies.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cell::Cell;
+
+/// Per-test configuration (upstream-compatible subset).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+thread_local! {
+    /// The case index currently executing (for failure messages).
+    pub static CURRENT_CASE: Cell<u32> = const { Cell::new(0) };
+}
+
+/// The RNG strategies draw from. Seeded from the test's fully qualified
+/// name so every run of `cargo test` explores the identical sequence —
+/// failures always reproduce.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// Creates the deterministic RNG for one named test.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            inner: SmallRng::seed_from_u64(h),
+        }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TestRng::for_test("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

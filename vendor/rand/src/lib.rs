@@ -1,0 +1,198 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace draws every variate through `twofd_sim::SimRng`, which
+//! needs only `SmallRng`, `SeedableRng::seed_from_u64`, `Rng::gen` for
+//! `u64`/`f64` and `Rng::gen_range` over integer ranges. This crate
+//! provides exactly that, with `SmallRng` implemented as xoshiro256++ —
+//! the same algorithm upstream `rand 0.8` uses for `SmallRng` on 64-bit
+//! targets — seeded through SplitMix64 as recommended by its authors.
+
+#![forbid(unsafe_code)]
+
+use core::ops::Range;
+
+/// Types constructible from an explicit seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface over a uniform 64-bit source.
+pub trait Rng {
+    /// The next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform value of type `T` (standard distribution).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniform value in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    /// If the range is empty.
+    fn gen_range<T: UniformInt>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+}
+
+/// Standard-distribution sampling for primitive types.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (upstream layout).
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types supporting uniform range sampling.
+pub trait UniformInt: Sized {
+    /// Draws uniformly from `[range.start, range.end)`.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = range.end.wrapping_sub(range.start) as u64;
+                // Multiply-shift with rejection (Lemire) for unbiased draws.
+                let zone = u64::MAX - (u64::MAX - span + 1) % span;
+                loop {
+                    let v = rng.next_u64();
+                    if v <= zone {
+                        return range.start.wrapping_add((v % span) as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256++ — small, fast, and statistically strong; the same
+    /// algorithm upstream `rand 0.8` ships as `SmallRng` on 64-bit.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_in_bounds_and_covers() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(0u64..10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Nothing in this workspace serializes through serde (the trace codecs
+//! are hand-written); the types merely carry `Serialize`/`Deserialize`
+//! derives for forward compatibility. This stand-in supplies the trait
+//! names and re-exports no-op derive macros so those annotations
+//! compile offline.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace annotates its config/record types with
+//! `#[derive(Serialize, Deserialize)]` so they are ready for a real
+//! serializer, but nothing in-tree performs serialization (there is no
+//! `serde_json`/`bincode` dependency — the trace codecs are hand
+//! written). These derives therefore only need to *accept* the
+//! annotations, including `#[serde(...)]` helper attributes, and emit
+//! nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
