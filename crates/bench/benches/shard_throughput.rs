@@ -1,5 +1,6 @@
 //! Heartbeat ingest throughput: sharded runtime vs the single-mutex
-//! baseline it replaced.
+//! baseline it replaced, and inline enum dispatch vs the boxed
+//! `Box<dyn FailureDetector>` storage *it* replaced.
 //!
 //! The old `FleetMonitor` applied every heartbeat to a global
 //! `Mutex<ProcessSet>` *on the socket thread*, and suspicion was only
@@ -15,6 +16,14 @@
 //! * sharded observed: the reader drains the pushed event channel and
 //!   polls `stats()`, which takes one shard lock at a time; intake is a
 //!   route + bounded-queue push that never touches a detector lock.
+//!
+//! The boxed-vs-inline section runs the *same* single-threaded
+//! `ProcessSet` workload twice: once with detectors stored as
+//! `Box<dyn FailureDetector + Send>` behind the `SharedFactory` compat
+//! builder (per-stream heap allocation + vtable per call, the pre-spec
+//! storage), once stored inline as `AnyDetector` via `DetectorConfig`
+//! (match dispatch, contiguous entries). Single-threaded on purpose:
+//! it isolates dispatch/allocation cost from scheduling noise.
 //!
 //! The quiescent (no reader) variants are printed too, for honesty: with
 //! nobody reading, a single uncontended mutex is hard to beat and the
@@ -34,16 +43,34 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use twofd_bench::samples_from_env;
-use twofd_core::{FailureDetector, ProcessSet, TwoWindowFd};
+use twofd_core::{
+    DetectorBuilder, DetectorConfig, DetectorSpec, FailureDetector, ProcessSet, SharedFactory,
+    TwoWindowFd,
+};
 use twofd_net::{ManualClock, ShardConfig, ShardRuntime, TimeSource};
 use twofd_sim::time::{Nanos, Span};
 
-const STREAMS: u64 = 10_000;
 const INTERVAL: Span = Span(100_000_000); // 100 ms
 
-type Factory = Arc<dyn Fn(&u64) -> Box<dyn FailureDetector + Send> + Send + Sync>;
+/// Stream cardinality; override with `TWOFD_BENCH_STREAMS`. The default
+/// 10 000 matches the fleet-monitoring scenario; small values keep the
+/// whole detector table cache-resident, which isolates dispatch cost
+/// from working-set effects in the boxed-vs-inline section.
+fn stream_count() -> u64 {
+    std::env::var("TWOFD_BENCH_STREAMS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000)
+}
 
-fn factory() -> Factory {
+/// The spec-driven (inline `AnyDetector`) construction path.
+fn inline_config() -> DetectorConfig {
+    DetectorConfig::new(DetectorSpec::TwoWindow { n1: 1, n2: 100 }, INTERVAL, 0.04)
+}
+
+/// The pre-spec storage: the same detector boxed behind the type-erased
+/// compat builder, exactly as the runtime used to hold it.
+fn boxed_builder() -> SharedFactory<u64> {
     Arc::new(|_stream: &u64| {
         Box::new(TwoWindowFd::new(1, 100, INTERVAL, Span::from_millis(40)))
             as Box<dyn FailureDetector + Send>
@@ -51,14 +78,14 @@ fn factory() -> Factory {
 }
 
 /// Round-robin heartbeat schedule: every stream beats once per interval.
-fn schedule(total: u64) -> Vec<(u64, u64, Nanos)> {
-    let beats = total.div_ceil(STREAMS);
-    let mut jobs = Vec::with_capacity((beats * STREAMS) as usize);
+fn schedule(total: u64, streams: u64) -> Vec<(u64, u64, Nanos)> {
+    let beats = total.div_ceil(streams);
+    let mut jobs = Vec::with_capacity((beats * streams) as usize);
     for seq in 1..=beats {
-        for stream in 0..STREAMS {
+        for stream in 0..streams {
             // Spread arrivals inside the interval so per-stream inter-
             // arrival times stay realistic.
-            let at = Nanos(seq * INTERVAL.0 + stream * (INTERVAL.0 / STREAMS));
+            let at = Nanos(seq * INTERVAL.0 + stream * (INTERVAL.0 / streams));
             jobs.push((stream, seq, at));
         }
     }
@@ -87,8 +114,14 @@ fn best_of(mut measure: impl FnMut() -> (f64, f64)) -> (f64, f64) {
 /// The pre-shard design: heartbeats applied inline under one global
 /// lock. With `observed`, a reader thread polls `statuses()` on that
 /// lock throughout — the only way the old design surfaced transitions.
-fn baseline(jobs: &[(u64, u64, Nanos)], observed: bool) -> f64 {
-    let set = Arc::new(parking_lot::Mutex::new(ProcessSet::new(factory())));
+/// Generic over the builder so the same workload measures boxed vs
+/// inline detector storage.
+fn baseline<B>(jobs: &[(u64, u64, Nanos)], builder: B, observed: bool) -> f64
+where
+    B: DetectorBuilder<u64> + Send + 'static,
+    B::Detector: Send,
+{
+    let set = Arc::new(parking_lot::Mutex::new(ProcessSet::new(builder)));
     let stop = Arc::new(AtomicBool::new(false));
     let reader = observed.then(|| {
         let set = Arc::clone(&set);
@@ -114,6 +147,29 @@ fn baseline(jobs: &[(u64, u64, Nanos)], observed: bool) -> f64 {
     rate(jobs.len(), elapsed)
 }
 
+/// Single-threaded sweep pass over the whole table, as the shard workers
+/// run it between batches. Returns the sweep-loop rate (streams/s).
+fn sweep_rate<B>(jobs: &[(u64, u64, Nanos)], builder: B, sweeps: usize) -> f64
+where
+    B: DetectorBuilder<u64>,
+{
+    let mut set = ProcessSet::new(builder);
+    for &(stream, seq, at) in jobs {
+        set.on_heartbeat(stream, seq, at);
+    }
+    let horizon = jobs.last().unwrap().2 + Span::from_secs(60);
+    let mut events = Vec::new();
+    let t0 = Instant::now();
+    for _ in 0..sweeps {
+        // counts() walks every entry's current decision — the same
+        // cache-locality-bound scan the sweeper and stats path pay.
+        std::hint::black_box(set.counts(horizon));
+        set.sweep(horizon, &mut events);
+        events.clear();
+    }
+    rate(sweeps * set.len(), t0.elapsed())
+}
+
 /// The sharded runtime. With `observed`, a reader drains the event
 /// channel and polls `stats()` throughout. Returns (intake, end-to-end)
 /// rates; intake is the socket-thread handoff rate, end-to-end includes
@@ -127,6 +183,7 @@ fn sharded(
     let clock = Arc::new(ManualClock::new());
     let rt = Arc::new(ShardRuntime::new(
         ShardConfig {
+            detector: inline_config().into(),
             n_shards,
             // Sized so backpressure never drops during the bench: we are
             // measuring throughput, not shedding.
@@ -134,7 +191,6 @@ fn sharded(
             sweep_interval,
             event_capacity: 1 << 15,
         },
-        factory(),
         clock.clone() as Arc<dyn TimeSource>,
     ));
     clock.advance_to(jobs.last().unwrap().2);
@@ -175,17 +231,35 @@ fn sharded(
 
 fn main() {
     let total = samples_from_env(200_000);
-    let jobs = schedule(total);
+    let streams = stream_count();
+    let jobs = schedule(total, streams);
     println!(
         "# shard_throughput: {} heartbeats across {} streams ({} cores visible)",
         jobs.len(),
-        STREAMS,
+        streams,
         std::thread::available_parallelism().map_or(1, usize::from),
     );
 
-    let (quiet_base, _) = best_of(|| (baseline(&jobs, false), 0.0));
-    println!("baseline quiescent:  {quiet_base:>12.0} hb/s (no reader; intake == end-to-end)");
-    let (observed_base, _) = best_of(|| (baseline(&jobs, true), 0.0));
+    println!("\n# dispatch (single-threaded ProcessSet, same workload, no scheduling noise)");
+    let (boxed_quiet, _) = best_of(|| (baseline(&jobs, boxed_builder(), false), 0.0));
+    println!("boxed   heartbeat path: {boxed_quiet:>12.0} hb/s (Box<dyn> + vtable, pre-spec)");
+    let (inline_quiet, _) = best_of(|| (baseline(&jobs, inline_config(), false), 0.0));
+    println!(
+        "inline  heartbeat path: {inline_quiet:>12.0} hb/s (AnyDetector, {:>6.2}x boxed)",
+        inline_quiet / boxed_quiet
+    );
+    const SWEEPS: usize = 50;
+    let (boxed_sweep, _) = best_of(|| (sweep_rate(&jobs, boxed_builder(), SWEEPS), 0.0));
+    println!("boxed   sweep/scan:     {boxed_sweep:>12.0} streams/s");
+    let (inline_sweep, _) = best_of(|| (sweep_rate(&jobs, inline_config(), SWEEPS), 0.0));
+    println!(
+        "inline  sweep/scan:     {inline_sweep:>12.0} streams/s ({:>6.2}x boxed)",
+        inline_sweep / boxed_sweep
+    );
+
+    let quiet_base = inline_quiet;
+    let (observed_base, _) = best_of(|| (baseline(&jobs, inline_config(), true), 0.0));
+    println!("\nbaseline quiescent:  {quiet_base:>12.0} hb/s (no reader; intake == end-to-end)");
     println!(
         "baseline observed:   {observed_base:>12.0} hb/s (statuses() reader on the same lock)"
     );

@@ -10,7 +10,7 @@ use crate::report::{Figure, Series};
 use twofd_core::{
     calibrate, mistakes_by_segment, replay, DetectorSpec, Mistake, NetworkBehavior, QosSpec,
 };
-use twofd_service::{analyze, load_report, AppRegistry, ServiceAlgorithm, ServiceAnalysis};
+use twofd_service::{analyze, load_report, AppRegistry, ServiceAnalysis};
 use twofd_sim::time::Span;
 use twofd_trace::{table1_segments, Trace, TraceStats, WanTraceConfig};
 
@@ -50,8 +50,8 @@ pub fn sweep(spec: &DetectorSpec, trace: &Trace, tunings: &[f64]) -> SweepCurve 
     let points = tunings
         .iter()
         .map(|&tuning| {
-            let mut fd = spec.build(trace.interval, tuning);
-            let m = replay(fd.as_mut(), trace).metrics();
+            let mut fd = spec.build_any(trace.interval, tuning);
+            let m = replay(&mut fd, trace).metrics();
             SweepPoint {
                 tuning,
                 td: m.detection_time,
@@ -133,8 +133,8 @@ pub fn fig8_segment_analysis(trace: &Trace, target_td: f64) -> Vec<SegmentedMist
         let Some(cal) = calibrate(&spec, trace, target_td, 0.002, 60.0) else {
             continue;
         };
-        let mut fd = spec.build(trace.interval, cal.tuning);
-        let result = replay(fd.as_mut(), trace);
+        let mut fd = spec.build_any(trace.interval, cal.tuning);
+        let result = replay(&mut fd, trace);
         let per_segment = mistakes_by_segment(&result.mistakes, &segments);
         out.push(SegmentedMistakes {
             label: spec.label(),
@@ -176,8 +176,8 @@ pub fn fig9_mistake_overlap(trace: &Trace, n1: usize, n2: usize, target_td: f64)
     let cal = calibrate(&two_spec, trace, target_td, 0.002, 60.0)
         .expect("calibration in range for the 2W-FD");
     let run = |spec: &DetectorSpec| -> Vec<Mistake> {
-        let mut fd = spec.build(trace.interval, cal.tuning);
-        replay(fd.as_mut(), trace).mistakes
+        let mut fd = spec.build_any(trace.interval, cal.tuning);
+        replay(&mut fd, trace).mistakes
     };
     let two_w = run(&two_spec);
     let chen_small = run(&DetectorSpec::Chen { window: n1 });
@@ -380,7 +380,7 @@ pub fn service_experiment(
     analyze(
         registry,
         net,
-        ServiceAlgorithm::Chen { window: 1000 },
+        &DetectorSpec::Chen { window: 1000 },
         horizon,
         trace_for_interval,
     )

@@ -27,8 +27,8 @@ pub struct Calibration {
 
 /// Measures the average detection time of `spec` at `tuning` on `trace`.
 pub fn measure_td(spec: &DetectorSpec, trace: &Trace, tuning: f64) -> f64 {
-    let mut fd = spec.build(trace.interval, tuning);
-    replay(fd.as_mut(), trace).metrics().detection_time
+    let mut fd = spec.build_any(trace.interval, tuning);
+    replay(&mut fd, trace).metrics().detection_time
 }
 
 /// Finds the knob value at which `spec`'s average detection time on

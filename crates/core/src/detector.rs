@@ -75,6 +75,33 @@ pub trait FailureDetector {
     }
 }
 
+/// Type-erasure compatibility: a boxed detector is itself a detector,
+/// so generic containers (e.g. [`crate::multi::ProcessSet`]) accept
+/// either an inline [`crate::suite::AnyDetector`] or a
+/// `Box<dyn FailureDetector + Send>` for implementations outside the
+/// paper's suite. Runtime hot paths should store detectors inline.
+impl FailureDetector for Box<dyn FailureDetector + Send> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn on_heartbeat(&mut self, seq: u64, arrival: Nanos) -> Option<Decision> {
+        (**self).on_heartbeat(seq, arrival)
+    }
+
+    fn current_decision(&self) -> Option<Decision> {
+        (**self).current_decision()
+    }
+
+    fn last_seq(&self) -> Option<u64> {
+        (**self).last_seq()
+    }
+
+    fn output_at(&self, t: Nanos) -> FdOutput {
+        (**self).output_at(t)
+    }
+}
+
 /// Freshness bookkeeping shared by all detector implementations.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct FreshnessState {

@@ -63,7 +63,7 @@ pub use netest::NetworkEstimator;
 pub use phi::{PhiAccrualFd, PhiConfig};
 pub use qos::{configure, recurrence_lower_bound, ConfigError, FdConfig, NetworkBehavior, QosSpec};
 pub use replay::{detect_crash, replay, ReplayResult};
-pub use suite::DetectorSpec;
+pub use suite::{AnyDetector, DetectorConfig, DetectorSpec, ParseSpecError};
 pub use timeline::{Timeline, Transition};
 pub use twofd::{MultiWindowFd, TwoWindowFd};
 

@@ -33,8 +33,20 @@
 //! deletion: each fresh heartbeat pushes its new horizon and stale
 //! entries are discarded when popped, so a sweep costs O(expired · log n)
 //! rather than O(streams).
+//!
+//! ## Inline detector storage
+//!
+//! A [`ProcessSet`] stores its builder's concrete
+//! [`DetectorBuilder::Detector`] type **inline** in the stream table.
+//! With a spec-driven builder (a [`DetectorConfig`], or the fleet
+//! runtime's per-stream plan) that type is [`crate::AnyDetector`]: no
+//! per-stream heap allocation, and every `on_heartbeat`/`output_at` on
+//! the hot path dispatches through a `match` instead of a vtable.
+//! Closures returning `Box<dyn FailureDetector + Send>` still work for
+//! detector implementations outside the paper's suite.
 
 use crate::detector::{Decision, FailureDetector, FdOutput};
+use crate::suite::{AnyDetector, DetectorConfig};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::hash::Hash;
@@ -43,30 +55,53 @@ use twofd_sim::time::Nanos;
 
 /// Builds the failure detector for a newly seen process.
 ///
-/// Implemented for every `Fn(&K) -> Box<dyn FailureDetector + Send>`
-/// closure and for `Arc`-wrapped factories, so one factory can be shared
-/// across the shards of a partitioned monitor without a global lock.
+/// Implemented for `Fn(&K) -> D` closures (for any detector type `D`,
+/// boxed or inline), for `Arc`-wrapped factories so one factory can be
+/// shared across the shards of a partitioned monitor without a global
+/// lock, and for [`DetectorConfig`] — the spec-based constructor that
+/// gives every process the same inline [`AnyDetector`].
 pub trait DetectorBuilder<K> {
+    /// The concrete detector type constructed, stored inline in the
+    /// process table.
+    type Detector: FailureDetector;
+
     /// Constructs the detector instance for process `key`.
-    fn build(&self, key: &K) -> Box<dyn FailureDetector + Send>;
+    fn build(&self, key: &K) -> Self::Detector;
 }
 
-impl<K, F> DetectorBuilder<K> for F
+impl<K, D, F> DetectorBuilder<K> for F
 where
-    F: Fn(&K) -> Box<dyn FailureDetector + Send>,
+    D: FailureDetector,
+    F: Fn(&K) -> D,
 {
-    fn build(&self, key: &K) -> Box<dyn FailureDetector + Send> {
+    type Detector = D;
+
+    fn build(&self, key: &K) -> D {
         self(key)
     }
 }
 
-/// An `Arc`-shared detector factory: clone one factory across the
-/// shards of a partitioned monitor without a global lock.
+/// An `Arc`-shared type-erased detector factory: compatibility surface
+/// for detector implementations outside the paper's suite. Spec-driven
+/// callers should prefer [`DetectorConfig`] (or the fleet runtime's
+/// plan), which build inline and allocation-free.
 pub type SharedFactory<K> = Arc<dyn Fn(&K) -> Box<dyn FailureDetector + Send> + Send + Sync>;
 
 impl<K> DetectorBuilder<K> for SharedFactory<K> {
+    type Detector = Box<dyn FailureDetector + Send>;
+
     fn build(&self, key: &K) -> Box<dyn FailureDetector + Send> {
         (self)(key)
+    }
+}
+
+/// The spec-based constructor: every process gets the same recipe,
+/// instantiated inline.
+impl<K> DetectorBuilder<K> for DetectorConfig {
+    type Detector = AnyDetector;
+
+    fn build(&self, _key: &K) -> AnyDetector {
+        DetectorConfig::build(self)
     }
 }
 
@@ -95,17 +130,20 @@ pub struct ProcessStatus<K> {
     pub trust_until: Option<Nanos>,
 }
 
-struct Entry {
-    fd: Box<dyn FailureDetector + Send>,
+struct Entry<D> {
+    /// The detector itself, stored inline: with a spec-driven builder
+    /// this is an [`AnyDetector`], so the hot path never chases a
+    /// per-stream heap pointer or vtable.
+    fd: D,
     /// Last output published as a [`StreamTransition`]; processes start
     /// as (implicitly published) `Suspect`.
     last_published: FdOutput,
 }
 
 /// A bank of per-process failure detectors.
-pub struct ProcessSet<K, B> {
+pub struct ProcessSet<K, B: DetectorBuilder<K>> {
     builder: B,
-    detectors: HashMap<K, Entry>,
+    detectors: HashMap<K, Entry<B::Detector>>,
     /// Min-heap of `(trust_until, key)` expiry candidates, lazily
     /// deleted: entries outdated by fresher heartbeats are skipped when
     /// popped.
@@ -393,6 +431,25 @@ mod tests {
         let mut s = ProcessSet::new(factory);
         s.on_heartbeat(7u64, 1, hb(1));
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn detector_config_builds_inline_detectors() {
+        // A spec-driven set stores `AnyDetector` values inline — no
+        // boxing anywhere in the type.
+        let mut s: ProcessSet<u64, DetectorConfig> = ProcessSet::new(DetectorConfig::default());
+        s.on_heartbeat(7u64, 1, hb(1));
+        s.on_heartbeat(8u64, 1, hb(1));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.output(&7, hb(1) + Span(1)), Some(FdOutput::Trust));
+    }
+
+    #[test]
+    fn inline_closures_build_unboxed_detectors() {
+        // Closures may return concrete detector types directly.
+        let mut s = ProcessSet::new(|_k: &u64| TwoWindowFd::new(1, 100, DI, Span::from_millis(40)));
+        s.on_heartbeat(1u64, 1, hb(1));
+        assert_eq!(s.output(&1, hb(1) + Span(1)), Some(FdOutput::Trust));
     }
 
     #[test]

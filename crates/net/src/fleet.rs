@@ -26,9 +26,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
-use twofd_core::{FdOutput, ProcessStatus};
+use twofd_core::{DetectorConfig, FdOutput, ProcessStatus};
 
-pub use crate::shard::DetectorFactory;
+pub use crate::shard::DetectorPlan;
 
 /// Handle to a running fleet monitor. Dropping it stops the ingestion
 /// thread and all shard workers.
@@ -42,14 +42,20 @@ pub struct FleetMonitor {
 
 impl FleetMonitor {
     /// Binds a localhost socket and starts demultiplexing heartbeats
-    /// with the default [`ShardConfig`].
-    pub fn spawn(factory: DetectorFactory) -> io::Result<FleetMonitor> {
-        Self::spawn_with(ShardConfig::default(), factory)
+    /// with the default [`ShardConfig`]: every stream gets `detector`
+    /// (a `DetectorSpec` recipe — the paper's `2w-fd(1,1000)` if you
+    /// pass `DetectorConfig::default()`).
+    pub fn spawn(detector: DetectorConfig) -> io::Result<FleetMonitor> {
+        Self::spawn_with(ShardConfig {
+            detector: detector.into(),
+            ..ShardConfig::default()
+        })
     }
 
     /// Binds a localhost socket and starts demultiplexing heartbeats
-    /// into a sharded runtime tuned by `config`.
-    pub fn spawn_with(config: ShardConfig, factory: DetectorFactory) -> io::Result<FleetMonitor> {
+    /// into a sharded runtime tuned by `config` (including its
+    /// [`DetectorPlan`]).
+    pub fn spawn_with(config: ShardConfig) -> io::Result<FleetMonitor> {
         let socket = UdpSocket::bind(("127.0.0.1", 0))?;
         let local_addr = socket.local_addr()?;
         // Short read timeout so the thread notices stop requests.
@@ -58,7 +64,6 @@ impl FleetMonitor {
         let clock = Arc::new(MonotonicClock::new());
         let runtime = Arc::new(ShardRuntime::new(
             config,
-            factory,
             Arc::clone(&clock) as Arc<dyn TimeSource>,
         ));
         let stop = Arc::new(AtomicBool::new(false));
@@ -185,17 +190,44 @@ mod tests {
     use super::*;
     use crate::sender::HeartbeatSender;
     use std::time::Instant;
-    use twofd_core::{FailureDetector, TwoWindowFd};
+    use twofd_core::{DetectorBuilder, DetectorSpec, FailureDetector};
     use twofd_sim::time::Span;
 
-    fn factory(interval: Span, margin: Span) -> DetectorFactory {
-        Arc::new(move |_stream: &u64| {
-            Box::new(TwoWindowFd::new(1, 100, interval, margin)) as Box<dyn FailureDetector + Send>
-        })
+    fn config(interval: Span, margin: Span) -> DetectorConfig {
+        DetectorConfig::new(
+            DetectorSpec::TwoWindow { n1: 1, n2: 100 },
+            interval,
+            margin.as_secs_f64(),
+        )
     }
 
     fn fleet(interval: Span, margin: Span) -> FleetMonitor {
-        FleetMonitor::spawn(factory(interval, margin)).expect("bind fleet monitor")
+        FleetMonitor::spawn(config(interval, margin)).expect("bind fleet monitor")
+    }
+
+    /// Regression test: the default plan must be the paper's
+    /// `2w-fd(1,1000)` configuration, not an ad-hoc window pair. (An
+    /// earlier revision hardcoded `(1, 100)` here, silently diverging
+    /// from the paper's evaluation setup.)
+    #[test]
+    fn default_shard_config_uses_papers_two_window() {
+        let config = ShardConfig::default();
+        assert_eq!(config.detector.build(&7).name(), "2w-fd(1,1000)");
+        assert_eq!(
+            config.detector.config_for(&7).spec,
+            DetectorSpec::TwoWindow { n1: 1, n2: 1000 }
+        );
+        // ...and it is overridable via config.
+        let custom = ShardConfig {
+            detector: DetectorConfig::new(
+                DetectorSpec::Chen { window: 500 },
+                Span::from_millis(10),
+                0.05,
+            )
+            .into(),
+            ..ShardConfig::default()
+        };
+        assert_eq!(custom.detector.build(&7).name(), "chen(500)");
     }
 
     fn wait_for(mut cond: impl FnMut() -> bool, timeout: Duration) -> bool {

@@ -28,8 +28,8 @@ pub mod shard;
 pub mod wire;
 
 pub use clock::{ManualClock, MonotonicClock, TimeSource};
-pub use fleet::{DetectorFactory, FleetMonitor};
+pub use fleet::FleetMonitor;
 pub use monitor::{Monitor, TransitionEvent};
 pub use sender::HeartbeatSender;
-pub use shard::{FleetEvent, RuntimeStats, ShardConfig, ShardRuntime, ShardStats};
+pub use shard::{DetectorPlan, FleetEvent, RuntimeStats, ShardConfig, ShardRuntime, ShardStats};
 pub use wire::{Heartbeat, WireError, WIRE_SIZE};

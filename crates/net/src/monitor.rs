@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
-use twofd_core::{FailureDetector, FdOutput, NetworkEstimator};
+use twofd_core::{AnyDetector, DetectorConfig, FailureDetector, FdOutput, NetworkEstimator};
 use twofd_sim::time::Nanos;
 
 /// A Trust/Suspect transition event for one registered detector.
@@ -35,7 +35,9 @@ pub struct TransitionEvent {
 }
 
 struct Inner {
-    detectors: Vec<Box<dyn FailureDetector + Send>>,
+    /// Inline, statically dispatched detectors — one per registered
+    /// spec, in registration order.
+    detectors: Vec<AnyDetector>,
     estimator: NetworkEstimator,
     last_outputs: Vec<FdOutput>,
 }
@@ -65,10 +67,11 @@ pub struct Monitor {
 }
 
 impl Monitor {
-    /// Binds a fresh localhost socket and starts receiving, feeding the
-    /// given detectors (at least one required). The event channel holds
-    /// up to [`DEFAULT_EVENT_CAPACITY`] undrained transitions.
-    pub fn spawn(detectors: Vec<Box<dyn FailureDetector + Send>>) -> io::Result<Monitor> {
+    /// Binds a fresh localhost socket and starts receiving, building one
+    /// detector per spec-based recipe (at least one required). The event
+    /// channel holds up to [`DEFAULT_EVENT_CAPACITY`] undrained
+    /// transitions.
+    pub fn spawn(detectors: Vec<DetectorConfig>) -> io::Result<Monitor> {
         Self::spawn_with_event_capacity(detectors, DEFAULT_EVENT_CAPACITY)
     }
 
@@ -76,10 +79,11 @@ impl Monitor {
     /// Transitions that would overflow the channel are dropped and
     /// counted in [`Monitor::events_dropped`].
     pub fn spawn_with_event_capacity(
-        detectors: Vec<Box<dyn FailureDetector + Send>>,
+        detectors: Vec<DetectorConfig>,
         event_capacity: usize,
     ) -> io::Result<Monitor> {
         assert!(!detectors.is_empty(), "monitor needs at least one detector");
+        let detectors: Vec<AnyDetector> = detectors.iter().map(DetectorConfig::build).collect();
         let socket = UdpSocket::bind(("127.0.0.1", 0))?;
         let local_addr = socket.local_addr()?;
         // Short read timeout so the thread notices stop requests.
@@ -161,6 +165,12 @@ impl Monitor {
         let now = self.shared.clock.now();
         let inner = self.shared.inner.lock();
         inner.detectors.iter().map(|d| d.output_at(now)).collect()
+    }
+
+    /// Detector names (e.g. `"2w-fd(1,1000)"`), in registration order.
+    pub fn detector_names(&self) -> Vec<String> {
+        let inner = self.shared.inner.lock();
+        inner.detectors.iter().map(|d| d.name()).collect()
     }
 
     /// Current `(pL, V(D))` estimate from observed heartbeats.
@@ -246,13 +256,13 @@ impl Drop for Monitor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use twofd_core::{ChenFd, TwoWindowFd};
+    use twofd_core::DetectorSpec;
     use twofd_sim::time::Span;
 
-    fn detectors(interval: Span) -> Vec<Box<dyn FailureDetector + Send>> {
+    fn detectors(interval: Span) -> Vec<DetectorConfig> {
         vec![
-            Box::new(TwoWindowFd::new(1, 100, interval, Span::from_millis(40))),
-            Box::new(ChenFd::new(100, interval, Span::from_millis(40))),
+            DetectorConfig::new(DetectorSpec::TwoWindow { n1: 1, n2: 100 }, interval, 0.04),
+            DetectorConfig::new(DetectorSpec::Chen { window: 100 }, interval, 0.04),
         ]
     }
 
@@ -260,6 +270,7 @@ mod tests {
     fn monitor_starts_suspecting() {
         let m = Monitor::spawn(detectors(Span::from_millis(10))).unwrap();
         assert_eq!(m.outputs(), vec![FdOutput::Suspect, FdOutput::Suspect]);
+        assert_eq!(m.detector_names(), vec!["2w-fd(1,100)", "chen(100)"]);
         assert_eq!(m.received(), 0);
     }
 

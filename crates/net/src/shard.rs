@@ -41,23 +41,85 @@
 use crate::clock::TimeSource;
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 use parking_lot::Mutex;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
-use twofd_core::{FailureDetector, FdOutput, ProcessSet, ProcessStatus, StreamTransition};
+use twofd_core::{
+    AnyDetector, DetectorBuilder, DetectorConfig, FdOutput, ProcessSet, ProcessStatus,
+    StreamTransition,
+};
 use twofd_sim::time::Nanos;
-
-/// Builds the detector for a newly seen stream; shared by all shards.
-pub type DetectorFactory = Arc<dyn Fn(&u64) -> Box<dyn FailureDetector + Send> + Send + Sync>;
 
 /// A Trust/Suspect transition of one monitored stream, as published by
 /// the sharded runtime.
 pub type FleetEvent = StreamTransition<u64>;
 
-/// Tuning knobs of the sharded runtime.
+/// How a shard builds the detector for a newly seen stream.
+///
+/// Every path goes through [`DetectorConfig`] — and therefore through
+/// `DetectorSpec`, the workspace's single construction recipe — so the
+/// per-stream detectors are inline [`AnyDetector`] values: no per-stream
+/// heap allocation, no vtable on the heartbeat hot path.
+#[derive(Clone)]
+pub enum DetectorPlan {
+    /// Every stream gets the same recipe (the common case).
+    Uniform(DetectorConfig),
+    /// Per-stream recipes, e.g. per-tenant QoS tiers. The closure
+    /// returns a *config*, not a detector, so construction still goes
+    /// through the one spec-based path.
+    PerStream(Arc<dyn Fn(&u64) -> DetectorConfig + Send + Sync>),
+}
+
+impl DetectorPlan {
+    /// The recipe used for stream `stream`.
+    pub fn config_for(&self, stream: &u64) -> DetectorConfig {
+        match self {
+            DetectorPlan::Uniform(config) => config.clone(),
+            DetectorPlan::PerStream(f) => f(stream),
+        }
+    }
+}
+
+impl Default for DetectorPlan {
+    /// The paper's configuration: `2w-fd(1,1000)` at the default
+    /// interval/margin of [`DetectorConfig::default`].
+    fn default() -> Self {
+        DetectorPlan::Uniform(DetectorConfig::default())
+    }
+}
+
+impl From<DetectorConfig> for DetectorPlan {
+    fn from(config: DetectorConfig) -> Self {
+        DetectorPlan::Uniform(config)
+    }
+}
+
+impl fmt::Debug for DetectorPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectorPlan::Uniform(config) => f.debug_tuple("Uniform").field(config).finish(),
+            DetectorPlan::PerStream(_) => f.debug_tuple("PerStream").field(&"<fn>").finish(),
+        }
+    }
+}
+
+impl DetectorBuilder<u64> for DetectorPlan {
+    type Detector = AnyDetector;
+
+    fn build(&self, stream: &u64) -> AnyDetector {
+        self.config_for(stream).build()
+    }
+}
+
+/// Tuning knobs of the sharded runtime, including which detector runs
+/// on each stream.
 #[derive(Debug, Clone)]
 pub struct ShardConfig {
+    /// How to build the detector for a newly seen stream. Defaults to
+    /// the paper's `2w-fd(1,1000)` recipe.
+    pub detector: DetectorPlan,
     /// Number of shard workers (streams are routed by `id % n_shards`).
     pub n_shards: usize,
     /// Per-shard heartbeat queue capacity; overflow drops the oldest
@@ -77,6 +139,7 @@ pub struct ShardConfig {
 impl Default for ShardConfig {
     fn default() -> Self {
         ShardConfig {
+            detector: DetectorPlan::default(),
             n_shards: 4,
             queue_capacity: 1024,
             sweep_interval: Duration::from_millis(5),
@@ -94,7 +157,7 @@ type Job = (u64, u64, Nanos); // (stream, seq, arrival)
 const MAX_BATCH: usize = 512;
 
 struct ShardShared {
-    set: Mutex<ProcessSet<u64, DetectorFactory>>,
+    set: Mutex<ProcessSet<u64, DetectorPlan>>,
     /// Heartbeats routed to this shard.
     received: AtomicU64,
     /// Heartbeats evicted by drop-oldest backpressure.
@@ -200,12 +263,12 @@ pub struct ShardRuntime {
 }
 
 impl ShardRuntime {
-    /// Starts `config.n_shards` workers building detectors via `factory`
-    /// and reading sweep times from `clock`.
+    /// Starts `config.n_shards` workers building detectors per
+    /// `config.detector` and reading sweep times from `clock`.
     ///
     /// # Panics
     /// If `n_shards` or `queue_capacity` is zero.
-    pub fn new(config: ShardConfig, factory: DetectorFactory, clock: Arc<dyn TimeSource>) -> Self {
+    pub fn new(config: ShardConfig, clock: Arc<dyn TimeSource>) -> Self {
         assert!(config.n_shards > 0, "need at least one shard");
         assert!(
             config.queue_capacity > 0,
@@ -218,7 +281,7 @@ impl ShardRuntime {
             .map(|i| {
                 let (tx, rx) = bounded::<Job>(config.queue_capacity);
                 let shared = Arc::new(ShardShared {
-                    set: Mutex::new(ProcessSet::new(Arc::clone(&factory))),
+                    set: Mutex::new(ProcessSet::new(config.detector.clone())),
                     received: AtomicU64::new(0),
                     dropped: AtomicU64::new(0),
                     processed: AtomicU64::new(0),
@@ -459,7 +522,7 @@ fn shard_worker(
 }
 
 fn apply(
-    set: &mut ProcessSet<u64, DetectorFactory>,
+    set: &mut ProcessSet<u64, DetectorPlan>,
     shared: &ShardShared,
     (stream, seq, arrival): Job,
     events: &mut Vec<FleetEvent>,
@@ -494,26 +557,24 @@ fn publish(
 mod tests {
     use super::*;
     use crate::clock::ManualClock;
-    use twofd_core::TwoWindowFd;
+    use twofd_core::DetectorSpec;
     use twofd_sim::time::Span;
 
     const DI: Span = Span(100_000_000); // 100 ms
 
-    fn factory() -> DetectorFactory {
-        Arc::new(|_stream: &u64| {
-            Box::new(TwoWindowFd::new(1, 100, DI, Span::from_millis(40)))
-                as Box<dyn FailureDetector + Send>
-        })
+    fn plan() -> DetectorPlan {
+        DetectorConfig::new(DetectorSpec::TwoWindow { n1: 1, n2: 100 }, DI, 0.04).into()
     }
 
     fn runtime_with_manual_clock(n_shards: usize) -> (ShardRuntime, Arc<ManualClock>) {
         let clock = Arc::new(ManualClock::new());
         let config = ShardConfig {
+            detector: plan(),
             n_shards,
             sweep_interval: Duration::from_millis(1),
             ..ShardConfig::default()
         };
-        let rt = ShardRuntime::new(config, factory(), clock.clone() as Arc<dyn TimeSource>);
+        let rt = ShardRuntime::new(config, clock.clone() as Arc<dyn TimeSource>);
         (rt, clock)
     }
 
@@ -587,12 +648,13 @@ mod tests {
         // mostly idles between 1 ms sweeps while we flood the queue.
         let clock = Arc::new(ManualClock::new());
         let config = ShardConfig {
+            detector: plan(),
             n_shards: 1,
             queue_capacity: 4,
             sweep_interval: Duration::from_millis(50),
             ..ShardConfig::default()
         };
-        let rt = ShardRuntime::new(config, factory(), clock.clone() as Arc<dyn TimeSource>);
+        let rt = ShardRuntime::new(config, clock.clone() as Arc<dyn TimeSource>);
         for seq in 1..=10_000u64 {
             rt.ingest(1, seq, hb(seq));
         }
@@ -615,6 +677,27 @@ mod tests {
         assert_eq!(rt.output(41), None);
         assert_eq!(rt.suspected(), vec![42]);
         assert!(!rt.is_empty());
+    }
+
+    #[test]
+    fn default_plan_is_the_papers_two_window() {
+        use twofd_core::FailureDetector;
+        assert_eq!(DetectorPlan::default().build(&0).name(), "2w-fd(1,1000)");
+    }
+
+    #[test]
+    fn per_stream_plans_pick_recipes_by_stream() {
+        use twofd_core::FailureDetector;
+        let plan = DetectorPlan::PerStream(Arc::new(|stream: &u64| {
+            let spec = if *stream % 2 == 0 {
+                DetectorSpec::Chen { window: 10 }
+            } else {
+                DetectorSpec::default()
+            };
+            DetectorConfig::new(spec, DI, 0.04)
+        }));
+        assert_eq!(plan.build(&0).name(), "chen(10)");
+        assert_eq!(plan.build(&1).name(), "2w-fd(1,1000)");
     }
 
     #[test]

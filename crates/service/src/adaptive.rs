@@ -19,8 +19,9 @@
 
 use crate::combine::{combine, CombineError, SharedConfig};
 use crate::registry::AppRegistry;
+use crate::shared::SharedServiceDetector;
 use serde::{Deserialize, Serialize};
-use twofd_core::NetworkEstimator;
+use twofd_core::{DetectorSpec, NetworkEstimator};
 use twofd_sim::delay::{DelayModel, DelaySpec};
 use twofd_sim::event::EventQueue;
 use twofd_sim::loss::{LossModel, LossSpec};
@@ -71,6 +72,9 @@ enum Event {
 /// Discrete-event simulation of a self-reconfiguring shared service.
 pub struct AdaptiveServiceSim {
     registry: AppRegistry,
+    /// Algorithm every application's detector is built from (via the
+    /// workspace-wide `DetectorSpec` path).
+    spec: DetectorSpec,
     reconfig_period: Span,
     queue: EventQueue<Event>,
     rng: SimRng,
@@ -113,6 +117,7 @@ impl AdaptiveServiceSim {
         };
         Ok(AdaptiveServiceSim {
             registry,
+            spec: DetectorSpec::default(),
             reconfig_period,
             queue: EventQueue::new(),
             rng: SimRng::seed_from_u64(seed),
@@ -139,9 +144,23 @@ impl AdaptiveServiceSim {
         self.loss = loss.build();
     }
 
+    /// Replaces the detector algorithm (default: the paper's
+    /// `2w-fd(1,1000)`). Affects detectors built *after* the call.
+    pub fn with_spec(mut self, spec: DetectorSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
     /// The configuration currently in force.
     pub fn current_config(&self) -> &SharedConfig {
         &self.current
+    }
+
+    /// Builds the per-application shared detector bank for the
+    /// configuration currently in force — what the monitoring host would
+    /// deploy after adopting it.
+    pub fn shared_detector(&self) -> SharedServiceDetector {
+        SharedServiceDetector::new(&self.current, &self.spec)
     }
 
     /// Runs the simulation until simulated time `until`, returning the
@@ -336,6 +355,24 @@ mod tests {
         // Interval still positive and sane.
         assert!(s.current_config().interval <= before.saturating_mul(4));
         assert!(!s.current_config().interval.is_zero());
+    }
+
+    #[test]
+    fn shared_detector_tracks_the_current_config() {
+        use twofd_sim::time::Nanos as N;
+        let mut s = sim(11).with_spec(DetectorSpec::Chen { window: 200 });
+        s.run_until(N::from_secs(300));
+        let mut svc = s.shared_detector();
+        assert_eq!(svc.len(), 2);
+        assert_eq!(svc.interval(), s.current_config().interval);
+        // The bank is live: heartbeats at the adopted interval establish
+        // trust for every application.
+        let di = svc.interval();
+        for seq in 1..=3u64 {
+            svc.on_heartbeat(seq, N(seq * di.0) + Span::from_millis(2));
+        }
+        let outs = svc.outputs_at(N(3 * di.0) + Span::from_millis(3));
+        assert!(outs.iter().all(|(_, o)| *o == twofd_core::FdOutput::Trust));
     }
 
     #[test]

@@ -18,9 +18,8 @@
 use crate::accounting::{load_report, LoadReport};
 use crate::combine::{combine, CombineError, SharedConfig};
 use crate::registry::{AppId, AppRegistry};
-use crate::shared::ServiceAlgorithm;
 use serde::{Deserialize, Serialize};
-use twofd_core::{replay, ChenFd, FailureDetector, NetworkBehavior, QosMetrics, TwoWindowFd};
+use twofd_core::{replay, DetectorConfig, DetectorSpec, NetworkBehavior, QosMetrics};
 use twofd_sim::time::Span;
 use twofd_trace::Trace;
 
@@ -57,19 +56,6 @@ pub struct ServiceAnalysis {
     pub load: LoadReport,
 }
 
-fn build_detector(
-    algorithm: ServiceAlgorithm,
-    interval: Span,
-    margin: Span,
-) -> Box<dyn FailureDetector + Send> {
-    match algorithm {
-        ServiceAlgorithm::Chen { window } => Box::new(ChenFd::new(window, interval, margin)),
-        ServiceAlgorithm::TwoWindow { n1, n2 } => {
-            Box::new(TwoWindowFd::new(n1, n2, interval, margin))
-        }
-    }
-}
-
 /// Runs the full shared-vs-dedicated analysis.
 ///
 /// `trace_for_interval` must produce a heartbeat trace of the *same
@@ -79,7 +65,7 @@ fn build_detector(
 pub fn analyze(
     registry: &AppRegistry,
     net: &NetworkBehavior,
-    algorithm: ServiceAlgorithm,
+    spec: &DetectorSpec,
     horizon: Span,
     mut trace_for_interval: impl FnMut(Span) -> Trace,
 ) -> Result<ServiceAnalysis, CombineError> {
@@ -98,16 +84,22 @@ pub fn analyze(
         } else {
             trace_for_interval(share.dedicated.interval)
         };
-        let mut fd = build_detector(
-            algorithm,
+        let mut fd = DetectorConfig::new(
+            spec.clone(),
             share.dedicated.interval,
-            share.dedicated.safety_margin,
-        );
-        let dedicated = replay(fd.as_mut(), &dedicated_trace).metrics();
+            share.dedicated.safety_margin.as_secs_f64(),
+        )
+        .build();
+        let dedicated = replay(&mut fd, &dedicated_trace).metrics();
 
         // Shared deployment.
-        let mut fd = build_detector(algorithm, config.interval, share.shared_margin);
-        let shared = replay(fd.as_mut(), &shared_trace).metrics();
+        let mut fd = DetectorConfig::new(
+            spec.clone(),
+            config.interval,
+            share.shared_margin.as_secs_f64(),
+        )
+        .build();
+        let shared = replay(&mut fd, &shared_trace).metrics();
 
         apps.push(AppQosComparison {
             id: share.id,
@@ -164,7 +156,7 @@ mod tests {
         let analysis = analyze(
             &registry(),
             &net(),
-            ServiceAlgorithm::default(),
+            &DetectorSpec::default(),
             Span::from_secs(3600),
             lossy_trace,
         )
@@ -178,7 +170,7 @@ mod tests {
         let analysis = analyze(
             &registry(),
             &net(),
-            ServiceAlgorithm::Chen { window: 1000 },
+            &DetectorSpec::Chen { window: 1000 },
             Span::from_secs(3600),
             lossy_trace,
         )
@@ -198,7 +190,7 @@ mod tests {
         let analysis = analyze(
             &registry(),
             &net(),
-            ServiceAlgorithm::default(),
+            &DetectorSpec::default(),
             Span::from_secs(60),
             lossy_trace,
         )
@@ -216,7 +208,7 @@ mod tests {
         let _ = analyze(
             &registry(),
             &net(),
-            ServiceAlgorithm::default(),
+            &DetectorSpec::default(),
             Span::from_secs(60),
             |_interval| lossy_trace(Span::from_millis(999)),
         );

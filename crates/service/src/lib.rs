@@ -26,4 +26,4 @@ pub use adaptive::{AdaptiveRunReport, AdaptiveServiceSim, ReconfigRecord};
 pub use analysis::{analyze, AppQosComparison, ServiceAnalysis};
 pub use combine::{combine, AppShare, CombineError, SharedConfig};
 pub use registry::{AppId, AppRegistry, AppRequirement};
-pub use shared::{ServiceAlgorithm, SharedServiceDetector};
+pub use shared::SharedServiceDetector;

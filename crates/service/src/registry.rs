@@ -111,6 +111,27 @@ impl AppRegistry {
             })
     }
 
+    /// The [`DetectorConfig`](twofd_core::DetectorConfig) a shard should
+    /// run for `stream`: the given algorithm `spec` at the `(Δi, Δto)`
+    /// that Chen's configuration procedure derives from the strictest QoS
+    /// any bound application demands under network behaviour `net`.
+    ///
+    /// `None` when no application is bound to the stream;
+    /// `Some(Err(_))` when the strictest requirement is infeasible under
+    /// `net` (Eq. 16 has no solution).
+    pub fn detector_config_for_stream(
+        &self,
+        stream: u64,
+        net: &twofd_core::NetworkBehavior,
+        spec: &twofd_core::DetectorSpec,
+    ) -> Option<Result<twofd_core::DetectorConfig, twofd_core::ConfigError>> {
+        let qos = self.strictest_qos_for_stream(stream)?;
+        Some(
+            twofd_core::configure(&qos, net)
+                .map(|fd_config| twofd_core::DetectorConfig::from_qos(spec.clone(), &fd_config)),
+        )
+    }
+
     /// Removes an application; returns whether it existed.
     pub fn deregister(&mut self, id: AppId) -> bool {
         let before = self.apps.len();
@@ -212,6 +233,28 @@ mod tests {
         assert_eq!(q.mistake_recurrence, 86_400.0);
         assert_eq!(q.mistake_duration, 0.3);
         assert_eq!(r.strictest_qos_for_stream(2), None);
+    }
+
+    #[test]
+    fn detector_config_for_stream_follows_strictest_qos() {
+        use twofd_core::{DetectorSpec, NetworkBehavior};
+        let mut r = AppRegistry::new();
+        r.register_on_stream("lax", QosSpec::new(4.0, 600.0, 2.0), 1);
+        r.register_on_stream("strict", QosSpec::new(0.5, 3600.0, 0.5), 1);
+        let net = NetworkBehavior::new(0.01, 0.02 * 0.02);
+        let spec = DetectorSpec::default();
+
+        let config = r
+            .detector_config_for_stream(1, &net, &spec)
+            .expect("stream 1 has apps")
+            .expect("feasible requirement");
+        assert_eq!(config.spec, spec);
+        // The derived interval must fit inside the strictest detection
+        // budget (Δi ≤ T_D by Eq. 14/15), not the lax app's.
+        assert!(config.interval.as_secs_f64() <= 0.5);
+        assert!(config.tuning >= 0.0);
+
+        assert!(r.detector_config_for_stream(2, &net, &spec).is_none());
     }
 
     #[test]

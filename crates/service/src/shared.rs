@@ -8,38 +8,15 @@
 
 use crate::combine::SharedConfig;
 use crate::registry::AppId;
-use twofd_core::{Decision, FailureDetector, FdOutput, TwoWindowFd};
+use twofd_core::{AnyDetector, Decision, DetectorConfig, DetectorSpec, FailureDetector, FdOutput};
 use twofd_sim::time::{Nanos, Span};
-
-/// Which detector algorithm the service runs per application.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ServiceAlgorithm {
-    /// Chen's FD with the given window (the paper's §V analysis).
-    Chen {
-        /// Estimation-window size.
-        window: usize,
-    },
-    /// The paper's 2W-FD (better QoS at identical detection budgets).
-    TwoWindow {
-        /// Short window size.
-        n1: usize,
-        /// Long window size.
-        n2: usize,
-    },
-}
-
-impl Default for ServiceAlgorithm {
-    fn default() -> Self {
-        // The paper's service analysis builds on Chen's detector, but the
-        // natural deployment runs the paper's own contribution.
-        ServiceAlgorithm::TwoWindow { n1: 1, n2: 1000 }
-    }
-}
 
 /// One application's live detector inside the service.
 struct AppDetector {
     id: AppId,
-    fd: Box<dyn FailureDetector + Send>,
+    /// Inline spec-built detector: the service has no private
+    /// construction path — everything goes through [`DetectorSpec`].
+    fd: AnyDetector,
 }
 
 /// The shared failure-detection service endpoint on the monitoring host.
@@ -53,26 +30,21 @@ pub struct SharedServiceDetector {
 
 impl SharedServiceDetector {
     /// Builds the per-application detectors from a combined
-    /// configuration.
-    pub fn new(config: &SharedConfig, algorithm: ServiceAlgorithm) -> Self {
+    /// configuration: each application runs `spec` (any algorithm of the
+    /// paper's suite) at the shared interval with its own margin
+    /// `Δto_j' = T_D,j − Δi_min`.
+    pub fn new(config: &SharedConfig, spec: &DetectorSpec) -> Self {
         let apps = config
             .shares
             .iter()
-            .map(|share| {
-                let fd: Box<dyn FailureDetector + Send> = match algorithm {
-                    ServiceAlgorithm::Chen { window } => Box::new(twofd_core::ChenFd::new(
-                        window,
-                        config.interval,
-                        share.shared_margin,
-                    )),
-                    ServiceAlgorithm::TwoWindow { n1, n2 } => Box::new(TwoWindowFd::new(
-                        n1,
-                        n2,
-                        config.interval,
-                        share.shared_margin,
-                    )),
-                };
-                AppDetector { id: share.id, fd }
+            .map(|share| AppDetector {
+                id: share.id,
+                fd: DetectorConfig::new(
+                    spec.clone(),
+                    config.interval,
+                    share.shared_margin.as_secs_f64(),
+                )
+                .build(),
             })
             .collect();
         SharedServiceDetector {
@@ -130,14 +102,14 @@ mod tests {
     use crate::registry::AppRegistry;
     use twofd_core::{NetworkBehavior, QosSpec};
 
-    fn service(algorithm: ServiceAlgorithm) -> (SharedServiceDetector, Vec<AppId>, SharedConfig) {
+    fn service(spec: &DetectorSpec) -> (SharedServiceDetector, Vec<AppId>, SharedConfig) {
         let mut r = AppRegistry::new();
         let strict = r.register("strict", QosSpec::new(0.4, 86_400.0, 0.5));
         let lax = r.register("lax", QosSpec::new(3.0, 600.0, 2.0));
         let net = NetworkBehavior::new(0.01, 0.02 * 0.02);
         let cfg = combine(&r, &net).unwrap();
         (
-            SharedServiceDetector::new(&cfg, algorithm),
+            SharedServiceDetector::new(&cfg, spec),
             vec![strict, lax],
             cfg,
         )
@@ -145,7 +117,7 @@ mod tests {
 
     #[test]
     fn all_apps_trust_after_fresh_heartbeat() {
-        let (mut svc, ids, cfg) = service(ServiceAlgorithm::default());
+        let (mut svc, ids, cfg) = service(&DetectorSpec::default());
         let di = cfg.interval;
         for seq in 1..=5u64 {
             svc.on_heartbeat(seq, Nanos(seq * di.0) + Span::from_millis(5));
@@ -158,7 +130,7 @@ mod tests {
 
     #[test]
     fn strict_app_suspects_before_lax_app() {
-        let (mut svc, ids, cfg) = service(ServiceAlgorithm::default());
+        let (mut svc, ids, cfg) = service(&DetectorSpec::default());
         let di = cfg.interval;
         for seq in 1..=5u64 {
             svc.on_heartbeat(seq, Nanos(seq * di.0) + Span::from_millis(5));
@@ -181,7 +153,7 @@ mod tests {
         // The freshness point after the last heartbeat must fall within
         // send-time + T_D for each app (that is what "budget preserved"
         // means operationally).
-        let (mut svc, ids, cfg) = service(ServiceAlgorithm::default());
+        let (mut svc, ids, cfg) = service(&DetectorSpec::default());
         let di = cfg.interval;
         let mut decisions = Vec::new();
         for seq in 1..=20u64 {
@@ -203,7 +175,7 @@ mod tests {
 
     #[test]
     fn stale_heartbeats_are_stale_for_every_app() {
-        let (mut svc, _, cfg) = service(ServiceAlgorithm::Chen { window: 10 });
+        let (mut svc, _, cfg) = service(&DetectorSpec::Chen { window: 10 });
         let di = cfg.interval;
         svc.on_heartbeat(5, Nanos(5 * di.0));
         let results = svc.on_heartbeat(4, Nanos(5 * di.0) + Span::from_millis(1));
@@ -212,7 +184,7 @@ mod tests {
 
     #[test]
     fn outputs_at_reports_all_apps() {
-        let (mut svc, _, cfg) = service(ServiceAlgorithm::default());
+        let (mut svc, _, cfg) = service(&DetectorSpec::default());
         svc.on_heartbeat(1, Nanos(cfg.interval.0));
         let outs = svc.outputs_at(Nanos(cfg.interval.0) + Span::from_millis(1));
         assert_eq!(outs.len(), 2);
@@ -220,17 +192,20 @@ mod tests {
 
     #[test]
     fn unknown_app_returns_none() {
-        let (svc, _, _) = service(ServiceAlgorithm::default());
+        let (svc, _, _) = service(&DetectorSpec::default());
         assert_eq!(svc.output_for(AppId(404), Nanos::ZERO), None);
     }
 
     #[test]
-    fn chen_and_twowindow_variants_both_work() {
-        for alg in [
-            ServiceAlgorithm::Chen { window: 100 },
-            ServiceAlgorithm::TwoWindow { n1: 1, n2: 100 },
+    fn every_suite_algorithm_works_in_the_service() {
+        for spec in [
+            DetectorSpec::Chen { window: 100 },
+            DetectorSpec::Bertier { window: 100 },
+            DetectorSpec::Phi { window: 100 },
+            DetectorSpec::Ed { window: 100 },
+            DetectorSpec::TwoWindow { n1: 1, n2: 100 },
         ] {
-            let (mut svc, ids, cfg) = service(alg);
+            let (mut svc, ids, cfg) = service(&spec);
             for seq in 1..=3u64 {
                 svc.on_heartbeat(seq, Nanos(seq * cfg.interval.0) + Span::from_millis(2));
             }

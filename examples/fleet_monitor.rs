@@ -6,21 +6,18 @@
 //!
 //! Run: `cargo run --release --example fleet_monitor`
 
-use std::sync::Arc;
 use std::thread::sleep;
 use std::time::Duration;
-use twofd::core::{FailureDetector, TwoWindowFd};
+use twofd::core::{DetectorConfig, DetectorSpec};
 use twofd::net::{FleetMonitor, HeartbeatSender};
 use twofd::sim::Span;
 
 fn main() {
     let interval = Span::from_millis(20);
-    let monitor = FleetMonitor::spawn(Arc::new(move |stream: &u64| {
-        println!("  (building detector for newly seen stream {stream})");
-        Box::new(TwoWindowFd::new(1, 200, interval, Span::from_millis(60)))
-            as Box<dyn FailureDetector + Send>
-    }))
-    .expect("bind fleet monitor");
+    // One spec-based recipe; every newly seen stream gets an inline
+    // 2W-FD instance built from it.
+    let recipe = DetectorConfig::new(DetectorSpec::TwoWindow { n1: 1, n2: 200 }, interval, 0.06);
+    let monitor = FleetMonitor::spawn(recipe).expect("bind fleet monitor");
     println!("fleet monitor on {}\n", monitor.local_addr());
 
     let senders: Vec<HeartbeatSender> = (1..=5)

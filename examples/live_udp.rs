@@ -9,7 +9,7 @@
 
 use std::thread::sleep;
 use std::time::Duration;
-use twofd::core::{ChenFd, FailureDetector, PhiAccrualFd, TwoWindowFd};
+use twofd::core::{DetectorConfig, DetectorSpec};
 use twofd::net::{HeartbeatSender, Monitor};
 use twofd::sim::Span;
 
@@ -17,14 +17,15 @@ fn main() {
     let interval = Span::from_millis(20);
     let margin = Span::from_millis(60);
 
-    // The monitoring process q: three detectors on one socket.
-    let detectors: Vec<Box<dyn FailureDetector + Send>> = vec![
-        Box::new(TwoWindowFd::new(1, 500, interval, margin)),
-        Box::new(ChenFd::new(500, interval, margin)),
-        Box::new(PhiAccrualFd::with_threshold(500, 2.0)),
+    // The monitoring process q: three spec-built detectors on one socket.
+    let tuning = margin.as_secs_f64();
+    let detectors = vec![
+        DetectorConfig::new(DetectorSpec::TwoWindow { n1: 1, n2: 500 }, interval, tuning),
+        DetectorConfig::new(DetectorSpec::Chen { window: 500 }, interval, tuning),
+        DetectorConfig::new(DetectorSpec::Phi { window: 500 }, interval, 2.0),
     ];
-    let names = ["2w-fd(1,500)", "chen(500)", "phi(500)"];
     let monitor = Monitor::spawn(detectors).expect("bind monitor socket");
+    let names = monitor.detector_names();
     println!("monitor listening on {}", monitor.local_addr());
 
     // The monitored process p.

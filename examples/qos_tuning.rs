@@ -80,7 +80,7 @@ fn main() {
         probe_scenario.phases[0].loss.clone(),
     );
     let trace = generate_scripted("validation", cfg.interval, long, 4, None);
-    let mut fd = TwoWindowFd::new(1, 1000, cfg.interval, cfg.safety_margin);
+    let mut fd = DetectorConfig::from_qos(DetectorSpec::default(), &cfg).build();
     let m = replay(&mut fd, &trace).metrics();
     println!(
         "\nvalidation over {:.0} h of heartbeats:",

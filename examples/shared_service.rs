@@ -70,7 +70,7 @@ fn main() {
     );
     let trace = generate_scripted("shared", config.interval, scenario, 11, Some(crash_at));
 
-    let mut service = SharedServiceDetector::new(&config, ServiceAlgorithm::default());
+    let mut service = SharedServiceDetector::new(&config, &DetectorSpec::default());
     for a in trace.arrivals() {
         service.on_heartbeat(a.seq, a.at);
     }

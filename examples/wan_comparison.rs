@@ -32,8 +32,8 @@ fn main() {
             _ => &[0.05, 0.5],
         };
         for &tuning in tunings {
-            let mut fd = spec.build(trace.interval, tuning);
-            let m = replay(fd.as_mut(), &trace).metrics();
+            let mut fd = spec.build_any(trace.interval, tuning);
+            let m = replay(&mut fd, &trace).metrics();
             println!(
                 "{:<16} {:>10.1} {:>14.4e} {:>12.1} {:>10.6}",
                 fd.name(),

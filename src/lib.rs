@@ -42,13 +42,12 @@ pub use twofd_trace as trace;
 pub mod prelude {
     //! One-line import of the common API surface.
     pub use twofd_core::{
-        calibrate, configure, detect_crash, replay, BertierFd, ChenFd, Decision, DetectorSpec,
-        EdFd, FailureDetector, FdConfig, FdOutput, MultiWindowFd, NetworkBehavior,
-        NetworkEstimator, PhiAccrualFd, QosMetrics, QosSpec, ReplayResult, TwoWindowFd,
+        calibrate, configure, detect_crash, replay, AnyDetector, BertierFd, ChenFd, Decision,
+        DetectorConfig, DetectorSpec, EdFd, FailureDetector, FdConfig, FdOutput, MultiWindowFd,
+        NetworkBehavior, NetworkEstimator, PhiAccrualFd, QosMetrics, QosSpec, ReplayResult,
+        TwoWindowFd,
     };
-    pub use twofd_service::{
-        analyze, combine, AppRegistry, ServiceAlgorithm, SharedServiceDetector,
-    };
+    pub use twofd_service::{analyze, combine, AppRegistry, SharedServiceDetector};
     pub use twofd_sim::{Nanos, Span};
     pub use twofd_trace::{LanTraceConfig, Trace, TraceStats, WanTraceConfig};
 }

@@ -3,14 +3,15 @@
 
 use std::thread::sleep;
 use std::time::{Duration, Instant};
-use twofd::core::{ChenFd, FailureDetector, FdOutput, TwoWindowFd};
+use twofd::core::{DetectorConfig, DetectorSpec, FdOutput};
 use twofd::net::{HeartbeatSender, Monitor};
 use twofd::sim::Span;
 
 fn spawn_pair(interval: Span, margin: Span) -> (HeartbeatSender, Monitor) {
-    let detectors: Vec<Box<dyn FailureDetector + Send>> = vec![
-        Box::new(TwoWindowFd::new(1, 200, interval, margin)),
-        Box::new(ChenFd::new(200, interval, margin)),
+    let tuning = margin.as_secs_f64();
+    let detectors = vec![
+        DetectorConfig::new(DetectorSpec::TwoWindow { n1: 1, n2: 200 }, interval, tuning),
+        DetectorConfig::new(DetectorSpec::Chen { window: 200 }, interval, tuning),
     ];
     let monitor = Monitor::spawn(detectors).expect("bind monitor");
     let sender = HeartbeatSender::spawn(1, interval, monitor.local_addr()).expect("spawn sender");

@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::thread::sleep;
 use std::time::{Duration, Instant};
-use twofd::core::{replay, FailureDetector, FdOutput, Timeline, TwoWindowFd};
+use twofd::core::{replay, DetectorConfig, DetectorSpec, FdOutput, Timeline, TwoWindowFd};
 use twofd::net::{
     FleetMonitor, HeartbeatSender, ManualClock, ShardConfig, ShardRuntime, TimeSource,
 };
@@ -27,6 +27,19 @@ const MARGIN: Span = Span(15_000_000); // 15 ms — tight enough to make mistake
 
 fn detector(interval: Span) -> TwoWindowFd {
     TwoWindowFd::new(SHORT_WINDOW, LONG_WINDOW, interval, MARGIN)
+}
+
+/// The same recipe through the spec path the runtime uses; the oracle
+/// and the runtime must build identical detectors.
+fn detector_config(interval: Span) -> DetectorConfig {
+    DetectorConfig::new(
+        DetectorSpec::TwoWindow {
+            n1: SHORT_WINDOW,
+            n2: LONG_WINDOW,
+        },
+        interval,
+        MARGIN.as_secs_f64(),
+    )
 }
 
 /// The events the runtime must publish for one stream: a T at the first
@@ -70,14 +83,12 @@ fn sharded_runtime_matches_sequential_replay_event_for_event() {
         let clock = Arc::new(ManualClock::new());
         let rt = ShardRuntime::new(
             ShardConfig {
+                detector: detector_config(interval).into(),
                 n_shards: 3,
                 queue_capacity: 4096,
                 sweep_interval: Duration::from_millis(1),
                 event_capacity: 1 << 16,
             },
-            Arc::new(move |_stream: &u64| {
-                Box::new(detector(interval)) as Box<dyn FailureDetector + Send>
-            }),
             clock.clone() as Arc<dyn TimeSource>,
         );
 
@@ -138,10 +149,11 @@ fn sharded_runtime_matches_sequential_replay_event_for_event() {
 #[test]
 fn crash_is_reported_by_the_sweeper_over_udp() {
     let interval = Span::from_millis(10);
-    let monitor = FleetMonitor::spawn(Arc::new(move |_stream: &u64| {
-        Box::new(TwoWindowFd::new(1, 100, interval, Span::from_millis(40)))
-            as Box<dyn FailureDetector + Send>
-    }))
+    let monitor = FleetMonitor::spawn(DetectorConfig::new(
+        DetectorSpec::TwoWindow { n1: 1, n2: 100 },
+        interval,
+        0.04,
+    ))
     .expect("bind fleet monitor");
     let sender = HeartbeatSender::spawn(7, interval, monitor.local_addr()).expect("spawn sender");
 
@@ -188,19 +200,17 @@ fn saturated_shard_queue_drops_and_counts_instead_of_blocking() {
     let clock = Arc::new(ManualClock::new());
     let rt = ShardRuntime::new(
         ShardConfig {
+            detector: DetectorConfig::new(
+                DetectorSpec::TwoWindow { n1: 1, n2: 100 },
+                Span::from_millis(10),
+                0.04,
+            )
+            .into(),
             n_shards: 1,
             queue_capacity: 8,
             sweep_interval: Duration::from_millis(200),
             event_capacity: 64,
         },
-        Arc::new(|_stream: &u64| {
-            Box::new(TwoWindowFd::new(
-                1,
-                100,
-                Span::from_millis(10),
-                Span::from_millis(40),
-            )) as Box<dyn FailureDetector + Send>
-        }),
         clock as Arc<dyn TimeSource>,
     );
 

@@ -47,7 +47,7 @@ fn adapted_apps_qos_improves_or_holds_in_replay() {
     let analysis = analyze(
         &r,
         &net(),
-        ServiceAlgorithm::Chen { window: 1000 },
+        &DetectorSpec::Chen { window: 1000 },
         Span::from_secs(3600),
         |interval| {
             let n = (1_800.0 / interval.as_secs_f64()).ceil() as u64;
@@ -98,7 +98,7 @@ fn live_service_crash_detected_within_each_budget() {
     );
     let trace = generate_scripted("live", cfg.interval, scenario, 41, Some(crash_at));
 
-    let mut svc = SharedServiceDetector::new(&cfg, ServiceAlgorithm::default());
+    let mut svc = SharedServiceDetector::new(&cfg, &DetectorSpec::default());
     for a in trace.arrivals() {
         svc.on_heartbeat(a.seq, a.at);
     }
