@@ -47,7 +47,8 @@ use twofd_core::{
     DetectorBuilder, DetectorConfig, DetectorSpec, FailureDetector, ProcessSet, SharedFactory,
     TwoWindowFd,
 };
-use twofd_net::{ManualClock, ShardConfig, ShardRuntime, TimeSource};
+use twofd_net::{ManualClock, ObsOptions, ShardConfig, ShardRuntime, TimeSource};
+use twofd_obs::{QosPlan, QosTrackerConfig};
 use twofd_sim::time::{Nanos, Span};
 
 const INTERVAL: Span = Span(100_000_000); // 100 ms
@@ -170,6 +171,17 @@ where
     rate(sweeps * set.len(), t0.elapsed())
 }
 
+/// Clock mode for [`sharded`]: pinning the clock at the horizon before
+/// ingest makes every decision expire instantly (maximal sweep work —
+/// the throughput sections' convention), while advancing it alongside
+/// ingest keeps streams on time, the operating condition that isolates
+/// per-heartbeat instrumentation cost from mistake-path churn.
+#[derive(Clone, Copy, PartialEq)]
+enum ClockMode {
+    Pinned,
+    Live,
+}
+
 /// The sharded runtime. With `observed`, a reader drains the event
 /// channel and polls `stats()` throughout. Returns (intake, end-to-end)
 /// rates; intake is the socket-thread handoff rate, end-to-end includes
@@ -179,6 +191,8 @@ fn sharded(
     n_shards: usize,
     observed: bool,
     sweep_interval: Duration,
+    obs: ObsOptions,
+    clock_mode: ClockMode,
 ) -> (f64, f64) {
     let clock = Arc::new(ManualClock::new());
     let rt = Arc::new(ShardRuntime::new(
@@ -190,10 +204,13 @@ fn sharded(
             queue_capacity: jobs.len() / n_shards + 1024,
             sweep_interval,
             event_capacity: 1 << 15,
+            obs,
         },
         clock.clone() as Arc<dyn TimeSource>,
     ));
-    clock.advance_to(jobs.last().unwrap().2);
+    if clock_mode == ClockMode::Pinned {
+        clock.advance_to(jobs.last().unwrap().2);
+    }
 
     let stop = Arc::new(AtomicBool::new(false));
     let reader = observed.then(|| {
@@ -211,6 +228,9 @@ fn sharded(
 
     let t0 = Instant::now();
     for &(stream, seq, at) in jobs {
+        if clock_mode == ClockMode::Live {
+            clock.advance_to(at);
+        }
         rt.ingest(stream, seq, at);
     }
     let ingest_elapsed = t0.elapsed();
@@ -267,7 +287,16 @@ fn main() {
     let live_sweep = Duration::from_millis(5);
     println!("\n# observed (reader active — the service's operating condition)");
     for n_shards in [1usize, 2, 4, 8] {
-        let (intake, e2e) = best_of(|| sharded(&jobs, n_shards, true, live_sweep));
+        let (intake, e2e) = best_of(|| {
+            sharded(
+                &jobs,
+                n_shards,
+                true,
+                live_sweep,
+                ObsOptions::default(),
+                ClockMode::Pinned,
+            )
+        });
         println!(
             "{n_shards} shard(s): intake {intake:>12.0} hb/s ({:>6.2}x) | end-to-end {e2e:>12.0} hb/s ({:>6.2}x)",
             intake / observed_base,
@@ -277,13 +306,54 @@ fn main() {
 
     println!("\n# quiescent (no reader — favours the single mutex on one core)");
     for n_shards in [1usize, 2, 4, 8] {
-        let (intake, e2e) = best_of(|| sharded(&jobs, n_shards, false, live_sweep));
+        let (intake, e2e) = best_of(|| {
+            sharded(
+                &jobs,
+                n_shards,
+                false,
+                live_sweep,
+                ObsOptions::default(),
+                ClockMode::Pinned,
+            )
+        });
         println!(
             "{n_shards} shard(s): intake {intake:>12.0} hb/s ({:>6.2}x) | end-to-end {e2e:>12.0} hb/s ({:>6.2}x)",
             intake / quiet_base,
             e2e / quiet_base,
         );
     }
+
+    // Observability overhead: the same quiescent workload with the full
+    // per-stream instrumentation on (inter-arrival histogram + online
+    // QoS trackers) vs the registry-counters-only default. Counters are
+    // always on (they *are* the runtime's accounting), so "uninstr." is
+    // the shipping default, not a stripped build. The clock advances
+    // with ingest (streams stay on time): the pinned-clock convention
+    // above expires every decision instantly, and that synthetic
+    // 100%-mistake storm would charge the trackers' mistake path for
+    // work no healthy fleet does.
+    println!("\n# observability overhead (on-time streams, 4 shards, end-to-end)");
+    let full_obs = || ObsOptions {
+        jitter: true,
+        qos: Some(QosPlan::Uniform(QosTrackerConfig::cumulative(INTERVAL))),
+    };
+    let (_, e2e_plain) = best_of(|| {
+        sharded(
+            &jobs,
+            4,
+            false,
+            live_sweep,
+            ObsOptions::default(),
+            ClockMode::Live,
+        )
+    });
+    let (_, e2e_instr) =
+        best_of(|| sharded(&jobs, 4, false, live_sweep, full_obs(), ClockMode::Live));
+    println!("uninstrumented: {e2e_plain:>12.0} hb/s (registry counters only)");
+    println!(
+        "instrumented:   {e2e_instr:>12.0} hb/s (jitter hist + QoS trackers, {:>+6.2}% overhead)",
+        (e2e_plain / e2e_instr - 1.0) * 100.0
+    );
 
     // On one core the live-worker intake numbers above time-slice the
     // ingest loop against the shard workers — a scheduling artifact a
@@ -292,8 +362,16 @@ fn main() {
     // approximating intake with workers on other cores.
     println!("\n# handoff capacity (workers deferred — approximates a dedicated intake core)");
     for n_shards in [8usize, 16] {
-        let (intake, _e2e) =
-            best_of(|| sharded(&jobs, n_shards, false, Duration::from_millis(250)));
+        let (intake, _e2e) = best_of(|| {
+            sharded(
+                &jobs,
+                n_shards,
+                false,
+                Duration::from_millis(250),
+                ObsOptions::default(),
+                ClockMode::Pinned,
+            )
+        });
         println!(
             "{n_shards} shard(s): intake {intake:>12.0} hb/s ({:>6.2}x observed, {:>6.2}x quiescent baseline)",
             intake / observed_base,

@@ -21,12 +21,13 @@ use crate::wire::Heartbeat;
 use crossbeam::channel::Receiver;
 use parking_lot::Mutex;
 use std::io;
-use std::net::{SocketAddr, UdpSocket};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
-use twofd_core::{DetectorConfig, FdOutput, ProcessStatus};
+use twofd_core::{DetectorConfig, FdOutput, ProcessStatus, QosMetrics};
+use twofd_obs::{Counter, MetricsServer, QosVerdict, Registry};
 
 pub use crate::shard::DetectorPlan;
 
@@ -35,7 +36,7 @@ pub use crate::shard::DetectorPlan;
 pub struct FleetMonitor {
     runtime: Arc<ShardRuntime>,
     stop: Arc<AtomicBool>,
-    rejected: Arc<AtomicU64>,
+    rejected: Counter,
     thread: Mutex<Option<JoinHandle<()>>>,
     local_addr: SocketAddr,
 }
@@ -66,13 +67,16 @@ impl FleetMonitor {
             config,
             Arc::clone(&clock) as Arc<dyn TimeSource>,
         ));
+        let rejected = runtime.registry().counter(
+            "twofd_monitor_rejected_total",
+            "Malformed datagrams dropped by the ingestion thread",
+        );
         let stop = Arc::new(AtomicBool::new(false));
-        let rejected = Arc::new(AtomicU64::new(0));
 
         let thread = {
             let runtime = Arc::clone(&runtime);
             let stop = Arc::clone(&stop);
-            let rejected = Arc::clone(&rejected);
+            let rejected = rejected.clone();
             thread::Builder::new()
                 .name("twofd-fleet-ingest".into())
                 .spawn(move || {
@@ -94,9 +98,7 @@ impl FleetMonitor {
                         let arrival = clock.now();
                         match Heartbeat::decode(&buf[..len]) {
                             Ok(hb) => runtime.ingest(hb.stream, hb.seq, arrival),
-                            Err(_) => {
-                                rejected.fetch_add(1, Ordering::Relaxed);
-                            }
+                            Err(_) => rejected.inc(),
                         }
                     }
                 })?
@@ -145,7 +147,43 @@ impl FleetMonitor {
 
     /// Malformed datagrams dropped so far.
     pub fn rejected(&self) -> u64 {
-        self.rejected.load(Ordering::Relaxed)
+        self.rejected.get()
+    }
+
+    /// The registry holding every metric of this monitor (the runtime's
+    /// per-shard counters plus `twofd_monitor_rejected_total`).
+    pub fn registry(&self) -> &Registry {
+        self.runtime.registry()
+    }
+
+    /// Starts a metrics endpoint on an ephemeral localhost port serving
+    /// `GET /metrics` (this monitor's registry) and `GET /healthz`
+    /// (healthy while the ingestion thread is running). The server stops
+    /// when the returned handle is dropped.
+    pub fn serve_metrics(&self) -> io::Result<MetricsServer> {
+        self.serve_metrics_on(("127.0.0.1", 0))
+    }
+
+    /// Like [`FleetMonitor::serve_metrics`] on an explicit address.
+    pub fn serve_metrics_on(&self, addr: impl ToSocketAddrs) -> io::Result<MetricsServer> {
+        let stop = Arc::clone(&self.stop);
+        MetricsServer::spawn_with_health(
+            addr,
+            self.registry().clone(),
+            Arc::new(move || !stop.load(Ordering::Acquire)),
+        )
+    }
+
+    /// Online QoS estimates for one stream, if QoS tracking is enabled
+    /// in the [`ShardConfig`]'s [`crate::shard::ObsOptions`].
+    pub fn qos_metrics(&self, stream: u64) -> Option<QosMetrics> {
+        self.runtime.qos_metrics(stream)
+    }
+
+    /// Live verdict of one stream against its configured QoS bound, if
+    /// QoS tracking is enabled.
+    pub fn qos_verdict(&self, stream: u64) -> Option<QosVerdict> {
+        self.runtime.qos_verdict(stream)
     }
 
     /// Number of streams currently monitored.

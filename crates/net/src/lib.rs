@@ -16,6 +16,12 @@
 //!   freshness sweeping and drop-oldest backpressure.
 //! * [`fleet`] — one socket monitoring many senders, demultiplexed by
 //!   the wire format's stream id into the sharded runtime.
+//!
+//! The runtime is instrumented with [`twofd_obs`]: its accounting
+//! counters are registry cells exported over `/metrics`
+//! ([`fleet::FleetMonitor::serve_metrics`]), and
+//! [`shard::ObsOptions`] opts streams into inter-arrival histograms
+//! and online QoS tracking against contracted bounds.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -31,5 +37,7 @@ pub use clock::{ManualClock, MonotonicClock, TimeSource};
 pub use fleet::FleetMonitor;
 pub use monitor::{Monitor, TransitionEvent};
 pub use sender::HeartbeatSender;
-pub use shard::{DetectorPlan, FleetEvent, RuntimeStats, ShardConfig, ShardRuntime, ShardStats};
+pub use shard::{
+    DetectorPlan, FleetEvent, ObsOptions, RuntimeStats, ShardConfig, ShardRuntime, ShardStats,
+};
 pub use wire::{Heartbeat, WireError, WIRE_SIZE};

@@ -16,11 +16,12 @@ use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 use twofd_core::{AnyDetector, DetectorConfig, FailureDetector, FdOutput, NetworkEstimator};
+use twofd_obs::{Counter, Registry};
 use twofd_sim::time::Nanos;
 
 /// A Trust/Suspect transition event for one registered detector.
@@ -43,14 +44,19 @@ struct Inner {
 }
 
 /// Shared state between the monitor handle and its receive thread.
+///
+/// The counters are free-standing [`Counter`] cells: they cost one
+/// relaxed atomic increment whether or not anyone scrapes them, and
+/// [`Monitor::install_metrics`] can adopt them into a [`Registry`]
+/// after the fact without touching the receive path.
 struct Shared {
     inner: Mutex<Inner>,
     stop: AtomicBool,
-    received: AtomicU64,
-    rejected: AtomicU64,
+    received: Counter,
+    rejected: Counter,
     clock: MonotonicClock,
     events: Sender<TransitionEvent>,
-    events_dropped: AtomicU64,
+    events_dropped: Counter,
 }
 
 /// Default capacity of the transition-event channel.
@@ -98,11 +104,11 @@ impl Monitor {
                 last_outputs: vec![FdOutput::Suspect; n],
             }),
             stop: AtomicBool::new(false),
-            received: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
+            received: Counter::new(),
+            rejected: Counter::new(),
             clock: MonotonicClock::new(),
             events: tx,
-            events_dropped: AtomicU64::new(0),
+            events_dropped: Counter::new(),
         });
 
         let thread_shared = Arc::clone(&shared);
@@ -130,12 +136,10 @@ impl Monitor {
                     let arrival = thread_shared.clock.now();
                     match Heartbeat::decode(&buf[..len]) {
                         Ok(hb) => {
-                            thread_shared.received.fetch_add(1, Ordering::Relaxed);
+                            thread_shared.received.inc();
                             thread_shared.deliver(hb, arrival);
                         }
-                        Err(_) => {
-                            thread_shared.rejected.fetch_add(1, Ordering::Relaxed);
-                        }
+                        Err(_) => thread_shared.rejected.inc(),
                     }
                 }
             })?;
@@ -180,12 +184,38 @@ impl Monitor {
 
     /// Valid heartbeats received so far.
     pub fn received(&self) -> u64 {
-        self.shared.received.load(Ordering::Relaxed)
+        self.shared.received.get()
     }
 
     /// Malformed datagrams dropped so far.
     pub fn rejected(&self) -> u64 {
-        self.shared.rejected.load(Ordering::Relaxed)
+        self.shared.rejected.get()
+    }
+
+    /// Exposes this monitor's counters in `registry` under
+    /// `twofd_monitor_received_total`, `twofd_monitor_rejected_total`
+    /// and `twofd_events_dropped_total`. The receive path is untouched:
+    /// the registry adopts the very cells the thread already increments.
+    ///
+    /// # Panics
+    /// If `registry` already holds conflicting families (e.g. from a
+    /// second `install_metrics` call on the same registry).
+    pub fn install_metrics(&self, registry: &Registry) {
+        registry.adopt_counter(
+            "twofd_monitor_received_total",
+            "Valid heartbeats received",
+            &self.shared.received,
+        );
+        registry.adopt_counter(
+            "twofd_monitor_rejected_total",
+            "Malformed datagrams dropped by the receive thread",
+            &self.shared.rejected,
+        );
+        registry.adopt_counter(
+            "twofd_events_dropped_total",
+            "Transition events dropped because the event channel was full",
+            &self.shared.events_dropped,
+        );
     }
 
     /// The stream of Trust/Suspect transitions.
@@ -196,7 +226,7 @@ impl Monitor {
     /// Transitions dropped because the bounded event channel was full
     /// (i.e. nobody drained [`Monitor::events`] fast enough).
     pub fn events_dropped(&self) -> u64 {
-        self.shared.events_dropped.load(Ordering::Relaxed)
+        self.shared.events_dropped.get()
     }
 
     /// The monitor's clock (for interpreting event timestamps).
@@ -237,7 +267,7 @@ impl Shared {
                     at: now,
                 };
                 if let Err(TrySendError::Full(_)) = self.events.try_send(event) {
-                    self.events_dropped.fetch_add(1, Ordering::Relaxed);
+                    self.events_dropped.inc();
                 }
             }
         }
@@ -323,6 +353,22 @@ mod tests {
                 .iter()
                 .any(|e| e.detector == det && e.output == FdOutput::Suspect));
         }
+    }
+
+    #[test]
+    fn install_metrics_adopts_the_live_counters() {
+        let m = Monitor::spawn(detectors(Span::from_millis(10))).unwrap();
+        let registry = Registry::new();
+        m.install_metrics(&registry);
+        let sock = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        sock.send_to(b"garbage", m.local_addr()).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while m.rejected() == 0 && std::time::Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        let text = registry.render();
+        assert!(text.contains("twofd_monitor_rejected_total 1"), "{text}");
+        assert!(text.contains("twofd_monitor_received_total 0"), "{text}");
     }
 
     #[test]

@@ -37,18 +37,36 @@
 //! workers and sweepers cannot change it. The `shard_equivalence`
 //! integration test exploits this to check the sharded runtime against
 //! the sequential replay oracle event-for-event.
+//!
+//! ## Observability
+//!
+//! Every counter the runtime keeps lives in a [`Registry`]
+//! ([`twofd_obs`]): per-shard received/dropped/applied/stale counters
+//! and transition totals are always on (they cost the same relaxed
+//! atomic increment the raw counters used to), a sweep-duration
+//! histogram times every expiry sweep, and a scrape hook fills
+//! queue-depth and live/suspect gauges at exposition time. Two opt-in
+//! extras ride on the worker thread behind [`ObsOptions`]: an
+//! inter-arrival jitter histogram, and per-stream online QoS tracking
+//! ([`twofd_obs::QosTracker`]) fed by the same freshness decisions and
+//! transition events the detectors already produce. [`RuntimeStats`]
+//! remains the programmatic snapshot — it is now a thin view over the
+//! same registry-backed cells that `GET /metrics` renders.
 
 use crate::clock::TimeSource;
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 use twofd_core::{
-    AnyDetector, DetectorBuilder, DetectorConfig, FdOutput, ProcessSet, ProcessStatus,
-    StreamTransition,
+    AnyDetector, Decision, DetectorBuilder, DetectorConfig, FdOutput, ProcessSet, ProcessStatus,
+    QosMetrics, StreamTransition,
+};
+use twofd_obs::{
+    qos::judge, Counter, GaugeVec, Histogram, QosPlan, QosTracker, QosVerdict, Registry,
 };
 use twofd_sim::time::Nanos;
 
@@ -113,6 +131,27 @@ impl DetectorBuilder<u64> for DetectorPlan {
     }
 }
 
+/// Opt-in worker-thread observability. The always-on counters and the
+/// sweep histogram are not gated here — they are as cheap as the raw
+/// atomics they replaced; these options add per-heartbeat bookkeeping
+/// that is not.
+#[derive(Debug, Clone, Default)]
+pub struct ObsOptions {
+    /// Record per-stream inter-arrival gaps into a per-shard
+    /// `twofd_interarrival_seconds` histogram.
+    pub jitter: bool,
+    /// Attach an online [`QosTracker`] to streams per this plan; the
+    /// estimates surface as `twofd_qos_*` gauges on scrape and through
+    /// [`ShardRuntime::qos_metrics`] / [`ShardRuntime::qos_verdict`].
+    pub qos: Option<QosPlan>,
+}
+
+impl ObsOptions {
+    fn enabled(&self) -> bool {
+        self.jitter || self.qos.is_some()
+    }
+}
+
 /// Tuning knobs of the sharded runtime, including which detector runs
 /// on each stream.
 #[derive(Debug, Clone)]
@@ -134,6 +173,8 @@ pub struct ShardConfig {
     /// Capacity of the shared transition-event channel; overflow drops
     /// the newest event and counts it.
     pub event_capacity: usize,
+    /// Opt-in observability extras (jitter histogram, online QoS).
+    pub obs: ObsOptions,
 }
 
 impl Default for ShardConfig {
@@ -144,6 +185,7 @@ impl Default for ShardConfig {
             queue_capacity: 1024,
             sweep_interval: Duration::from_millis(5),
             event_capacity: 4096,
+            obs: ObsOptions::default(),
         }
     }
 }
@@ -156,20 +198,102 @@ type Job = (u64, u64, Nanos); // (stream, seq, arrival)
 /// starving under sustained floods.
 const MAX_BATCH: usize = 512;
 
+/// Per-stream worker-side observability state.
+struct StreamObs {
+    last_arrival: Option<Nanos>,
+    tracker: Option<QosTracker>,
+}
+
+/// Multiplicative hasher for the hot-obs stream map: the keys are
+/// in-process `u64` stream ids, so SipHash's DoS resistance buys
+/// nothing and its cost is measurable on the per-heartbeat path.
+#[derive(Default)]
+struct StreamHasher(u64);
+
+impl std::hash::Hasher for StreamHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    fn write_u64(&mut self, n: u64) {
+        // Fibonacci hashing: one multiply spreads sequential ids.
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type StreamMap = HashMap<u64, StreamObs, std::hash::BuildHasherDefault<StreamHasher>>;
+
+/// The opt-in observability state of one shard, touched only by that
+/// shard's worker and by scrapes/queries — never while the `set` lock
+/// is held (lock order: `set` strictly before `hot`).
+struct HotObs {
+    jitter: Option<Histogram>,
+    qos: Option<QosPlan>,
+    streams: StreamMap,
+}
+
+impl HotObs {
+    fn stream(&mut self, stream: u64) -> &mut StreamObs {
+        let qos = &self.qos;
+        self.streams.entry(stream).or_insert_with(|| StreamObs {
+            last_arrival: None,
+            tracker: qos
+                .as_ref()
+                .and_then(|p| p.config_for(&stream))
+                .map(QosTracker::new),
+        })
+    }
+
+    fn on_heartbeat(&mut self, stream: u64, seq: u64, arrival: Nanos, decision: Option<Decision>) {
+        // Split borrows by hand (no `self.stream()` helper): the jitter
+        // histogram must not be cloned per heartbeat.
+        let qos = &self.qos;
+        let obs = self.streams.entry(stream).or_insert_with(|| StreamObs {
+            last_arrival: None,
+            tracker: qos
+                .as_ref()
+                .and_then(|p| p.config_for(&stream))
+                .map(QosTracker::new),
+        });
+        if let (Some(hist), Some(last)) = (self.jitter.as_ref(), obs.last_arrival) {
+            hist.observe_span(arrival.saturating_since(last));
+        }
+        obs.last_arrival = Some(arrival);
+        if let Some(tracker) = &mut obs.tracker {
+            tracker.on_heartbeat(seq, arrival, decision);
+        }
+    }
+
+    fn on_transition(&mut self, event: &FleetEvent) {
+        if let Some(tracker) = &mut self.stream(event.key).tracker {
+            tracker.on_transition(event.output, event.at);
+        }
+    }
+}
+
 struct ShardShared {
     set: Mutex<ProcessSet<u64, DetectorPlan>>,
     /// Heartbeats routed to this shard.
-    received: AtomicU64,
+    received: Counter,
     /// Heartbeats evicted by drop-oldest backpressure.
-    dropped: AtomicU64,
+    dropped: Counter,
     /// Heartbeats applied by the worker (fresh + stale).
-    processed: AtomicU64,
+    applied: Counter,
     /// Stale (duplicate/reordered) heartbeats ignored by detectors.
-    stale: AtomicU64,
+    stale: Counter,
     /// Suspect→Trust transitions published.
-    to_trust: AtomicU64,
+    to_trust: Counter,
     /// Trust→Suspect transitions published.
-    to_suspect: AtomicU64,
+    to_suspect: Counter,
+    /// Wall-clock duration of each expiry sweep.
+    sweep_hist: Histogram,
+    /// Opt-in extras; `None` when `ObsOptions` asked for nothing, so
+    /// the default hot path pays zero for them.
+    hot: Option<Mutex<HotObs>>,
 }
 
 struct Shard {
@@ -187,6 +311,10 @@ pub struct ShardStats {
     pub received: u64,
     /// Heartbeats evicted by drop-oldest backpressure.
     pub dropped: u64,
+    /// Heartbeats applied by the worker (fresh + stale). Every routed
+    /// heartbeat ends up applied or dropped: once the queue drains,
+    /// `received == applied + dropped`.
+    pub applied: u64,
     /// Stale heartbeats ignored by detectors.
     pub stale: u64,
     /// Heartbeats currently queued, awaiting the worker.
@@ -223,6 +351,11 @@ impl RuntimeStats {
         self.shards.iter().map(|s| s.dropped).sum()
     }
 
+    /// Total heartbeats applied by workers.
+    pub fn applied(&self) -> u64 {
+        self.shards.iter().map(|s| s.applied).sum()
+    }
+
     /// Total stale heartbeats ignored.
     pub fn stale(&self) -> u64 {
         self.shards.iter().map(|s| s.stale).sum()
@@ -249,6 +382,108 @@ impl RuntimeStats {
     }
 }
 
+/// Everything the workers, queries and scrape hooks share. Split from
+/// [`ShardRuntime`] so the registry's scrape hook can hold a [`Weak`]
+/// reference — the hook must not keep the worker queues alive after the
+/// runtime is dropped, or shutdown would never disconnect them.
+struct Inner {
+    shards: Vec<Shard>,
+    events_rx: Receiver<FleetEvent>,
+    events_dropped: Counter,
+    clock: Arc<dyn TimeSource>,
+}
+
+impl Inner {
+    fn shard_of(&self, stream: u64) -> &Shard {
+        &self.shards[(stream % self.shards.len() as u64) as usize]
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        for shard in &mut self.shards {
+            shard.tx.take(); // disconnects the queue; worker drains and exits
+        }
+        for shard in &mut self.shards {
+            if let Some(handle) = shard.worker.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// The per-stream QoS gauge families, resolved lazily per stream at
+/// scrape time (scrape hooks run before the exposition lock is taken,
+/// so `.with()` inside a hook is safe).
+struct QosGauges {
+    detection_time: GaugeVec,
+    mistake_rate: GaugeVec,
+    mistake_duration: GaugeVec,
+    query_accuracy: GaugeVec,
+    met: GaugeVec,
+    axis_violated: GaugeVec,
+}
+
+impl QosGauges {
+    fn new(registry: &Registry) -> QosGauges {
+        QosGauges {
+            detection_time: registry.gauge_vec(
+                "twofd_qos_detection_time_seconds",
+                "Online windowed estimate of detection time T_D",
+                &["stream"],
+            ),
+            mistake_rate: registry.gauge_vec(
+                "twofd_qos_mistake_rate_per_second",
+                "Online windowed mistake rate (1 / T_MR)",
+                &["stream"],
+            ),
+            mistake_duration: registry.gauge_vec(
+                "twofd_qos_mistake_duration_seconds",
+                "Online windowed mean mistake duration T_M",
+                &["stream"],
+            ),
+            query_accuracy: registry.gauge_vec(
+                "twofd_qos_query_accuracy",
+                "Online windowed query accuracy probability P_A",
+                &["stream"],
+            ),
+            met: registry.gauge_vec(
+                "twofd_qos_met",
+                "1 when the stream currently meets its configured QoS bound",
+                &["stream"],
+            ),
+            axis_violated: registry.gauge_vec(
+                "twofd_qos_axis_violated",
+                "1 when the named QoS axis is currently out of contract",
+                &["stream", "axis"],
+            ),
+        }
+    }
+
+    fn publish(&self, stream: u64, metrics: &QosMetrics, verdict: Option<&QosVerdict>) {
+        let label = stream.to_string();
+        self.detection_time
+            .with(&[&label])
+            .set(metrics.detection_time);
+        self.mistake_rate.with(&[&label]).set(metrics.mistake_rate);
+        self.mistake_duration
+            .with(&[&label])
+            .set(metrics.avg_mistake_duration);
+        self.query_accuracy
+            .with(&[&label])
+            .set(metrics.query_accuracy);
+        if let Some(v) = verdict {
+            self.met.with(&[&label]).set(if v.met { 1.0 } else { 0.0 });
+            for axis in twofd_obs::QosAxis::ALL {
+                let violated = v.violated_axes.contains(&axis);
+                self.axis_violated
+                    .with(&[&label, axis.label()])
+                    .set(if violated { 1.0 } else { 0.0 });
+            }
+        }
+    }
+}
+
 /// The socket-free sharded monitor core.
 ///
 /// [`ShardRuntime::ingest`] routes timestamped heartbeats to per-stream
@@ -256,43 +491,108 @@ impl RuntimeStats {
 /// [`ShardRuntime::events`] channel read the results. The UDP layer
 /// ([`crate::fleet::FleetMonitor`]) is a thin shell around this.
 pub struct ShardRuntime {
-    shards: Vec<Shard>,
-    events_rx: Receiver<FleetEvent>,
-    events_dropped: Arc<AtomicU64>,
-    clock: Arc<dyn TimeSource>,
+    inner: Arc<Inner>,
+    registry: Registry,
 }
 
 impl ShardRuntime {
     /// Starts `config.n_shards` workers building detectors per
-    /// `config.detector` and reading sweep times from `clock`.
+    /// `config.detector` and reading sweep times from `clock`, with a
+    /// fresh private [`Registry`].
     ///
     /// # Panics
     /// If `n_shards` or `queue_capacity` is zero.
     pub fn new(config: ShardConfig, clock: Arc<dyn TimeSource>) -> Self {
+        Self::with_registry(config, clock, Registry::new())
+    }
+
+    /// Like [`ShardRuntime::new`], but registers every metric in the
+    /// caller's `registry` (so several components can share one
+    /// exposition endpoint).
+    ///
+    /// # Panics
+    /// If `n_shards` or `queue_capacity` is zero, or if `registry`
+    /// already holds conflicting `twofd_shard_*` families.
+    pub fn with_registry(
+        config: ShardConfig,
+        clock: Arc<dyn TimeSource>,
+        registry: Registry,
+    ) -> Self {
         assert!(config.n_shards > 0, "need at least one shard");
         assert!(
             config.queue_capacity > 0,
             "shard queues must hold something"
         );
         let (events_tx, events_rx) = bounded(config.event_capacity.max(1));
-        let events_dropped = Arc::new(AtomicU64::new(0));
+        let events_dropped = registry.counter(
+            "twofd_events_dropped_total",
+            "Transition events dropped because the event channel was full",
+        );
+
+        let received_vec = registry.counter_vec(
+            "twofd_shard_received_total",
+            "Heartbeats routed to the shard",
+            &["shard"],
+        );
+        let dropped_vec = registry.counter_vec(
+            "twofd_shard_dropped_total",
+            "Heartbeats evicted by drop-oldest backpressure",
+            &["shard"],
+        );
+        let applied_vec = registry.counter_vec(
+            "twofd_shard_applied_total",
+            "Heartbeats applied by the shard worker (fresh + stale)",
+            &["shard"],
+        );
+        let stale_vec = registry.counter_vec(
+            "twofd_shard_stale_total",
+            "Stale (duplicate/reordered) heartbeats ignored by detectors",
+            &["shard"],
+        );
+        let transitions_vec = registry.counter_vec(
+            "twofd_shard_transitions_total",
+            "Trust/Suspect transitions published",
+            &["shard", "direction"],
+        );
+        let sweep_vec = registry.histogram_vec(
+            "twofd_sweep_duration_seconds",
+            "Wall-clock duration of each expiry sweep",
+            &["shard"],
+        );
+        let jitter_vec = config.obs.jitter.then(|| {
+            registry.histogram_vec(
+                "twofd_interarrival_seconds",
+                "Per-stream heartbeat inter-arrival gaps",
+                &["shard"],
+            )
+        });
 
         let shards = (0..config.n_shards)
             .map(|i| {
+                let label = i.to_string();
                 let (tx, rx) = bounded::<Job>(config.queue_capacity);
+                let hot = config.obs.enabled().then(|| {
+                    Mutex::new(HotObs {
+                        jitter: jitter_vec.as_ref().map(|v| v.with(&[&label])),
+                        qos: config.obs.qos.clone(),
+                        streams: StreamMap::default(),
+                    })
+                });
                 let shared = Arc::new(ShardShared {
                     set: Mutex::new(ProcessSet::new(config.detector.clone())),
-                    received: AtomicU64::new(0),
-                    dropped: AtomicU64::new(0),
-                    processed: AtomicU64::new(0),
-                    stale: AtomicU64::new(0),
-                    to_trust: AtomicU64::new(0),
-                    to_suspect: AtomicU64::new(0),
+                    received: received_vec.with(&[&label]),
+                    dropped: dropped_vec.with(&[&label]),
+                    applied: applied_vec.with(&[&label]),
+                    stale: stale_vec.with(&[&label]),
+                    to_trust: transitions_vec.with(&[&label, "to_trust"]),
+                    to_suspect: transitions_vec.with(&[&label, "to_suspect"]),
+                    sweep_hist: sweep_vec.with(&[&label]),
+                    hot,
                 });
                 let worker = {
                     let shared = Arc::clone(&shared);
                     let events_tx = events_tx.clone();
-                    let events_dropped = Arc::clone(&events_dropped);
+                    let events_dropped = events_dropped.clone();
                     let clock = Arc::clone(&clock);
                     let sweep_interval = config.sweep_interval;
                     thread::Builder::new()
@@ -317,16 +617,69 @@ impl ShardRuntime {
             })
             .collect();
 
-        ShardRuntime {
+        let inner = Arc::new(Inner {
             shards,
             events_rx,
             events_dropped,
             clock,
-        }
+        });
+        Self::install_scrape_hook(&registry, &inner, config.obs.qos.is_some());
+        ShardRuntime { inner, registry }
+    }
+
+    /// Registers the snapshot-gauge scrape hook. The hook holds a
+    /// [`Weak`] so dropping the runtime still disconnects the worker
+    /// queues; a scrape after that renders the last pushed values.
+    fn install_scrape_hook(registry: &Registry, inner: &Arc<Inner>, qos: bool) {
+        let queue_depth = registry.gauge_vec(
+            "twofd_shard_queue_depth",
+            "Heartbeats queued, awaiting the shard worker",
+            &["shard"],
+        );
+        let streams_gauge = registry.gauge_vec(
+            "twofd_shard_streams",
+            "Monitored streams by current output state",
+            &["shard", "state"],
+        );
+        let events_depth = registry.gauge(
+            "twofd_events_queue_depth",
+            "Transition events queued, awaiting the consumer",
+        );
+        let qos_gauges = qos.then(|| QosGauges::new(registry));
+        let weak: Weak<Inner> = Arc::downgrade(inner);
+        registry.on_scrape(move || {
+            let Some(inner) = weak.upgrade() else { return };
+            let now = inner.clock.now();
+            events_depth.set(inner.events_rx.len() as f64);
+            for (i, shard) in inner.shards.iter().enumerate() {
+                let label = i.to_string();
+                let depth = shard.tx.as_ref().map(|tx| tx.len()).unwrap_or(0);
+                queue_depth.with(&[&label]).set(depth as f64);
+                let (live, suspect) = shard.shared.set.lock().counts(now);
+                streams_gauge.with(&[&label, "live"]).set(live as f64);
+                streams_gauge.with(&[&label, "suspect"]).set(suspect as f64);
+                if let (Some(gauges), Some(hot)) = (&qos_gauges, &shard.shared.hot) {
+                    let mut hot = hot.lock();
+                    for (stream, obs) in hot.streams.iter_mut() {
+                        if let Some(tracker) = &mut obs.tracker {
+                            let metrics = tracker.metrics_at(now);
+                            let verdict = tracker.config().spec.map(|spec| judge(&spec, &metrics));
+                            gauges.publish(*stream, &metrics, verdict.as_ref());
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    /// The registry holding every metric of this runtime. Clone it into
+    /// a [`twofd_obs::MetricsServer`] to serve `GET /metrics`.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     fn shard_of(&self, stream: u64) -> &Shard {
-        &self.shards[(stream % self.shards.len() as u64) as usize]
+        self.inner.shard_of(stream)
     }
 
     /// Routes one decoded, timestamped heartbeat to its shard. Never
@@ -334,7 +687,7 @@ impl ShardRuntime {
     /// the drop.
     pub fn ingest(&self, stream: u64, seq: u64, arrival: Nanos) {
         let shard = self.shard_of(stream);
-        shard.shared.received.fetch_add(1, Ordering::Relaxed);
+        shard.shared.received.inc();
         match shard
             .tx
             .as_ref()
@@ -342,7 +695,7 @@ impl ShardRuntime {
             .force_send((stream, seq, arrival))
         {
             Ok(Some(_displaced)) => {
-                shard.shared.dropped.fetch_add(1, Ordering::Relaxed);
+                shard.shared.dropped.inc();
             }
             Ok(None) => {}
             Err(_) => {} // worker already shut down
@@ -357,14 +710,15 @@ impl ShardRuntime {
 
     /// Current output for one stream (`None` if never seen/registered).
     pub fn output(&self, stream: u64) -> Option<FdOutput> {
-        let now = self.clock.now();
+        let now = self.inner.clock.now();
         self.shard_of(stream).shared.set.lock().output(&stream, now)
     }
 
     /// Status snapshot of every monitored stream, across all shards.
     pub fn statuses(&self) -> Vec<ProcessStatus<u64>> {
-        let now = self.clock.now();
-        self.shards
+        let now = self.inner.clock.now();
+        self.inner
+            .shards
             .iter()
             .flat_map(|s| s.shared.set.lock().statuses(now))
             .collect()
@@ -372,8 +726,9 @@ impl ShardRuntime {
 
     /// Streams currently suspected, across all shards.
     pub fn suspected(&self) -> Vec<u64> {
-        let now = self.clock.now();
-        self.shards
+        let now = self.inner.clock.now();
+        self.inner
+            .shards
             .iter()
             .flat_map(|s| s.shared.set.lock().suspected(now))
             .collect()
@@ -381,29 +736,58 @@ impl ShardRuntime {
 
     /// Number of streams currently monitored.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.shared.set.lock().len()).sum()
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.shared.set.lock().len())
+            .sum()
     }
 
     /// True when no stream is monitored.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.shared.set.lock().is_empty())
+        self.inner
+            .shards
+            .iter()
+            .all(|s| s.shared.set.lock().is_empty())
     }
 
     /// The stream of Trust/Suspect transitions, timestamped exactly.
     pub fn events(&self) -> &Receiver<FleetEvent> {
-        &self.events_rx
+        &self.inner.events_rx
     }
 
     /// Transition events dropped because the event channel was full.
     pub fn events_dropped(&self) -> u64 {
-        self.events_dropped.load(Ordering::Relaxed)
+        self.inner.events_dropped.get()
+    }
+
+    /// The online QoS estimates for one stream as of now, if QoS
+    /// tracking is enabled ([`ObsOptions::qos`]) and covers the stream.
+    pub fn qos_metrics(&self, stream: u64) -> Option<QosMetrics> {
+        let now = self.inner.clock.now();
+        let shard = self.shard_of(stream);
+        let mut hot = shard.shared.hot.as_ref()?.lock();
+        let tracker = hot.streams.get_mut(&stream)?.tracker.as_mut()?;
+        Some(tracker.metrics_at(now))
+    }
+
+    /// The live verdict of one stream against its configured QoS bound,
+    /// if QoS tracking is enabled and covers the stream. Vacuously met
+    /// when the tracker has no spec.
+    pub fn qos_verdict(&self, stream: u64) -> Option<QosVerdict> {
+        let now = self.inner.clock.now();
+        let shard = self.shard_of(stream);
+        let mut hot = shard.shared.hot.as_ref()?.lock();
+        let tracker = hot.streams.get_mut(&stream)?.tracker.as_mut()?;
+        Some(tracker.verdict_at(now))
     }
 
     /// Observability snapshot: per-shard counters, queue depths and
     /// live/suspect tallies.
     pub fn stats(&self) -> RuntimeStats {
-        let now = self.clock.now();
+        let now = self.inner.clock.now();
         let shards = self
+            .inner
             .shards
             .iter()
             .enumerate()
@@ -416,15 +800,16 @@ impl ShardRuntime {
                 };
                 ShardStats {
                     shard: i,
-                    received: s.shared.received.load(Ordering::Relaxed),
-                    dropped: s.shared.dropped.load(Ordering::Relaxed),
-                    stale: s.shared.stale.load(Ordering::Relaxed),
+                    received: s.shared.received.get(),
+                    dropped: s.shared.dropped.get(),
+                    applied: s.shared.applied.get(),
+                    stale: s.shared.stale.get(),
                     queue_depth,
                     streams,
                     live,
                     suspect,
-                    to_trust: s.shared.to_trust.load(Ordering::Relaxed),
-                    to_suspect: s.shared.to_suspect.load(Ordering::Relaxed),
+                    to_trust: s.shared.to_trust.get(),
+                    to_suspect: s.shared.to_suspect.get(),
                 }
             })
             .collect();
@@ -439,12 +824,9 @@ impl ShardRuntime {
     /// Benches and deterministic tests use this as a barrier.
     pub fn flush(&self) {
         loop {
-            let behind = self.shards.iter().any(|s| {
+            let behind = self.inner.shards.iter().any(|s| {
                 let shared = &s.shared;
-                let received = shared.received.load(Ordering::SeqCst);
-                let dropped = shared.dropped.load(Ordering::SeqCst);
-                let processed = shared.processed.load(Ordering::SeqCst);
-                processed + dropped < received
+                shared.applied.get() + shared.dropped.get() < shared.received.get()
             });
             if !behind {
                 return;
@@ -454,28 +836,25 @@ impl ShardRuntime {
     }
 }
 
-impl Drop for ShardRuntime {
-    fn drop(&mut self) {
-        for shard in &mut self.shards {
-            shard.tx.take(); // disconnects the queue; worker drains and exits
-        }
-        for shard in &mut self.shards {
-            if let Some(handle) = shard.worker.take() {
-                let _ = handle.join();
-            }
-        }
-    }
-}
-
 fn shard_worker(
     shared: Arc<ShardShared>,
     rx: Receiver<Job>,
     events_tx: Sender<FleetEvent>,
-    events_dropped: Arc<AtomicU64>,
+    events_dropped: Counter,
     clock: Arc<dyn TimeSource>,
     sweep_interval: Duration,
 ) {
     let mut events: Vec<FleetEvent> = Vec::new();
+    // Heartbeats applied this pass, kept for the hot-obs update; only
+    // populated when the extras are enabled.
+    let mut scratch: Vec<(Job, Option<Decision>)> = Vec::new();
+    let track = shared.hot.is_some();
+    // Transitions only matter to the hot state when QoS trackers exist;
+    // a jitter-only configuration skips the per-event map walk.
+    let track_transitions = shared
+        .hot
+        .as_ref()
+        .is_some_and(|hot| hot.lock().qos.is_some());
     loop {
         // Read the sweep time *before* draining: anything enqueued before
         // the clock reached `now` is applied first, so the sweep can
@@ -495,7 +874,10 @@ fn shard_worker(
                 }
                 match rx.try_recv() {
                     Ok(job) => {
-                        apply(&mut set, &shared, job, &mut events);
+                        let decision = apply(&mut set, &shared, job, &mut events);
+                        if track {
+                            scratch.push((job, decision));
+                        }
                         batch += 1;
                     }
                     Err(TryRecvError::Empty) => break,
@@ -506,7 +888,28 @@ fn shard_worker(
                 }
             }
             if drained_all {
+                let sweep_started = std::time::Instant::now();
                 set.sweep(now, &mut events);
+                shared
+                    .sweep_hist
+                    .observe_ns(sweep_started.elapsed().as_nanos() as u64);
+            }
+        }
+        // Hot-obs update outside the set lock (lock order: set ≺ hot).
+        // Heartbeats first, then transitions: TD samples are
+        // order-insensitive, and the transition list already carries the
+        // exact mistake timeline.
+        if let Some(hot) = &shared.hot {
+            if !scratch.is_empty() || (track_transitions && !events.is_empty()) {
+                let mut hot = hot.lock();
+                for ((stream, seq, arrival), decision) in scratch.drain(..) {
+                    hot.on_heartbeat(stream, seq, arrival, decision);
+                }
+                if track_transitions {
+                    for event in &events {
+                        hot.on_transition(event);
+                    }
+                }
             }
         }
         publish(&shared, &events_tx, &events_dropped, &mut events);
@@ -526,29 +929,28 @@ fn apply(
     shared: &ShardShared,
     (stream, seq, arrival): Job,
     events: &mut Vec<FleetEvent>,
-) {
-    if set
-        .on_heartbeat_with_events(stream, seq, arrival, events)
-        .is_none()
-    {
-        shared.stale.fetch_add(1, Ordering::Relaxed);
+) -> Option<Decision> {
+    let decision = set.on_heartbeat_with_events(stream, seq, arrival, events);
+    if decision.is_none() {
+        shared.stale.inc();
     }
-    shared.processed.fetch_add(1, Ordering::SeqCst);
+    shared.applied.inc();
+    decision
 }
 
 fn publish(
     shared: &ShardShared,
     events_tx: &Sender<FleetEvent>,
-    events_dropped: &AtomicU64,
+    events_dropped: &Counter,
     events: &mut Vec<FleetEvent>,
 ) {
     for event in events.drain(..) {
         match event.output {
-            FdOutput::Trust => shared.to_trust.fetch_add(1, Ordering::Relaxed),
-            FdOutput::Suspect => shared.to_suspect.fetch_add(1, Ordering::Relaxed),
+            FdOutput::Trust => shared.to_trust.inc(),
+            FdOutput::Suspect => shared.to_suspect.inc(),
         };
         if let Err(TrySendError::Full(_)) = events_tx.try_send(event) {
-            events_dropped.fetch_add(1, Ordering::Relaxed);
+            events_dropped.inc();
         }
     }
 }
@@ -558,6 +960,7 @@ mod tests {
     use super::*;
     use crate::clock::ManualClock;
     use twofd_core::DetectorSpec;
+    use twofd_obs::QosTrackerConfig;
     use twofd_sim::time::Span;
 
     const DI: Span = Span(100_000_000); // 100 ms
@@ -645,7 +1048,7 @@ mod tests {
     #[test]
     fn overflow_drops_oldest_and_counts() {
         // One shard, tiny queue, and a clock pinned at zero so the worker
-        // mostly idles between 1 ms sweeps while we flood the queue.
+        // mostly idles between sweeps while we flood the queue.
         let clock = Arc::new(ManualClock::new());
         let config = ShardConfig {
             detector: plan(),
@@ -662,11 +1065,8 @@ mod tests {
         let stats = rt.stats();
         assert_eq!(stats.received(), 10_000);
         assert!(stats.dropped() > 0, "{stats:?}");
-        // Every heartbeat is accounted for: processed + dropped = received.
-        assert_eq!(
-            stats.dropped() + rt.shards[0].shared.processed.load(Ordering::SeqCst),
-            10_000
-        );
+        // Every heartbeat is accounted for: applied + dropped = received.
+        assert_eq!(stats.dropped() + stats.applied(), 10_000);
     }
 
     #[test]
@@ -708,5 +1108,62 @@ mod tests {
             rt.ingest(stream, 1, hb(1));
         }
         drop(rt); // must not hang
+    }
+
+    #[test]
+    fn registry_mirrors_stats_counters() {
+        let (rt, clock) = runtime_with_manual_clock(2);
+        for seq in 1..=3u64 {
+            clock.advance_to(hb(seq));
+            rt.ingest(7, seq, hb(seq));
+        }
+        rt.flush();
+        let text = rt.registry().render();
+        assert!(
+            text.contains("twofd_shard_received_total{shard=\"1\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("twofd_shard_applied_total{shard=\"1\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("twofd_shard_streams{shard=\"1\",state=\"live\"} 1"));
+        assert!(text.contains("# TYPE twofd_sweep_duration_seconds histogram"));
+        // The hook survives a runtime drop without resurrecting workers.
+        let registry = rt.registry().clone();
+        drop(rt);
+        let _ = registry.render();
+    }
+
+    #[test]
+    fn qos_tracking_reports_metrics_and_verdicts() {
+        let clock = Arc::new(ManualClock::new());
+        let config = ShardConfig {
+            detector: plan(),
+            n_shards: 1,
+            sweep_interval: Duration::from_millis(1),
+            obs: ObsOptions {
+                jitter: true,
+                qos: Some(QosPlan::Uniform(QosTrackerConfig::cumulative(DI))),
+            },
+            ..ShardConfig::default()
+        };
+        let rt = ShardRuntime::new(config, clock.clone() as Arc<dyn TimeSource>);
+        for seq in 1..=20u64 {
+            clock.advance_to(hb(seq));
+            rt.ingest(5, seq, hb(seq));
+            rt.flush();
+        }
+        let metrics = rt.qos_metrics(5).expect("tracker attached");
+        assert_eq!(metrics.mistakes, 0);
+        assert!((metrics.query_accuracy - 1.0).abs() < 1e-9);
+        assert!(rt.qos_verdict(5).expect("tracker attached").met);
+        assert!(rt.qos_metrics(999).is_none(), "unseen stream");
+        let text = rt.registry().render();
+        assert!(
+            text.contains("twofd_qos_query_accuracy{stream=\"5\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("twofd_interarrival_seconds_count{shard=\"0\"}"));
     }
 }

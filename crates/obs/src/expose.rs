@@ -1,0 +1,228 @@
+//! Prometheus text-format (0.0.4) rendering of a [`Registry`].
+//!
+//! One `# HELP` / `# TYPE` header per family, children in sorted label
+//! order, histograms as cumulative `_bucket{le="…"}` series plus `_sum`
+//! and `_count`. Values render with enough precision to round-trip an
+//! `f64`; label values are escaped per the exposition spec (`\\`, `\"`,
+//! `\n`).
+
+use crate::metric::Histogram;
+use crate::registry::{Cell, MetricKind, Registry};
+use std::fmt::Write;
+
+/// The `Content-Type` a scraper expects for this format.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+fn escape_label(value: &str, out: &mut String) {
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn escape_help(value: &str, out: &mut String) {
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats an `f64` the way Prometheus clients conventionally do:
+/// shortest representation that round-trips, `+Inf`/`-Inf`/`NaN`
+/// spelled out.
+fn fmt_value(v: f64, out: &mut String) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v.is_infinite() {
+        out.push_str(if v > 0.0 { "+Inf" } else { "-Inf" });
+    } else {
+        write!(out, "{v}").expect("write to String");
+    }
+}
+
+/// Writes `name{label="value",…}` (omitting braces when empty). Extra
+/// pairs (for `le=`) are appended after the family labels.
+fn write_series(
+    out: &mut String,
+    name: &str,
+    suffix: &str,
+    names: &[String],
+    values: &[String],
+    extra: Option<(&str, &str)>,
+) {
+    out.push_str(name);
+    out.push_str(suffix);
+    if !names.is_empty() || extra.is_some() {
+        out.push('{');
+        let mut first = true;
+        for (n, v) in names.iter().zip(values) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(n);
+            out.push_str("=\"");
+            escape_label(v, out);
+            out.push('"');
+        }
+        if let Some((n, v)) = extra {
+            if !first {
+                out.push(',');
+            }
+            out.push_str(n);
+            out.push_str("=\"");
+            escape_label(v, out);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+}
+
+fn render_histogram(
+    out: &mut String,
+    name: &str,
+    names: &[String],
+    values: &[String],
+    hist: &Histogram,
+) {
+    let bounds = Histogram::bucket_upper_bounds();
+    let counts = hist.bucket_counts();
+    let mut cumulative = 0u64;
+    for (i, upper) in bounds.iter().enumerate() {
+        cumulative += counts[i];
+        let mut le = String::new();
+        fmt_value(*upper, &mut le);
+        write_series(out, name, "_bucket", names, values, Some(("le", &le)));
+        let _ = writeln!(out, "{cumulative}");
+    }
+    // Overflow bucket folds into the mandatory +Inf sample.
+    cumulative += counts[counts.len() - 1];
+    write_series(out, name, "_bucket", names, values, Some(("le", "+Inf")));
+    let _ = writeln!(out, "{cumulative}");
+    write_series(out, name, "_sum", names, values, None);
+    fmt_value(hist.sum_secs(), out);
+    out.push('\n');
+    write_series(out, name, "_count", names, values, None);
+    let _ = writeln!(out, "{}", hist.count());
+}
+
+/// Renders every family in `registry` (scrape hooks are the caller's
+/// concern — [`Registry::render`] runs them first).
+pub(crate) fn render(registry: &Registry) -> String {
+    let families = registry.families.lock().expect("registry poisoned");
+    let mut out = String::with_capacity(4096);
+    for (name, family) in families.iter() {
+        out.push_str("# HELP ");
+        out.push_str(name);
+        out.push(' ');
+        escape_help(&family.help, &mut out);
+        out.push('\n');
+        out.push_str("# TYPE ");
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(match family.kind {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        });
+        out.push('\n');
+        for (values, cell) in &family.children {
+            match cell {
+                Cell::Counter(c) => {
+                    write_series(&mut out, name, "", &family.label_names, values, None);
+                    let _ = writeln!(out, "{}", c.get());
+                }
+                Cell::Gauge(g) => {
+                    write_series(&mut out, name, "", &family.label_names, values, None);
+                    fmt_value(g.get(), &mut out);
+                    out.push('\n');
+                }
+                Cell::Histogram(h) => {
+                    render_histogram(&mut out, name, &family.label_names, values, h);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_counters_and_gauges_with_labels() {
+        let r = Registry::new();
+        r.counter_vec("twofd_recv_total", "received", &["shard"])
+            .with(&["0"])
+            .add(5);
+        r.gauge("twofd_depth", "queue depth").set(3.5);
+        let text = r.render();
+        assert!(text.contains("# HELP twofd_recv_total received"));
+        assert!(text.contains("# TYPE twofd_recv_total counter"));
+        assert!(text.contains("twofd_recv_total{shard=\"0\"} 5"));
+        assert!(text.contains("# TYPE twofd_depth gauge"));
+        assert!(text.contains("twofd_depth 3.5"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let r = Registry::new();
+        let h = r.histogram("twofd_lat_seconds", "latency");
+        h.observe_secs(0.002);
+        h.observe_secs(0.002);
+        h.observe_secs(1e9); // overflow bucket
+        let text = r.render();
+        assert!(text.contains("# TYPE twofd_lat_seconds histogram"));
+        assert!(text.contains("twofd_lat_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("twofd_lat_seconds_count 3"));
+        // The last finite bucket already holds both sub-overflow samples.
+        let bounds = Histogram::bucket_upper_bounds();
+        let mut last_finite = String::new();
+        fmt_value(*bounds.last().unwrap(), &mut last_finite);
+        assert!(
+            text.contains(&format!(
+                "twofd_lat_seconds_bucket{{le=\"{last_finite}\"}} 2"
+            )),
+            "{text}"
+        );
+        // Cumulative counts never decrease.
+        let mut prev = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= prev, "{line}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter_vec("twofd_esc_total", "x", &["app"])
+            .with(&["a\"b\\c\nd"])
+            .inc();
+        let text = r.render();
+        assert!(
+            text.contains(r#"twofd_esc_total{app="a\"b\\c\nd"} 1"#),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn special_float_values_render() {
+        let r = Registry::new();
+        r.gauge("twofd_inf", "x").set(f64::INFINITY);
+        r.gauge("twofd_nan", "x").set(f64::NAN);
+        let text = r.render();
+        assert!(text.contains("twofd_inf +Inf"));
+        assert!(text.contains("twofd_nan NaN"));
+    }
+}

@@ -1,0 +1,235 @@
+//! A minimal std-only blocking HTTP listener for metrics exposition.
+//!
+//! Deliberately tiny: one accept thread, one request per connection
+//! (`Connection: close`), two routes — `GET /metrics` (Prometheus text)
+//! and `GET /healthz`. This is not a web framework; it exists so a
+//! fleet monitor can be scraped without adding any dependency to the
+//! workspace. The listener socket is non-blocking and the accept loop
+//! polls a stop flag, so [`MetricsServer`] shuts down cleanly on drop.
+
+use crate::expose::CONTENT_TYPE;
+use crate::registry::Registry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+type HealthCheck = Arc<dyn Fn() -> bool + Send + Sync>;
+
+/// A background thread serving `GET /metrics` and `GET /healthz`.
+///
+/// Dropping the server stops the accept loop and joins the thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl MetricsServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `registry`. `/healthz` always answers `200 ok`.
+    pub fn spawn(addr: impl ToSocketAddrs, registry: Registry) -> std::io::Result<MetricsServer> {
+        Self::spawn_with_health(addr, registry, Arc::new(|| true))
+    }
+
+    /// Like [`MetricsServer::spawn`], with a health predicate:
+    /// `/healthz` answers `200 ok` while it returns true and
+    /// `503 unhealthy` once it does not.
+    pub fn spawn_with_health(
+        addr: impl ToSocketAddrs,
+        registry: Registry,
+        healthy: HealthCheck,
+    ) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let thread = std::thread::Builder::new()
+            .name("twofd-metrics".into())
+            .spawn(move || accept_loop(listener, registry, healthy, stop_flag))
+            .expect("spawn metrics thread");
+        Ok(MetricsServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    registry: Registry,
+    healthy: HealthCheck,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Serve inline: exposition is cheap and scrapers are
+                // few; a slow client is bounded by the write timeout.
+                let _ = serve_one(stream, &registry, &healthy);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn serve_one(
+    mut stream: TcpStream,
+    registry: &Registry,
+    healthy: &HealthCheck,
+) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+
+    // Read until the end of the request head (or a small cap — we never
+    // care about a body).
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+
+    let (status, content_type, body) = match (method, path) {
+        ("GET", "/metrics") => ("200 OK", CONTENT_TYPE, registry.render()),
+        ("GET", "/healthz") => {
+            if healthy() {
+                ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string())
+            } else {
+                (
+                    "503 Service Unavailable",
+                    "text/plain; charset=utf-8",
+                    "unhealthy\n".to_string(),
+                )
+            }
+        }
+        ("GET", _) => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+        _ => (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        ),
+    };
+
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+            .expect("write");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read");
+        out
+    }
+
+    #[test]
+    fn serves_metrics_and_health() {
+        let registry = Registry::new();
+        registry.counter("twofd_http_test_total", "hits").add(3);
+        let server = MetricsServer::spawn("127.0.0.1:0", registry).expect("bind");
+        let addr = server.local_addr();
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+        assert!(metrics.contains("text/plain; version=0.0.4"));
+        assert!(metrics.contains("twofd_http_test_total 3"));
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK"));
+        assert!(health.ends_with("ok\n"));
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+    }
+
+    #[test]
+    fn health_predicate_flips_to_503() {
+        let healthy = Arc::new(AtomicBool::new(true));
+        let flag = healthy.clone();
+        let server = MetricsServer::spawn_with_health(
+            "127.0.0.1:0",
+            Registry::new(),
+            Arc::new(move || flag.load(Ordering::Relaxed)),
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        assert!(get(addr, "/healthz").starts_with("HTTP/1.1 200"));
+        healthy.store(false, Ordering::Relaxed);
+        assert!(get(addr, "/healthz").starts_with("HTTP/1.1 503"));
+    }
+
+    #[test]
+    fn drop_joins_the_thread() {
+        let server = MetricsServer::spawn("127.0.0.1:0", Registry::new()).expect("bind");
+        let addr = server.local_addr();
+        drop(server);
+        // The port is released once the accept loop exits.
+        assert!(
+            TcpStream::connect_timeout(&addr.clone(), Duration::from_millis(200)).is_err() || {
+                // A connect may still succeed briefly on some platforms
+                // (TIME_WAIT backlog); binding the port again is the real
+                // proof the listener is gone.
+                TcpListener::bind(addr).is_ok()
+            }
+        );
+    }
+}

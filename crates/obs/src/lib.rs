@@ -1,0 +1,47 @@
+//! # twofd-obs — live observability for the failure-detection service
+//!
+//! The paper's whole contribution is *QoS*: detection time `T_D`,
+//! mistake rate `T_MR`, mistake duration `T_M` and query accuracy
+//! `P_A`. The workspace can compute those **offline**
+//! ([`twofd_core::metrics`] over replayed timelines); this crate makes a
+//! *running* monitor report them, plus its own operational health, while
+//! it serves traffic. Three layers:
+//!
+//! * [`metric`] — dependency-free, lock-free primitives: [`Counter`] and
+//!   [`Gauge`] on a single `AtomicU64`, and a fixed-bucket log-linear
+//!   [`Histogram`] for latency-shaped data (inter-arrival jitter, sweep
+//!   latency). Handles are cheap `Arc` clones; the hot path pays one
+//!   relaxed atomic RMW per update and never takes a lock.
+//! * [`registry`] + [`expose`] — a [`Registry`] of named metric families
+//!   with label support and Prometheus text-format rendering, plus
+//!   scrape hooks for snapshot-style gauges (queue depths, live/suspect
+//!   tallies) that are read at exposition time instead of being pushed.
+//! * [`qos`] — the online mirror of the offline pipeline: a per-stream
+//!   [`QosTracker`] consumes the Trust/Suspect transition events the
+//!   shard sweepers already publish (plus per-heartbeat freshness
+//!   decisions) and maintains sliding-window estimates of
+//!   `T_D`/`T_MR`/`T_M`/`P_A` as a [`twofd_core::QosMetrics`] — the
+//!   *same* struct the replay pipeline produces — compared live against
+//!   a configured [`twofd_core::QosSpec`] into a [`QosVerdict`].
+//! * [`http`] — a minimal std-only blocking HTTP listener
+//!   ([`MetricsServer`]) answering `GET /metrics` and `GET /healthz`,
+//!   runnable as an optional thread beside a fleet monitor.
+//!
+//! The crate deliberately depends on nothing beyond `twofd-core` /
+//! `twofd-sim` (for the shared time and QoS vocabulary): it must be
+//! embeddable in every layer of the workspace without dragging in a
+//! metrics ecosystem the offline build environment does not have.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod expose;
+pub mod http;
+pub mod metric;
+pub mod qos;
+pub mod registry;
+
+pub use http::MetricsServer;
+pub use metric::{Counter, Gauge, Histogram};
+pub use qos::{QosAxis, QosPlan, QosTracker, QosTrackerConfig, QosVerdict, StreamConfigFn};
+pub use registry::{CounterVec, GaugeVec, HistogramVec, Registry};

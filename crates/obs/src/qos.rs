@@ -1,0 +1,484 @@
+//! Online QoS tracking — the live mirror of the offline replay pipeline.
+//!
+//! The workspace already knows how to judge a detector *after the fact*:
+//! `twofd_core::replay` reconstructs the Trust/Suspect timeline from a
+//! recorded trace and `QosMetrics::from_mistakes` turns it into the
+//! paper's `T_D` / `T_MR` / `T_M` / `P_A`. A deployed monitor cannot
+//! wait for a replay: it must report, *while serving traffic*, whether
+//! each stream currently meets its contracted `(T_Dᵁ, T_MRᵁ, T_Mᵁ)`.
+//!
+//! [`QosTracker`] consumes exactly the inputs the sharded runtime
+//! already produces — per-heartbeat freshness [`Decision`]s and the
+//! Trust/Suspect [`StreamTransition`](twofd_core::StreamTransition)
+//! stream from the sweepers — and
+//! maintains a sliding window of mistake intervals and worst-case
+//! detection-time samples. [`QosTracker::metrics_at`] assembles those
+//! into the **same** [`QosMetrics`] struct the offline pipeline
+//! produces, by calling the same `from_mistakes` arithmetic; with the
+//! window covering the whole trace the two agree exactly (see
+//! `tests/obs_differential.rs`).
+//!
+//! Semantics deliberately shared with `twofd_core::replay::replay`:
+//!
+//! * A mistake opens at the **S-transition instant** (the expired
+//!   `trust_until`, not when the sweeper happened to notice) and closes
+//!   at the restoring heartbeat's **arrival instant**.
+//! * A mistake still open at the evaluation instant is **censored**: it
+//!   counts toward the mistake *rate* and suspect time but not the mean
+//!   *duration* (unless every mistake is censored, in which case the
+//!   mean over censored spans is the only estimate available).
+//! * The worst-case detection-time sample for heartbeat `j` is
+//!   `trust_until(j) − σ(j)` where `σ(j) = j·Δi` is the nominal send
+//!   instant; the average-case `T_D` subtracts half an inter-send
+//!   interval, floored at zero.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use twofd_core::{Decision, FdOutput, Mistake, QosMetrics, QosSpec};
+use twofd_sim::time::{Nanos, Span};
+
+/// Configuration for one stream's [`QosTracker`].
+#[derive(Debug, Clone, Copy)]
+pub struct QosTrackerConfig {
+    /// The contracted bound to judge against; `None` tracks estimates
+    /// without issuing verdicts (the verdict is then vacuously met).
+    pub spec: Option<QosSpec>,
+    /// The heartbeat inter-send interval `Δi` — needed to recover the
+    /// nominal send instant `σ(j) = j·Δi` from a sequence number, and
+    /// for the half-interval crash-time correction.
+    pub interval: Span,
+    /// Sliding evaluation window. Estimates at instant `now` cover
+    /// `[now − window, now]`; use [`Span::MAX`] for a whole-trace
+    /// (cumulative) window.
+    pub window: Span,
+}
+
+impl QosTrackerConfig {
+    /// A cumulative (whole-trace) tracker with no contracted bound.
+    pub fn cumulative(interval: Span) -> Self {
+        QosTrackerConfig {
+            spec: None,
+            interval,
+            window: Span::MAX,
+        }
+    }
+}
+
+/// Per-stream tracker-configuration lookup used by
+/// [`QosPlan::PerStream`]; `None` leaves the stream untracked.
+pub type StreamConfigFn = Arc<dyn Fn(&u64) -> Option<QosTrackerConfig> + Send + Sync>;
+
+/// How trackers are assigned to streams in a multi-stream runtime.
+#[derive(Clone)]
+pub enum QosPlan {
+    /// Every stream gets the same configuration.
+    Uniform(QosTrackerConfig),
+    /// Per-stream lookup (e.g. from a service registry's per-app
+    /// contracts); `None` leaves the stream untracked.
+    PerStream(StreamConfigFn),
+}
+
+impl std::fmt::Debug for QosPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QosPlan::Uniform(cfg) => f.debug_tuple("Uniform").field(cfg).finish(),
+            QosPlan::PerStream(_) => f.write_str("PerStream(..)"),
+        }
+    }
+}
+
+impl QosPlan {
+    /// Resolves the configuration for `stream`, if any.
+    pub fn config_for(&self, stream: &u64) -> Option<QosTrackerConfig> {
+        match self {
+            QosPlan::Uniform(cfg) => Some(*cfg),
+            QosPlan::PerStream(f) => f(stream),
+        }
+    }
+}
+
+/// One QoS axis of the paper's `(T_Dᵁ, T_MRᵁ, T_Mᵁ)` contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QosAxis {
+    /// Detection time `T_D` exceeded `T_Dᵁ`.
+    DetectionTime,
+    /// Mistake rate exceeded `1 / T_MRᵁ` (mistakes recur too often).
+    MistakeRecurrence,
+    /// Mean mistake duration `T_M` exceeded `T_Mᵁ`.
+    MistakeDuration,
+}
+
+impl QosAxis {
+    /// The label value used in exposition (`axis="detection_time"` …).
+    pub fn label(self) -> &'static str {
+        match self {
+            QosAxis::DetectionTime => "detection_time",
+            QosAxis::MistakeRecurrence => "mistake_recurrence",
+            QosAxis::MistakeDuration => "mistake_duration",
+        }
+    }
+
+    /// All three axes, in exposition order.
+    pub const ALL: [QosAxis; 3] = [
+        QosAxis::DetectionTime,
+        QosAxis::MistakeRecurrence,
+        QosAxis::MistakeDuration,
+    ];
+}
+
+/// The live judgement of one stream against its contracted bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QosVerdict {
+    /// True iff no axis is violated (vacuously true without a spec).
+    pub met: bool,
+    /// The axes currently out of contract, in [`QosAxis::ALL`] order.
+    pub violated_axes: Vec<QosAxis>,
+}
+
+/// Judges `metrics` against `spec`, axis by axis.
+pub fn judge(spec: &QosSpec, metrics: &QosMetrics) -> QosVerdict {
+    let mut violated_axes = Vec::new();
+    if metrics.detection_time > spec.detection_time {
+        violated_axes.push(QosAxis::DetectionTime);
+    }
+    if metrics.mistake_rate > spec.max_mistake_rate() {
+        violated_axes.push(QosAxis::MistakeRecurrence);
+    }
+    if metrics.avg_mistake_duration > spec.mistake_duration {
+        violated_axes.push(QosAxis::MistakeDuration);
+    }
+    QosVerdict {
+        met: violated_axes.is_empty(),
+        violated_axes,
+    }
+}
+
+/// Online estimator of one stream's QoS metrics over a sliding window.
+///
+/// Feed it every processed heartbeat ([`QosTracker::on_heartbeat`]) and
+/// every published transition ([`QosTracker::on_transition`]), then ask
+/// for [`QosTracker::metrics_at`] / [`QosTracker::verdict_at`] whenever
+/// a scrape (or a test) wants the current estimates. All methods take
+/// `&mut self`; in the sharded runtime each tracker lives behind its
+/// shard and is touched only by that shard's worker or a scrape.
+#[derive(Debug)]
+pub struct QosTracker {
+    config: QosTrackerConfig,
+    /// First heartbeat arrival — observation starts here, like the
+    /// replay pipeline's `start = first arrival`.
+    first_arrival: Option<Nanos>,
+    /// `(arrival, worst_td_secs)` per fresh heartbeat, pruned to the
+    /// window.
+    td_samples: VecDeque<(Nanos, f64)>,
+    /// Closed mistakes `(start, end)`, pruned once they fall wholly
+    /// before the window.
+    closed: VecDeque<(Nanos, Nanos)>,
+    /// S-transition instant of the currently open mistake, if any.
+    open_since: Option<Nanos>,
+    /// Whether any heartbeat ever produced a Trust period — mirrors the
+    /// replay convention that a stream whose first heartbeat arrives
+    /// already-expired is suspected from that first arrival.
+    ever_trusted: bool,
+    /// The most recent freshness decision, used to synthesize the
+    /// not-yet-swept mistake tail at evaluation time.
+    last_decision: Option<Decision>,
+    fresh: u64,
+}
+
+impl QosTracker {
+    /// Creates an empty tracker.
+    pub fn new(config: QosTrackerConfig) -> Self {
+        QosTracker {
+            config,
+            first_arrival: None,
+            td_samples: VecDeque::new(),
+            closed: VecDeque::new(),
+            open_since: None,
+            ever_trusted: false,
+            last_decision: None,
+            fresh: 0,
+        }
+    }
+
+    /// The tracker's configuration.
+    pub fn config(&self) -> &QosTrackerConfig {
+        &self.config
+    }
+
+    /// Records one processed heartbeat: its sequence number, arrival
+    /// instant, and the freshness decision (if it was fresh).
+    pub fn on_heartbeat(&mut self, seq: u64, arrival: Nanos, decision: Option<Decision>) {
+        if self.first_arrival.is_none() {
+            self.first_arrival = Some(arrival);
+        }
+        let Some(d) = decision else { return };
+        self.fresh += 1;
+        self.last_decision = Some(d);
+        // Worst-case detection time sample: trust_until − σ(seq), with
+        // σ(seq) = seq·Δi the nominal send instant (the trace builders'
+        // convention, and the replay pipeline's).
+        let send = Nanos(seq.saturating_mul(self.config.interval.0));
+        let worst = d.trust_until.saturating_since(send).as_secs_f64();
+        self.td_samples.push_back((arrival, worst));
+        // Replay convention: if the very first heartbeat arrives with
+        // its freshness point already in the past, the stream is
+        // suspected from that first arrival (never from time zero).
+        if !self.ever_trusted && self.open_since.is_none() && d.trust_until <= arrival {
+            self.open_since = Some(arrival);
+        }
+        if d.trust_until > arrival {
+            self.ever_trusted = true;
+        }
+    }
+
+    /// Records one published Trust/Suspect transition.
+    pub fn on_transition(&mut self, output: FdOutput, at: Nanos) {
+        match output {
+            FdOutput::Suspect => {
+                if self.open_since.is_none() {
+                    self.open_since = Some(at);
+                }
+            }
+            FdOutput::Trust => {
+                self.ever_trusted = true;
+                if let Some(start) = self.open_since.take() {
+                    if start < at {
+                        self.closed.push_back((start, at));
+                    }
+                }
+            }
+        }
+    }
+
+    /// True once at least one heartbeat has been observed.
+    pub fn has_observations(&self) -> bool {
+        self.first_arrival.is_some()
+    }
+
+    /// The windowed QoS estimates as of `now` — the same
+    /// [`QosMetrics`] struct (and the same arithmetic) as the offline
+    /// pipeline. Prunes state older than the window as a side effect.
+    pub fn metrics_at(&mut self, now: Nanos) -> QosMetrics {
+        let Some(first) = self.first_arrival else {
+            return QosMetrics::from_mistakes(&[], Span::ZERO, 0.0, 0, self.config.interval);
+        };
+        let window_start = Nanos(now.0.saturating_sub(self.config.window.0));
+        self.prune(window_start);
+
+        let start = first.max(window_start);
+        let observed = now.saturating_since(start);
+
+        let mut mistakes: Vec<Mistake> = Vec::with_capacity(self.closed.len() + 1);
+        for &(s, e) in &self.closed {
+            // Clip to the window; a partially-covered mistake still
+            // counts, over its in-window portion.
+            let cs = s.max(start);
+            let ce = e.min(now);
+            if cs < ce {
+                mistakes.push(Mistake {
+                    start: cs,
+                    end: ce,
+                    after_seq: 0,
+                    censored: false,
+                });
+            }
+        }
+        // The open mistake (sweeper already fired S) — censored at now.
+        let mut open = self.open_since;
+        // The not-yet-swept tail: the last freshness point may already
+        // have expired without a sweep having run. The replay pipeline
+        // sees this tail because it closes the timeline at the horizon;
+        // synthesize it here so a scrape between sweeps agrees.
+        if open.is_none() && self.ever_trusted {
+            if let Some(d) = self.last_decision {
+                if d.trust_until < now {
+                    open = Some(d.trust_until);
+                }
+            }
+        }
+        if let Some(s) = open {
+            let cs = s.max(start);
+            if cs < now {
+                mistakes.push(Mistake {
+                    start: cs,
+                    end: now,
+                    after_seq: 0,
+                    censored: true,
+                });
+            }
+        }
+        mistakes.sort_by_key(|m| m.start);
+
+        let (fresh, sum_worst) = self
+            .td_samples
+            .iter()
+            .filter(|(at, _)| *at >= start)
+            .fold((0u64, 0.0f64), |(n, s), (_, w)| (n + 1, s + w));
+
+        QosMetrics::from_mistakes(&mistakes, observed, sum_worst, fresh, self.config.interval)
+    }
+
+    /// The verdict against the configured spec as of `now`. Without a
+    /// spec the verdict is vacuously met.
+    pub fn verdict_at(&mut self, now: Nanos) -> QosVerdict {
+        match self.config.spec {
+            None => QosVerdict {
+                met: true,
+                violated_axes: Vec::new(),
+            },
+            Some(spec) => {
+                let metrics = self.metrics_at(now);
+                judge(&spec, &metrics)
+            }
+        }
+    }
+
+    fn prune(&mut self, window_start: Nanos) {
+        while let Some(&(at, _)) = self.td_samples.front() {
+            if at < window_start {
+                self.td_samples.pop_front();
+            } else {
+                break;
+            }
+        }
+        while let Some(&(_, end)) = self.closed.front() {
+            if end <= window_start {
+                self.closed.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decision(trust_until: Nanos) -> Option<Decision> {
+        Some(Decision { trust_until })
+    }
+
+    const SEC: u64 = 1_000_000_000;
+
+    #[test]
+    fn no_mistakes_means_perfect_accuracy() {
+        let mut t = QosTracker::new(QosTrackerConfig::cumulative(Span(SEC)));
+        // Heartbeats every second, each trusted 1.5 s past its send.
+        for seq in 0..10u64 {
+            let arrival = Nanos(seq * SEC + SEC / 10);
+            t.on_heartbeat(seq, arrival, decision(Nanos(seq * SEC + 3 * SEC / 2)));
+        }
+        let m = t.metrics_at(Nanos(9 * SEC + SEC / 4));
+        assert_eq!(m.mistakes, 0);
+        assert!((m.query_accuracy - 1.0).abs() < 1e-12);
+        assert!((m.worst_detection_time - 1.5).abs() < 1e-12);
+        // Average-case subtracts Δi/2.
+        assert!((m.detection_time - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closed_mistake_counts_toward_rate_and_duration() {
+        let mut t = QosTracker::new(QosTrackerConfig::cumulative(Span(SEC)));
+        t.on_heartbeat(0, Nanos(0), decision(Nanos(2 * SEC)));
+        t.on_transition(FdOutput::Trust, Nanos(0));
+        // Sweep fires S at the expired freshness point…
+        t.on_transition(FdOutput::Suspect, Nanos(2 * SEC));
+        // …and a late heartbeat restores trust 1 s later.
+        t.on_heartbeat(1, Nanos(3 * SEC), decision(Nanos(5 * SEC)));
+        t.on_transition(FdOutput::Trust, Nanos(3 * SEC));
+        let m = t.metrics_at(Nanos(4 * SEC));
+        assert_eq!(m.mistakes, 1);
+        assert!((m.avg_mistake_duration - 1.0).abs() < 1e-12);
+        assert!((m.mistake_rate - 1.0 / 4.0).abs() < 1e-12);
+        assert!((m.query_accuracy - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unswept_expiry_is_synthesized_as_censored_tail() {
+        let mut t = QosTracker::new(QosTrackerConfig::cumulative(Span(SEC)));
+        t.on_heartbeat(0, Nanos(0), decision(Nanos(2 * SEC)));
+        t.on_transition(FdOutput::Trust, Nanos(0));
+        // No sweeper ran, but the freshness point expired at 2 s; a
+        // scrape at 3 s must still see 1 s of (censored) suspicion.
+        let m = t.metrics_at(Nanos(3 * SEC));
+        assert_eq!(m.mistakes, 1);
+        assert!((m.query_accuracy - 2.0 / 3.0).abs() < 1e-12);
+        // All-censored fallback: mean over censored spans.
+        assert!((m.avg_mistake_duration - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_heartbeat_already_expired_opens_at_first_arrival() {
+        let mut t = QosTracker::new(QosTrackerConfig::cumulative(Span(SEC)));
+        // trust_until == arrival → no Trust period (replay convention).
+        t.on_heartbeat(0, Nanos(5 * SEC), decision(Nanos(5 * SEC)));
+        let m = t.metrics_at(Nanos(7 * SEC));
+        assert_eq!(m.mistakes, 1);
+        // Observed from first arrival (5 s) to now (7 s), all suspect.
+        assert!((m.query_accuracy - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sliding_window_forgets_old_mistakes() {
+        let mut t = QosTracker::new(QosTrackerConfig {
+            spec: None,
+            interval: Span(SEC),
+            window: Span(10 * SEC),
+        });
+        t.on_heartbeat(0, Nanos(0), decision(Nanos(2 * SEC)));
+        t.on_transition(FdOutput::Trust, Nanos(0));
+        t.on_transition(FdOutput::Suspect, Nanos(2 * SEC));
+        t.on_heartbeat(3, Nanos(3 * SEC), decision(Nanos(100 * SEC)));
+        t.on_transition(FdOutput::Trust, Nanos(3 * SEC));
+        // In-window at 5 s…
+        assert_eq!(t.metrics_at(Nanos(5 * SEC)).mistakes, 1);
+        // …fully aged out by 20 s (window start 10 s > mistake end 3 s).
+        let m = t.metrics_at(Nanos(20 * SEC));
+        assert_eq!(m.mistakes, 0);
+        assert!((m.query_accuracy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn verdict_reports_violated_axes() {
+        let spec = QosSpec::new(0.5, 100.0, 0.1);
+        let mut t = QosTracker::new(QosTrackerConfig {
+            spec: Some(spec),
+            interval: Span(SEC),
+            window: Span::MAX,
+        });
+        // Worst TD = 2 s ⇒ avg TD = 1.5 s > 0.5 s bound. One 1 s
+        // mistake in 4 s ⇒ rate 0.25 > 1/100, duration 1 s > 0.1 s.
+        t.on_heartbeat(0, Nanos(0), decision(Nanos(2 * SEC)));
+        t.on_transition(FdOutput::Trust, Nanos(0));
+        t.on_transition(FdOutput::Suspect, Nanos(2 * SEC));
+        t.on_heartbeat(1, Nanos(3 * SEC), decision(Nanos(5 * SEC)));
+        t.on_transition(FdOutput::Trust, Nanos(3 * SEC));
+        let v = t.verdict_at(Nanos(4 * SEC));
+        assert!(!v.met);
+        assert_eq!(
+            v.violated_axes,
+            vec![
+                QosAxis::DetectionTime,
+                QosAxis::MistakeRecurrence,
+                QosAxis::MistakeDuration
+            ]
+        );
+
+        // A tracker with no spec never complains.
+        let mut free = QosTracker::new(QosTrackerConfig::cumulative(Span(SEC)));
+        free.on_heartbeat(0, Nanos(0), decision(Nanos(SEC)));
+        assert!(free.verdict_at(Nanos(10 * SEC)).met);
+    }
+
+    #[test]
+    fn plan_resolution() {
+        let uniform = QosPlan::Uniform(QosTrackerConfig::cumulative(Span(SEC)));
+        assert!(uniform.config_for(&7).is_some());
+        let per = QosPlan::PerStream(Arc::new(|k: &u64| {
+            (*k % 2 == 0).then(|| QosTrackerConfig::cumulative(Span(SEC)))
+        }));
+        assert!(per.config_for(&4).is_some());
+        assert!(per.config_for(&5).is_none());
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`service`] — failure detection as a shared service
 //!   for multiple applications with distinct QoS tuples.
 //! * [`net`] — a live UDP heartbeat transport.
+//! * [`obs`] — live observability: lock-free metrics, online QoS
+//!   tracking against contracted bounds, Prometheus exposition.
 //!
 //! ## Quickstart
 //!
@@ -34,6 +36,7 @@
 
 pub use twofd_core as core;
 pub use twofd_net as net;
+pub use twofd_obs as obs;
 pub use twofd_service as service;
 pub use twofd_sim as sim;
 pub use twofd_trace as trace;
@@ -47,6 +50,7 @@ pub mod prelude {
         NetworkBehavior, NetworkEstimator, PhiAccrualFd, QosMetrics, QosSpec, ReplayResult,
         TwoWindowFd,
     };
+    pub use twofd_obs::{MetricsServer, QosTracker, QosTrackerConfig, QosVerdict, Registry};
     pub use twofd_service::{analyze, combine, AppRegistry, SharedServiceDetector};
     pub use twofd_sim::{Nanos, Span};
     pub use twofd_trace::{LanTraceConfig, Trace, TraceStats, WanTraceConfig};

@@ -119,3 +119,80 @@ fn network_estimates_reflect_the_loopback_link() {
     assert!(est.delay_var < 1e-4, "V(D) {}", est.delay_var);
     drop(sender);
 }
+
+/// One plain-text HTTP/1.1 GET against a `MetricsServer`; the server
+/// sends `Connection: close`, so reading to EOF yields the full reply.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect metrics endpoint");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").expect("send request");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("read reply");
+    reply
+}
+
+#[test]
+fn metrics_endpoint_scrapes_the_live_fleet() {
+    use twofd::core::QosSpec;
+    use twofd::net::{FleetMonitor, ObsOptions, ShardConfig};
+    use twofd::obs::{QosPlan, QosTrackerConfig};
+
+    let interval = Span::from_millis(10);
+    // A contract loopback trivially meets: T_D ≤ 1 s, ≥ 60 s between
+    // mistakes, mistakes shorter than 1 s — so `twofd_qos_met` must be 1.
+    let contract = QosSpec::new(1.0, 60.0, 1.0);
+    let monitor = FleetMonitor::spawn_with(ShardConfig {
+        detector: DetectorConfig::new(DetectorSpec::TwoWindow { n1: 1, n2: 100 }, interval, 0.05)
+            .into(),
+        obs: ObsOptions {
+            jitter: true,
+            qos: Some(QosPlan::Uniform(QosTrackerConfig {
+                spec: Some(contract),
+                ..QosTrackerConfig::cumulative(interval)
+            })),
+        },
+        ..ShardConfig::default()
+    })
+    .expect("bind fleet monitor");
+    let sender = HeartbeatSender::spawn(42, interval, monitor.local_addr()).expect("spawn sender");
+    assert!(
+        wait_for(|| monitor.received() > 20, Duration::from_secs(5)),
+        "heartbeats never arrived"
+    );
+
+    let server = monitor.serve_metrics().expect("bind metrics server");
+    let addr = server.local_addr();
+
+    let health = http_get(addr, "/healthz");
+    assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+    assert!(health.ends_with("ok\n"), "{health}");
+
+    let reply = http_get(addr, "/metrics");
+    assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+    assert!(
+        reply.contains("text/plain; version=0.0.4"),
+        "wrong content type: {reply}"
+    );
+    let body = reply
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .expect("header/body split");
+    // Monitor + shard counters, the sweep histogram, and the live QoS
+    // series for the one sending stream — the acceptance checklist.
+    for needle in [
+        "# TYPE twofd_monitor_rejected_total counter",
+        "twofd_shard_received_total{shard=\"",
+        "# TYPE twofd_sweep_duration_seconds histogram",
+        "twofd_sweep_duration_seconds_bucket{shard=\"0\",le=\"+Inf\"}",
+        "twofd_interarrival_seconds_count{shard=\"",
+        "twofd_qos_detection_time_seconds{stream=\"42\"}",
+        "twofd_qos_query_accuracy{stream=\"42\"}",
+        "twofd_qos_met{stream=\"42\"} 1",
+    ] {
+        assert!(body.contains(needle), "missing {needle:?} in:\n{body}");
+    }
+
+    let missing = http_get(addr, "/nope");
+    assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+    drop(sender);
+}

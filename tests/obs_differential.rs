@@ -1,0 +1,106 @@
+//! Online QoS tracking against the offline replay pipeline.
+//!
+//! The `QosTracker` wired into the sharded runtime watches decisions and
+//! transitions *as they stream past*; `twofd::core::replay` reconstructs
+//! the same timeline after the fact with the whole trace in hand. Both
+//! end in `QosMetrics::from_mistakes`, so on a deterministic clock the
+//! online cumulative-window numbers must agree with the offline oracle
+//! to floating-point noise — T_D, the mistake rate, T_M and P_A alike.
+//! Any drift here means the live `/metrics` numbers are lying about what
+//! a replay of the same trace would report.
+
+use std::sync::Arc;
+use std::time::Duration;
+use twofd::core::{replay, DetectorConfig, DetectorSpec, QosMetrics};
+use twofd::net::{ManualClock, ObsOptions, ShardConfig, ShardRuntime, TimeSource};
+use twofd::obs::{QosPlan, QosTrackerConfig};
+use twofd::sim::Span;
+use twofd::trace::{Trace, WanTraceConfig};
+
+const SHORT_WINDOW: usize = 8;
+const LONG_WINDOW: usize = 50;
+// Tight margin so the WAN tail produces genuine mistakes, censored
+// tails and re-trusts — the paths where online/offline could diverge.
+const MARGIN: Span = Span(15_000_000);
+
+fn detector_config(interval: Span) -> DetectorConfig {
+    DetectorConfig::new(
+        DetectorSpec::TwoWindow {
+            n1: SHORT_WINDOW,
+            n2: LONG_WINDOW,
+        },
+        interval,
+        MARGIN.as_secs_f64(),
+    )
+}
+
+/// Drives `trace` through a QoS-tracking shard runtime under the
+/// determinism protocol and snapshots the online metrics at the trace
+/// horizon.
+fn online_metrics(trace: &Trace) -> QosMetrics {
+    let clock = Arc::new(ManualClock::new());
+    let rt = ShardRuntime::new(
+        ShardConfig {
+            detector: detector_config(trace.interval).into(),
+            n_shards: 2,
+            queue_capacity: 4096,
+            sweep_interval: Duration::from_millis(1),
+            event_capacity: 1 << 16,
+            obs: ObsOptions {
+                jitter: false,
+                qos: Some(QosPlan::Uniform(QosTrackerConfig::cumulative(
+                    trace.interval,
+                ))),
+            },
+        },
+        clock.clone() as Arc<dyn TimeSource>,
+    );
+
+    for a in trace.arrivals() {
+        clock.advance_to(a.at);
+        rt.ingest(9, a.seq, a.at);
+    }
+    rt.flush();
+    clock.advance_to(trace.end_time());
+    rt.qos_metrics(9).expect("stream 9 is tracked")
+}
+
+fn assert_close(axis: &str, online: f64, offline: f64, seed: u64) {
+    let tol = 1e-9 * offline.abs().max(1.0);
+    assert!(
+        (online - offline).abs() <= tol,
+        "seed {seed}: online {axis} = {online} vs offline {offline}"
+    );
+}
+
+#[test]
+fn online_tracker_matches_offline_replay_metrics() {
+    let mut saw_mistakes = false;
+    for seed in [3u64, 17, 40, 71, 104] {
+        let trace = WanTraceConfig::small(400, seed).generate();
+
+        let mut fd = detector_config(trace.interval).build();
+        let offline = replay(&mut fd, &trace).metrics();
+        saw_mistakes |= offline.mistakes > 0;
+
+        let online = online_metrics(&trace);
+
+        assert_eq!(
+            online.mistakes, offline.mistakes,
+            "seed {seed}: mistake counts diverged"
+        );
+        assert_close("T_D", online.detection_time, offline.detection_time, seed);
+        assert_close("λ_M", online.mistake_rate, offline.mistake_rate, seed);
+        assert_close(
+            "T_M",
+            online.avg_mistake_duration,
+            offline.avg_mistake_duration,
+            seed,
+        );
+        assert_close("P_A", online.query_accuracy, offline.query_accuracy, seed);
+    }
+    assert!(
+        saw_mistakes,
+        "no seed produced a mistake; the differential never exercised the mistake paths"
+    );
+}

@@ -88,6 +88,7 @@ fn sharded_runtime_matches_sequential_replay_event_for_event() {
                 queue_capacity: 4096,
                 sweep_interval: Duration::from_millis(1),
                 event_capacity: 1 << 16,
+                ..ShardConfig::default()
             },
             clock.clone() as Arc<dyn TimeSource>,
         );
@@ -210,6 +211,7 @@ fn saturated_shard_queue_drops_and_counts_instead_of_blocking() {
             queue_capacity: 8,
             sweep_interval: Duration::from_millis(200),
             event_capacity: 64,
+            ..ShardConfig::default()
         },
         clock as Arc<dyn TimeSource>,
     );
