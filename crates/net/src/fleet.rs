@@ -16,7 +16,8 @@
 //! polling.
 
 use crate::clock::{MonotonicClock, TimeSource};
-use crate::shard::{FleetEvent, RuntimeStats, ShardConfig, ShardRuntime};
+use crate::intake::{BatchReceiver, BATCH};
+use crate::shard::{FleetEvent, Job, RuntimeStats, ShardConfig, ShardRuntime};
 use crate::wire::Heartbeat;
 use crossbeam::channel::Receiver;
 use parking_lot::Mutex;
@@ -30,6 +31,21 @@ use twofd_core::{DetectorConfig, FdOutput, ProcessStatus, QosMetrics};
 use twofd_obs::{Counter, MetricsServer, QosVerdict, Registry};
 
 pub use crate::shard::DetectorPlan;
+
+/// How the ingestion thread pulls datagrams off the socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntakeMode {
+    /// Batch receive ([`crate::intake::BatchReceiver`]): one kernel
+    /// crossing and one clock read per batch of up to
+    /// [`crate::intake::BATCH`] datagrams, handed to the runtime via
+    /// [`ShardRuntime::ingest_batch`]. The default.
+    #[default]
+    Batched,
+    /// One `recv(2)`, one clock read, one [`ShardRuntime::ingest`] per
+    /// datagram — the original path, kept for differential tests and
+    /// before/after benchmarks.
+    PerDatagram,
+}
 
 /// Handle to a running fleet monitor. Dropping it stops the ingestion
 /// thread and all shard workers.
@@ -55,12 +71,24 @@ impl FleetMonitor {
 
     /// Binds a localhost socket and starts demultiplexing heartbeats
     /// into a sharded runtime tuned by `config` (including its
-    /// [`DetectorPlan`]).
+    /// [`DetectorPlan`]), using the default batched intake.
     pub fn spawn_with(config: ShardConfig) -> io::Result<FleetMonitor> {
+        Self::spawn_with_intake(config, IntakeMode::default())
+    }
+
+    /// Like [`FleetMonitor::spawn_with`] with an explicit [`IntakeMode`].
+    pub fn spawn_with_intake(config: ShardConfig, mode: IntakeMode) -> io::Result<FleetMonitor> {
         let socket = UdpSocket::bind(("127.0.0.1", 0))?;
         let local_addr = socket.local_addr()?;
         // Short read timeout so the thread notices stop requests.
         socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+        if mode == IntakeMode::Batched {
+            // The other half of batch intake: a deep kernel buffer rides
+            // out bursts between intake-thread time slices, so the next
+            // recvmmsg finds a full batch instead of a tail of drops.
+            // Best-effort — the kernel caps it at net.core.rmem_max.
+            let _ = crate::intake::set_recv_buffer(&socket, 4 << 20);
+        }
 
         let clock = Arc::new(MonotonicClock::new());
         let runtime = Arc::new(ShardRuntime::new(
@@ -71,6 +99,14 @@ impl FleetMonitor {
             "twofd_monitor_rejected_total",
             "Malformed datagrams dropped by the ingestion thread",
         );
+        let intake_batches = runtime.registry().counter(
+            "twofd_intake_batches_total",
+            "Socket receive calls that returned at least one datagram",
+        );
+        let intake_datagrams = runtime.registry().counter(
+            "twofd_intake_datagrams_total",
+            "Datagrams pulled off the socket (valid or not)",
+        );
         let stop = Arc::new(AtomicBool::new(false));
 
         let thread = {
@@ -79,28 +115,25 @@ impl FleetMonitor {
             let rejected = rejected.clone();
             thread::Builder::new()
                 .name("twofd-fleet-ingest".into())
-                .spawn(move || {
-                    let mut buf = [0u8; 128];
-                    loop {
-                        if stop.load(Ordering::Acquire) {
-                            return;
-                        }
-                        let len = match socket.recv(&mut buf) {
-                            Ok(len) => len,
-                            Err(e)
-                                if e.kind() == io::ErrorKind::WouldBlock
-                                    || e.kind() == io::ErrorKind::TimedOut =>
-                            {
-                                continue;
-                            }
-                            Err(_) => return,
-                        };
-                        let arrival = clock.now();
-                        match Heartbeat::decode(&buf[..len]) {
-                            Ok(hb) => runtime.ingest(hb.stream, hb.seq, arrival),
-                            Err(_) => rejected.inc(),
-                        }
-                    }
+                .spawn(move || match mode {
+                    IntakeMode::Batched => ingest_batched(
+                        socket,
+                        runtime,
+                        clock,
+                        stop,
+                        rejected,
+                        intake_batches,
+                        intake_datagrams,
+                    ),
+                    IntakeMode::PerDatagram => ingest_per_datagram(
+                        socket,
+                        runtime,
+                        clock,
+                        stop,
+                        rejected,
+                        intake_batches,
+                        intake_datagrams,
+                    ),
                 })?
         };
 
@@ -219,6 +252,88 @@ impl Drop for FleetMonitor {
         self.stop.store(true, Ordering::Release);
         if let Some(handle) = self.thread.lock().take() {
             let _ = handle.join();
+        }
+    }
+}
+
+/// Batched ingest loop: one kernel crossing, one clock read, and one
+/// [`ShardRuntime::ingest_batch`] per batch. Decoding borrows the
+/// receiver's arena, so the whole path is allocation-free after the
+/// initial `jobs` reservation.
+fn ingest_batched(
+    socket: UdpSocket,
+    runtime: Arc<ShardRuntime>,
+    clock: Arc<MonotonicClock>,
+    stop: Arc<AtomicBool>,
+    rejected: Counter,
+    intake_batches: Counter,
+    intake_datagrams: Counter,
+) {
+    let mut receiver = BatchReceiver::new();
+    let mut jobs: Vec<Job> = Vec::with_capacity(BATCH);
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let n = match receiver.recv_batch(&socket) {
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        };
+        // One arrival timestamp for the whole batch: every datagram in
+        // it was already queued in the socket buffer at this instant, so
+        // a shared "now" is at least as accurate as serially reading the
+        // clock while the rest of the batch waits.
+        let arrival = clock.now();
+        jobs.clear();
+        for i in 0..n {
+            match Heartbeat::decode(receiver.datagram(i)) {
+                Ok(hb) => jobs.push((hb.stream, hb.seq, arrival)),
+                Err(_) => rejected.inc(),
+            }
+        }
+        intake_batches.inc();
+        intake_datagrams.add(n as u64);
+        runtime.ingest_batch(&jobs);
+    }
+}
+
+/// The original per-datagram loop: one `recv`, clock read, and enqueue
+/// per heartbeat. Kept behind [`IntakeMode::PerDatagram`] so tests and
+/// benchmarks can compare both paths in-tree.
+fn ingest_per_datagram(
+    socket: UdpSocket,
+    runtime: Arc<ShardRuntime>,
+    clock: Arc<MonotonicClock>,
+    stop: Arc<AtomicBool>,
+    rejected: Counter,
+    intake_batches: Counter,
+    intake_datagrams: Counter,
+) {
+    let mut buf = [0u8; 128];
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let len = match socket.recv(&mut buf) {
+            Ok(len) => len,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        };
+        let arrival = clock.now();
+        intake_batches.inc();
+        intake_datagrams.inc();
+        match Heartbeat::decode(&buf[..len]) {
+            Ok(hb) => runtime.ingest(hb.stream, hb.seq, arrival),
+            Err(_) => rejected.inc(),
         }
     }
 }

@@ -14,6 +14,8 @@
 //! * [`shard`] — the sharded monitor runtime: per-stream detectors
 //!   partitioned across bounded-queue shard workers with proactive
 //!   freshness sweeping and drop-oldest backpressure.
+//! * [`intake`] — batch UDP receive: `recvmmsg(2)` on Linux (raw FFI,
+//!   no extra crates), portable single-`recv` fallback elsewhere.
 //! * [`fleet`] — one socket monitoring many senders, demultiplexed by
 //!   the wire format's stream id into the sharded runtime.
 //!
@@ -24,20 +26,24 @@
 //! and online QoS tracking against contracted bounds.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the [`intake`] module opts back in for
+// the `recvmmsg(2)` FFI; every other module stays unsafe-free.
+#![deny(unsafe_code)]
 
 pub mod clock;
 pub mod fleet;
+pub mod intake;
 pub mod monitor;
 pub mod sender;
 pub mod shard;
 pub mod wire;
 
 pub use clock::{ManualClock, MonotonicClock, TimeSource};
-pub use fleet::FleetMonitor;
+pub use fleet::{FleetMonitor, IntakeMode};
+pub use intake::BatchReceiver;
 pub use monitor::{Monitor, TransitionEvent};
 pub use sender::HeartbeatSender;
 pub use shard::{
-    DetectorPlan, FleetEvent, ObsOptions, RuntimeStats, ShardConfig, ShardRuntime, ShardStats,
+    DetectorPlan, FleetEvent, Job, ObsOptions, RuntimeStats, ShardConfig, ShardRuntime, ShardStats,
 };
 pub use wire::{Heartbeat, WireError, WIRE_SIZE};

@@ -7,7 +7,7 @@
 //! tests exercise actual failure detection end to end.
 
 use crate::clock::MonotonicClock;
-use crate::wire::Heartbeat;
+use crate::wire::{Heartbeat, WIRE_SIZE};
 use parking_lot::Mutex;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
@@ -15,7 +15,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
-use twofd_sim::time::Span;
+use twofd_sim::time::{Nanos, Span};
+
+/// Longest single nap while waiting for the next beat deadline, so
+/// [`HeartbeatSender::crash`] takes effect within this bound even for
+/// very long heartbeat intervals.
+const MAX_NAP: Duration = Duration::from_millis(20);
 
 /// Control block shared with the sender thread.
 #[derive(Debug)]
@@ -56,13 +61,32 @@ impl HeartbeatSender {
         let thread = thread::Builder::new()
             .name(format!("twofd-sender-{stream}"))
             .spawn(move || {
+                // Algorithm 1 sends `m_i` at absolute time `i·Δi`. Sleep
+                // against those deadlines, not for `period` per loop: a
+                // relative sleep accumulates its overshoot into every
+                // later beat, while sleeping the *residual* to the next
+                // multiple keeps each beat within one scheduler overshoot
+                // of its nominal instant no matter how many came before.
+                let mut buf = [0u8; WIRE_SIZE];
                 let mut seq = 0u64;
                 loop {
-                    thread::sleep(period);
+                    seq += 1;
+                    let deadline = Nanos(interval.0.saturating_mul(seq));
+                    loop {
+                        let residual = deadline.saturating_since(clock.now());
+                        if residual.is_zero() {
+                            break;
+                        }
+                        // Cap each nap so a crash is honored promptly
+                        // even with very long heartbeat intervals.
+                        thread::sleep(Duration::from_nanos(residual.0).min(period).min(MAX_NAP));
+                        if thread_shared.crashed.load(Ordering::Acquire) {
+                            return;
+                        }
+                    }
                     if thread_shared.crashed.load(Ordering::Acquire) {
                         return;
                     }
-                    seq += 1;
                     if thread_shared.paused.load(Ordering::Acquire) {
                         // Paused senders still consume sequence numbers:
                         // to the monitor this is indistinguishable from
@@ -74,10 +98,11 @@ impl HeartbeatSender {
                         seq,
                         sent_at: clock.now(),
                     };
+                    hb.encode_into(&mut buf);
                     // Send errors (e.g. monitor socket gone) are treated
                     // as losses; the detector's whole job is surviving
                     // those.
-                    let _ = socket.send(&hb.encode());
+                    let _ = socket.send(&buf);
                     thread_shared.sent.fetch_add(1, Ordering::Relaxed);
                 }
             })?;
@@ -208,6 +233,40 @@ mod tests {
             after >= before + 4,
             "expected a gap: before {before}, after {after}"
         );
+    }
+
+    /// Beat `i` must be sent at its absolute deadline `i·Δi`, not `Δi`
+    /// after the previous send: the old relative sleep accumulated its
+    /// overshoot into every later beat, so send times drifted ever
+    /// further past `i·Δi`. Every observed beat must sit within one
+    /// period of its nominal instant, however many beats preceded it.
+    #[test]
+    fn beats_track_absolute_deadlines_without_drift() {
+        let (socket, addr) = bound_socket();
+        let interval = Span::from_millis(40);
+        let sender = HeartbeatSender::spawn(5, interval, addr).unwrap();
+        let mut buf = [0u8; 64];
+        for _ in 0..12 {
+            let n = socket.recv(&mut buf).unwrap();
+            let hb = Heartbeat::decode(&buf[..n]).unwrap();
+            let deadline = interval.0 * hb.seq;
+            assert!(
+                hb.sent_at.0 >= deadline,
+                "beat {} sent early: {} < {}",
+                hb.seq,
+                hb.sent_at.0,
+                deadline
+            );
+            let overshoot = hb.sent_at.0 - deadline;
+            assert!(
+                overshoot < interval.0,
+                "beat {} drifted {}ns past its {}ns deadline",
+                hb.seq,
+                overshoot,
+                deadline
+            );
+        }
+        drop(sender);
     }
 
     #[test]

@@ -6,8 +6,10 @@
 //! partitions that state by stream id:
 //!
 //! ```text
-//!             ingest(stream, seq, arrival)
+//!     ingest(stream, seq, arrival) / ingest_batch(&[jobs])
 //!                        │  route: stream % n_shards
+//!                        │  (batches grouped per shard, one
+//!                        │   force_send_many per group)
 //!        ┌───────────────┼───────────────┐
 //!   [bounded q]     [bounded q]     [bounded q]     force_send:
 //!        │               │               │          drop-oldest +
@@ -27,9 +29,20 @@
 //!   drop-oldest strictly better than drop-newest here) and counts it.
 //!   The event channel drops (and counts) on overflow instead of growing
 //!   without bound.
-//! * **Proactive freshness sweeping** — each worker sweeps its shard's
-//!   expiry heap between batches, publishing Trust→Suspect transitions
-//!   at the exact `trust_until` instant without anyone querying.
+//! * **Batched handoff** — [`ShardRuntime::ingest_batch`] groups a
+//!   decoded batch by shard and enqueues each group with one channel
+//!   lock acquisition and at most one worker wakeup
+//!   (`force_send_many`), so channel costs amortize across the batch.
+//!   The accounting identity is untouched: every heartbeat of a batch
+//!   is counted received, and every one the enqueue displaces (from the
+//!   queue or from the batch's own overflow) is counted dropped.
+//! * **Deadline-driven sweeping** — each worker sweeps its shard's
+//!   expiry heap after draining a batch, publishing Trust→Suspect
+//!   transitions at the exact `trust_until` instant without anyone
+//!   querying. An idle worker *parks* on its queue until
+//!   [`ProcessSet::next_expiry`] (any enqueue wakes it immediately), so
+//!   idle shards cost ~zero CPU and suspicion is published at the
+//!   freshness point itself rather than up to one poll interval late.
 //!
 //! Because transitions carry exact timestamps (see
 //! [`twofd_core::multi`]), the per-stream event timeline is a pure
@@ -164,11 +177,15 @@ pub struct ShardConfig {
     /// Per-shard heartbeat queue capacity; overflow drops the oldest
     /// queued heartbeat and counts it.
     pub queue_capacity: usize,
-    /// How long an idle worker sleeps between queue polls and expiry
-    /// sweeps. Bounds the wall-time lag between a heartbeat's enqueue
-    /// and its processing, and how late an S-transition is *published*;
-    /// event timestamps are exact regardless. Workers poll rather than
-    /// park on the queue so the ingest path never pays a wakeup.
+    /// Upper bound on one idle park: how long a worker may wait before
+    /// re-validating its sweep deadline against the clock. Workers park
+    /// on their queue until `min(next_expiry − now, sweep_interval)` —
+    /// any enqueue wakes them immediately, and a worker with no pending
+    /// expiry parks until traffic arrives — so this no longer bounds
+    /// processing lag or publication lateness on a live clock (both are
+    /// event-driven now); it only bounds how stale a park can go when
+    /// the clock is driven externally (a [`crate::clock::ManualClock`]
+    /// advanced while the worker sleeps).
     pub sweep_interval: Duration,
     /// Capacity of the shared transition-event channel; overflow drops
     /// the newest event and counts it.
@@ -183,20 +200,37 @@ impl Default for ShardConfig {
             detector: DetectorPlan::default(),
             n_shards: 4,
             queue_capacity: 1024,
-            sweep_interval: Duration::from_millis(5),
+            // Deadline re-validation cadence, not a poll period: 4
+            // wakeups/s per idle shard with a pending expiry (zero with
+            // none). The live clock wakes workers at the deadline
+            // itself; see the field docs.
+            sweep_interval: Duration::from_millis(250),
             event_capacity: 4096,
             obs: ObsOptions::default(),
         }
     }
 }
 
-/// One heartbeat routed to a shard.
-type Job = (u64, u64, Nanos); // (stream, seq, arrival)
+/// One heartbeat routed to a shard: `(stream, seq, arrival)`. This is
+/// the element type of [`ShardRuntime::ingest_batch`] slices.
+pub type Job = (u64, u64, Nanos);
 
 /// Largest number of heartbeats a worker applies under one lock
 /// acquisition. Batching amortizes locking; the cap keeps queries from
 /// starving under sustained floods.
 const MAX_BATCH: usize = 512;
+
+/// Largest slice [`ShardRuntime::ingest_batch`] groups in one pass; the
+/// per-shard group buffer lives on the stack at this size. Larger
+/// batches are simply processed in `GROUP_BATCH`-sized chunks.
+const GROUP_BATCH: usize = 64;
+
+/// Floor on one park while an expiry is pending. Waking *at* the
+/// deadline cannot retire it (the sweep comparison is strict), so the
+/// park always overshoots by at least this much; it also keeps a
+/// manually driven clock pinned exactly at an expiry from spinning the
+/// worker.
+const MIN_PARK: Duration = Duration::from_micros(200);
 
 /// Per-stream worker-side observability state.
 struct StreamObs {
@@ -702,6 +736,65 @@ impl ShardRuntime {
         }
     }
 
+    /// Routes a batch of decoded, timestamped heartbeats, grouping them
+    /// by shard so that each shard's queue is taken once per batch (one
+    /// lock acquisition, at most one worker wakeup) instead of once per
+    /// heartbeat. Never blocks; ordering per stream is preserved, and
+    /// the accounting identity is exact: every job is counted received
+    /// and everything the enqueue displaces — whether evicted from the
+    /// queue or shed from an over-capacity batch — is counted dropped.
+    ///
+    /// Feeding the same `(stream, seq, arrival)` jobs through
+    /// [`ShardRuntime::ingest`] one at a time produces the identical
+    /// transition timeline; batching is invisible to detector semantics
+    /// (`tests/shard_equivalence.rs` enforces this differentially).
+    pub fn ingest_batch(&self, jobs: &[Job]) {
+        let n = self.inner.shards.len() as u64;
+        if n == 1 {
+            self.enqueue_group(&self.inner.shards[0], jobs);
+            return;
+        }
+        // Group on a stack buffer, one shard at a time. O(n_shards ×
+        // chunk) scans of a tiny array beat allocating per-shard
+        // vectors on the ingest hot path.
+        for chunk in jobs.chunks(GROUP_BATCH) {
+            let mut group = [(0u64, 0u64, Nanos(0)); GROUP_BATCH];
+            for (i, shard) in self.inner.shards.iter().enumerate() {
+                let mut len = 0;
+                for &job in chunk {
+                    if job.0 % n == i as u64 {
+                        group[len] = job;
+                        len += 1;
+                    }
+                }
+                if len > 0 {
+                    self.enqueue_group(shard, &group[..len]);
+                }
+            }
+        }
+    }
+
+    /// Enqueues one shard's slice of a batch with a single channel
+    /// operation, reconciling the counters exactly.
+    fn enqueue_group(&self, shard: &Shard, group: &[Job]) {
+        if group.is_empty() {
+            return;
+        }
+        shard.shared.received.add(group.len() as u64);
+        // Err means the worker already shut down; the jobs are dropped on
+        // the floor exactly like the seed's per-job `ingest`.
+        if let Ok(evicted) = shard
+            .tx
+            .as_ref()
+            .expect("runtime is live")
+            .force_send_many(group)
+        {
+            if evicted > 0 {
+                shard.shared.dropped.add(evicted as u64);
+            }
+        }
+    }
+
     /// Pre-registers a stream so it is reported (as suspect) before its
     /// first heartbeat.
     pub fn register(&self, stream: u64) {
@@ -836,6 +929,24 @@ impl ShardRuntime {
     }
 }
 
+/// How long an idle worker may park before re-reading the clock:
+/// exactly until the next freshness point (plus a strictness epsilon —
+/// the sweep comparison is strict, so waking *at* the deadline would
+/// retire nothing), capped at `sweep_interval` so an externally driven
+/// clock that jumps while the worker sleeps is noticed within one
+/// interval. `None` parks indefinitely: with no pending expiry there is
+/// nothing to sweep, and any enqueue (or shutdown) wakes the worker.
+fn park_duration(
+    next_expiry: Option<Nanos>,
+    now: Nanos,
+    sweep_interval: Duration,
+) -> Option<Duration> {
+    next_expiry.map(|t| {
+        let until = Duration::from_nanos(t.saturating_since(now).0) + Duration::from_nanos(1);
+        until.clamp(MIN_PARK, sweep_interval.max(MIN_PARK))
+    })
+}
+
 fn shard_worker(
     shared: Arc<ShardShared>,
     rx: Receiver<Job>,
@@ -855,6 +966,10 @@ fn shard_worker(
         .hot
         .as_ref()
         .is_some_and(|hot| hot.lock().qos.is_some());
+    // A job received while parked, carried into the next pass so it is
+    // applied under the same lock (and before the same sweep) as the
+    // rest of its batch.
+    let mut pending: Option<Job> = None;
     loop {
         // Read the sweep time *before* draining: anything enqueued before
         // the clock reached `now` is applied first, so the sweep can
@@ -863,8 +978,16 @@ fn shard_worker(
         let mut disconnected = false;
         let mut drained_all = true;
         let mut batch = 0usize;
+        let next_expiry;
         {
             let mut set = shared.set.lock();
+            if let Some(job) = pending.take() {
+                let decision = apply(&mut set, &shared, job, &mut events);
+                if track {
+                    scratch.push((job, decision));
+                }
+                batch += 1;
+            }
             loop {
                 if batch >= MAX_BATCH {
                     // Queue may still hold heartbeats: sweeping now
@@ -894,6 +1017,7 @@ fn shard_worker(
                     .sweep_hist
                     .observe_ns(sweep_started.elapsed().as_nanos() as u64);
             }
+            next_expiry = set.next_expiry();
         }
         // Hot-obs update outside the set lock (lock order: set ≺ hot).
         // Heartbeats first, then transitions: TD samples are
@@ -917,9 +1041,23 @@ fn shard_worker(
             return;
         }
         if batch == 0 {
-            // Idle: poll again after the sweep interval. Polling instead
-            // of parking on the queue keeps `ingest` wakeup-free.
-            thread::sleep(sweep_interval);
+            // Idle: park until the next freshness point — or until an
+            // enqueue wakes us, which is how a fresh batch starts
+            // processing immediately instead of on the next poll tick.
+            // A disconnect while parked falls through to one final pass
+            // (drain + sweep) before the loop observes it and exits.
+            match park_duration(next_expiry, now, sweep_interval) {
+                Some(timeout) => {
+                    if let Ok(job) = rx.recv_timeout(timeout) {
+                        pending = Some(job);
+                    }
+                }
+                None => {
+                    if let Ok(job) = rx.recv() {
+                        pending = Some(job);
+                    }
+                }
+            }
         }
     }
 }

@@ -16,7 +16,7 @@
 //! 32 bytes total. The sender timestamp feeds the `V(D)` estimator
 //! (§V-A.1), which is immune to clock skew by construction.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::Bytes;
 use twofd_sim::time::Nanos;
 
 /// Datagram magic bytes.
@@ -64,37 +64,46 @@ impl std::fmt::Display for WireError {
 impl std::error::Error for WireError {}
 
 impl Heartbeat {
-    /// Encodes the heartbeat into a fresh buffer.
-    pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(WIRE_SIZE);
-        buf.put_slice(&MAGIC);
-        buf.put_u16_le(VERSION);
-        buf.put_u16_le(0);
-        buf.put_u64_le(self.stream);
-        buf.put_u64_le(self.seq);
-        buf.put_u64_le(self.sent_at.0);
-        buf.freeze()
+    /// Encodes the heartbeat into a caller-provided buffer, without
+    /// allocating. This is the sender hot-loop and batch-arena path;
+    /// [`Heartbeat::encode`] wraps it for callers that want an owned
+    /// buffer.
+    pub fn encode_into(&self, buf: &mut [u8; WIRE_SIZE]) {
+        buf[0..4].copy_from_slice(&MAGIC);
+        buf[4..6].copy_from_slice(&VERSION.to_le_bytes());
+        buf[6..8].copy_from_slice(&0u16.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.stream.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.seq.to_le_bytes());
+        buf[24..32].copy_from_slice(&self.sent_at.0.to_le_bytes());
     }
 
-    /// Decodes a heartbeat from a received datagram.
-    pub fn decode(mut data: &[u8]) -> Result<Heartbeat, WireError> {
+    /// Encodes the heartbeat into a fresh owned buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = [0u8; WIRE_SIZE];
+        self.encode_into(&mut buf);
+        Bytes::copy_from_slice(&buf)
+    }
+
+    /// Decodes a heartbeat from a received datagram. Borrows the slice
+    /// and allocates nothing, so a batch receive can decode every
+    /// datagram in place in its buffer arena.
+    pub fn decode(data: &[u8]) -> Result<Heartbeat, WireError> {
         if data.len() < WIRE_SIZE {
             return Err(WireError::TooShort { len: data.len() });
         }
-        let mut magic = [0u8; 4];
-        data.copy_to_slice(&mut magic);
-        if magic != MAGIC {
+        let field =
+            |at: usize| u64::from_le_bytes(data[at..at + 8].try_into().expect("8-byte field"));
+        if data[0..4] != MAGIC {
             return Err(WireError::BadMagic);
         }
-        let version = data.get_u16_le();
+        let version = u16::from_le_bytes(data[4..6].try_into().expect("2-byte field"));
         if version != VERSION {
             return Err(WireError::BadVersion(version));
         }
-        let _reserved = data.get_u16_le();
         Ok(Heartbeat {
-            stream: data.get_u64_le(),
-            seq: data.get_u64_le(),
-            sent_at: Nanos(data.get_u64_le()),
+            stream: field(8),
+            seq: field(16),
+            sent_at: Nanos(field(24)),
         })
     }
 }
@@ -122,6 +131,19 @@ mod tests {
             sent_at: Nanos(987_654_321),
         };
         assert_eq!(Heartbeat::decode(&hb.encode()).unwrap(), hb);
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        let hb = Heartbeat {
+            stream: 0xDEAD_BEEF,
+            seq: 77,
+            sent_at: Nanos(123_456_789),
+        };
+        let mut buf = [0u8; WIRE_SIZE];
+        hb.encode_into(&mut buf);
+        assert_eq!(&buf[..], &hb.encode()[..]);
+        assert_eq!(Heartbeat::decode(&buf).unwrap(), hb);
     }
 
     #[test]

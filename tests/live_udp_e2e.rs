@@ -120,6 +120,119 @@ fn network_estimates_reflect_the_loopback_link() {
     drop(sender);
 }
 
+/// Sum of `twofd_sweep_duration_seconds_count` across shards — one
+/// increment per worker pass that swept, i.e. per wakeup doing work.
+fn total_sweeps(monitor: &twofd::net::FleetMonitor) -> u64 {
+    monitor
+        .registry()
+        .render()
+        .lines()
+        .filter(|l| l.starts_with("twofd_sweep_duration_seconds_count{"))
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<f64>().unwrap() as u64)
+        .sum()
+}
+
+/// Deadline-driven sweeping, idle side: with the only stream's trust
+/// horizon ~a minute away and no traffic, workers must *park*, not
+/// poll. The seed's unconditional 5 ms sleep made ~200 sweeps/s per
+/// shard (~800/s for the default four); now the shard holding the one
+/// pending expiry re-validates at most every `sweep_interval` (default
+/// 250 ms → ≤ 4/s) and streamless shards park indefinitely at zero.
+#[test]
+fn idle_workers_park_until_their_next_freshness_point() {
+    use twofd::net::{FleetMonitor, Heartbeat};
+    use twofd::sim::Nanos;
+
+    let interval = Span::from_secs(60);
+    let monitor = FleetMonitor::spawn(DetectorConfig::new(
+        DetectorSpec::TwoWindow { n1: 1, n2: 100 },
+        interval,
+        0.1,
+    ))
+    .expect("bind fleet monitor");
+    let sock = std::net::UdpSocket::bind(("127.0.0.1", 0)).expect("bind test socket");
+    sock.connect(monitor.local_addr()).expect("connect");
+    for seq in 1..=2u64 {
+        let hb = Heartbeat {
+            stream: 9,
+            seq,
+            sent_at: Nanos(seq * interval.0),
+        };
+        sock.send(&hb.encode()).expect("send heartbeat");
+    }
+    assert!(
+        wait_for(|| monitor.received() == 2, Duration::from_secs(2)),
+        "heartbeats never arrived"
+    );
+
+    // Let the ingest-triggered passes settle, then measure a quiet
+    // second via the sweep histogram's sample count.
+    sleep(Duration::from_millis(300));
+    let before = total_sweeps(&monitor);
+    sleep(Duration::from_secs(1));
+    let wakeups = total_sweeps(&monitor) - before;
+    assert!(
+        wakeups <= 12,
+        "idle workers swept {wakeups} times in one second; \
+         deadline parking should bound this by sweep_interval"
+    );
+}
+
+/// Deadline-driven sweeping, latency side: the suspicion must be pushed
+/// within one `sweep_interval` of the crashed stream's freshness point,
+/// because the worker parks *until* that expiry rather than discovering
+/// it on some later poll tick.
+#[test]
+fn crash_is_detected_within_a_sweep_interval_of_its_freshness_point() {
+    use twofd::net::{FleetMonitor, ShardConfig};
+
+    let interval = Span::from_millis(10);
+    let margin = Span::from_millis(50);
+    let config = ShardConfig {
+        detector: DetectorConfig::new(
+            DetectorSpec::TwoWindow { n1: 1, n2: 100 },
+            interval,
+            margin.as_secs_f64(),
+        )
+        .into(),
+        ..ShardConfig::default()
+    };
+    let sweep_interval = config.sweep_interval;
+    let monitor = FleetMonitor::spawn_with(config).expect("bind fleet monitor");
+    let sender = HeartbeatSender::spawn(3, interval, monitor.local_addr()).expect("spawn sender");
+
+    assert!(
+        wait_for(
+            || monitor.output(3) == Some(FdOutput::Trust),
+            Duration::from_secs(3)
+        ),
+        "trust never established"
+    );
+    sender.crash();
+    let crash_instant = Instant::now();
+    let suspected = wait_for(
+        || {
+            monitor
+                .events()
+                .try_iter()
+                .any(|e| e.key == 3 && e.output == FdOutput::Suspect)
+        },
+        Duration::from_secs(3),
+    );
+    let detection = crash_instant.elapsed();
+    assert!(suspected, "sweeper never pushed the suspicion");
+    // The freshness point is at most `interval + margin` (plus estimator
+    // slack) past the last beat; parking wakes at that instant, bounded
+    // by one `sweep_interval` re-validation, plus scheduling slack. The
+    // seed's bound here was a full second.
+    let bound =
+        Duration::from_nanos(interval.0 + margin.0) + sweep_interval + Duration::from_millis(200);
+    assert!(
+        detection < bound,
+        "suspicion took {detection:?}, bound {bound:?}"
+    );
+}
+
 /// One plain-text HTTP/1.1 GET against a `MetricsServer`; the server
 /// sends `Connection: close`, so reading to EOF yields the full reply.
 fn http_get(addr: std::net::SocketAddr, path: &str) -> String {

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use twofd::core::{DetectorConfig, DetectorSpec};
-use twofd::net::{ManualClock, ShardConfig, ShardRuntime, TimeSource};
+use twofd::net::{Job, ManualClock, ShardConfig, ShardRuntime, TimeSource};
 use twofd::sim::{Nanos, Span};
 
 const INTERVAL: Span = Span(10_000_000); // 10 ms
@@ -80,6 +80,81 @@ fn overloaded_shards_reconcile_received_as_applied_plus_dropped() {
     assert_eq!(sum("twofd_shard_received_total"), stats.received());
     assert_eq!(sum("twofd_shard_applied_total"), stats.applied());
     assert_eq!(sum("twofd_shard_dropped_total"), stats.dropped());
+}
+
+/// The same identity under the batched handoff: `ingest_batch` amortizes
+/// queue locking and eviction across a group, so its drop-oldest
+/// accounting runs in bulk — `received == applied + dropped` must still
+/// balance to the heartbeat on every shard while batches slam saturated
+/// queues.
+#[test]
+fn batched_overload_reconciles_received_as_applied_plus_dropped() {
+    let clock = Arc::new(ManualClock::new());
+    let rt = ShardRuntime::new(
+        ShardConfig {
+            detector: config().into(),
+            n_shards: 4,
+            queue_capacity: 16,
+            sweep_interval: Duration::from_millis(50),
+            event_capacity: 1 << 12,
+            ..ShardConfig::default()
+        },
+        clock.clone() as Arc<dyn TimeSource>,
+    );
+
+    // 80k heartbeats in batches bigger than any queue (320 jobs → ~80
+    // per shard against 16-slot queues): every batch must evict in bulk,
+    // never block, and never lose a count.
+    let start = Instant::now();
+    let mut batch: Vec<Job> = Vec::with_capacity(320);
+    let mut seq = 0u64;
+    while seq < 80_000 {
+        batch.clear();
+        for _ in 0..320 {
+            seq += 1;
+            batch.push((seq % 128, seq, Nanos(seq)));
+        }
+        rt.ingest_batch(&batch);
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "overloaded batched ingest must never block"
+    );
+    rt.flush();
+
+    let stats = rt.stats();
+    assert_eq!(stats.received(), 80_000);
+    assert!(stats.dropped() > 0, "overload never shed: {stats:?}");
+    assert!(stats.applied() > 0, "nothing was applied: {stats:?}");
+    assert_eq!(stats.received(), stats.applied() + stats.dropped());
+    for (i, shard) in stats.shards.iter().enumerate() {
+        assert_eq!(
+            shard.received,
+            shard.applied + shard.dropped,
+            "shard {i} leaked heartbeats in the batched path: {shard:?}"
+        );
+        assert!(shard.queue_depth <= 16, "shard {i} overfilled: {shard:?}");
+    }
+
+    // The rendered registry reconciles to the same totals.
+    let text = rt.registry().render();
+    let sum = |name: &str| -> u64 {
+        text.lines()
+            .filter(|l| l.starts_with(&format!("{name}{{")))
+            .map(|l| {
+                l.rsplit(' ')
+                    .next()
+                    .unwrap()
+                    .parse::<f64>()
+                    .expect("counter value")
+            })
+            .sum::<f64>() as u64
+    };
+    assert_eq!(sum("twofd_shard_received_total"), stats.received());
+    assert_eq!(
+        sum("twofd_shard_applied_total") + sum("twofd_shard_dropped_total"),
+        stats.received()
+    );
 }
 
 #[test]

@@ -16,7 +16,7 @@ use std::thread::sleep;
 use std::time::{Duration, Instant};
 use twofd::core::{replay, DetectorConfig, DetectorSpec, FdOutput, Timeline, TwoWindowFd};
 use twofd::net::{
-    FleetMonitor, HeartbeatSender, ManualClock, ShardConfig, ShardRuntime, TimeSource,
+    FleetMonitor, HeartbeatSender, Job, ManualClock, ShardConfig, ShardRuntime, TimeSource,
 };
 use twofd::sim::{Nanos, Span};
 use twofd::trace::{Trace, WanTraceConfig};
@@ -142,6 +142,144 @@ fn sharded_runtime_matches_sequential_replay_event_for_event() {
             assert_eq!(
                 got, expected[stream],
                 "seed {seed} stream {stream} diverged from the replay oracle"
+            );
+        }
+    }
+}
+
+/// Batched ingest must be *invisible*: feeding the same schedule through
+/// `ingest_batch` in arbitrary batch sizes has to yield the exact event
+/// timeline of per-heartbeat `ingest` — which in turn is the replay
+/// oracle's. One delivery schedule, two runtimes, event-for-event
+/// equality plus identical accounting.
+#[test]
+fn batched_ingest_matches_per_heartbeat_ingest_event_for_event() {
+    for seed in [5u64, 23] {
+        let n_streams = 6u64;
+        let traces: BTreeMap<u64, Trace> = (0..n_streams)
+            .map(|s| (s, WanTraceConfig::small(300, seed * 100 + s).generate()))
+            .collect();
+        let interval = traces[&0].interval;
+
+        let mut schedule: Vec<(Nanos, u64, u64)> = traces
+            .iter()
+            .flat_map(|(&stream, trace)| {
+                trace
+                    .arrivals()
+                    .into_iter()
+                    .map(move |a| (a.at, stream, a.seq))
+            })
+            .collect();
+        schedule.sort_unstable();
+        let global_horizon = traces.values().map(Trace::end_time).max().unwrap();
+
+        let spawn = |clock: Arc<ManualClock>| {
+            ShardRuntime::new(
+                ShardConfig {
+                    detector: detector_config(interval).into(),
+                    n_shards: 3,
+                    queue_capacity: 4096,
+                    sweep_interval: Duration::from_millis(1),
+                    event_capacity: 1 << 16,
+                    ..ShardConfig::default()
+                },
+                clock as Arc<dyn TimeSource>,
+            )
+        };
+
+        // Per-heartbeat reference: the seed determinism protocol.
+        let clock_a = Arc::new(ManualClock::new());
+        let rt_a = spawn(clock_a.clone());
+        for &(at, stream, seq) in &schedule {
+            clock_a.advance_to(at);
+            rt_a.ingest(stream, seq, at);
+        }
+        rt_a.flush();
+        clock_a.advance_to(global_horizon);
+
+        // Batched: the same schedule cut into deliberately awkward batch
+        // sizes (1, odd, exactly the grouping chunk, larger than it).
+        // Enqueue the whole batch *before* advancing the clock to its
+        // last arrival: every heartbeat is in its queue before any sweep
+        // can reach its instant, the same invariant the per-heartbeat
+        // protocol maintains.
+        let clock_b = Arc::new(ManualClock::new());
+        let rt_b = spawn(clock_b.clone());
+        let sizes = [1usize, 3, 7, 64, 129, 16];
+        let mut cursor = 0usize;
+        let mut size_ix = 0usize;
+        while cursor < schedule.len() {
+            let len = sizes[size_ix % sizes.len()].min(schedule.len() - cursor);
+            size_ix += 1;
+            let batch: Vec<Job> = schedule[cursor..cursor + len]
+                .iter()
+                .map(|&(at, stream, seq)| (stream, seq, at))
+                .collect();
+            cursor += len;
+            rt_b.ingest_batch(&batch);
+            clock_b.advance_to(batch.last().unwrap().2);
+        }
+        rt_b.flush();
+        clock_b.advance_to(global_horizon);
+
+        let collect = |rt: &ShardRuntime| -> BTreeMap<u64, Vec<(FdOutput, Nanos)>> {
+            // Workers may still be retiring final sweeps; drain until
+            // the stream is quiet for a couple of passes.
+            let mut out: BTreeMap<u64, Vec<(FdOutput, Nanos)>> = BTreeMap::new();
+            let deadline = Instant::now() + Duration::from_secs(10);
+            let mut quiet = 0;
+            while quiet < 3 && Instant::now() < deadline {
+                let mut got_any = false;
+                for ev in rt.events().try_iter() {
+                    out.entry(ev.key).or_default().push((ev.output, ev.at));
+                    got_any = true;
+                }
+                quiet = if got_any { 0 } else { quiet + 1 };
+                sleep(Duration::from_millis(5));
+            }
+            out
+        };
+        let events_a = collect(&rt_a);
+        let events_b = collect(&rt_b);
+        assert_eq!(rt_a.events_dropped(), 0);
+        assert_eq!(rt_b.events_dropped(), 0);
+
+        for (stream, trace) in &traces {
+            let horizon = trace.end_time();
+            let windowed = |m: &BTreeMap<u64, Vec<(FdOutput, Nanos)>>| -> Vec<(FdOutput, Nanos)> {
+                m.get(stream)
+                    .cloned()
+                    .unwrap_or_default()
+                    .into_iter()
+                    .filter(|&(_, at)| at < horizon)
+                    .collect()
+            };
+            let got_a = windowed(&events_a);
+            let got_b = windowed(&events_b);
+            let oracle = expected_events(trace);
+            assert_eq!(
+                got_b, got_a,
+                "seed {seed} stream {stream}: batched diverged from per-heartbeat"
+            );
+            assert_eq!(
+                got_b, oracle,
+                "seed {seed} stream {stream}: batched diverged from the replay oracle"
+            );
+        }
+
+        // Identical accounting: same arrivals, nothing shed on either
+        // path, and the identity holds on both.
+        let (sa, sb) = (rt_a.stats(), rt_b.stats());
+        assert_eq!(sa.received(), schedule.len() as u64);
+        assert_eq!(sb.received(), sa.received());
+        assert_eq!(sa.dropped(), 0);
+        assert_eq!(sb.dropped(), 0);
+        assert_eq!(sa.received(), sa.applied() + sa.dropped());
+        assert_eq!(sb.received(), sb.applied() + sb.dropped());
+        for (i, (a, b)) in sa.shards.iter().zip(sb.shards.iter()).enumerate() {
+            assert_eq!(
+                a.received, b.received,
+                "shard {i} received different loads on the two paths"
             );
         }
     }

@@ -3,10 +3,13 @@
 //! Provides the `channel` module slice this workspace uses: MPMC
 //! bounded/unbounded channels with cloneable `Sender`/`Receiver`,
 //! timeouts, and non-blocking operations, implemented over
-//! `Mutex` + `Condvar`. One deliberate extension beyond the upstream
+//! `Mutex` + `Condvar`. Two deliberate extensions beyond the upstream
 //! API: [`channel::Sender::force_send`], a drop-oldest enqueue used by
 //! the sharded monitor runtime for lossy backpressure (upstream offers
-//! the same semantics on `ArrayQueue::force_push`).
+//! the same semantics on `ArrayQueue::force_push`), and
+//! [`channel::Sender::force_send_many`], its batch form — one lock
+//! acquisition and at most one receiver wakeup for a whole slice, which
+//! is what makes batched ingest amortize channel costs.
 
 #![forbid(unsafe_code)]
 
@@ -197,6 +200,46 @@ pub mod channel {
                 self.inner.not_empty.notify_one();
             }
             Ok(displaced)
+        }
+
+        /// Enqueues every element of `batch` under a single lock
+        /// acquisition, evicting the *oldest* messages (queued first,
+        /// then the front of `batch` itself if the batch alone exceeds
+        /// capacity) as needed. Returns the number of messages evicted.
+        /// At most one parked receiver is woken for the whole batch.
+        pub fn force_send_many(&self, batch: &[T]) -> Result<usize, SendError<()>>
+        where
+            T: Clone,
+        {
+            if batch.is_empty() {
+                return Ok(0);
+            }
+            let mut state = self.inner.lock();
+            if state.receivers == 0 {
+                return Err(SendError(()));
+            }
+            let evicted = match self.inner.capacity {
+                Some(cap) => {
+                    let need = (state.queue.len() + batch.len()).saturating_sub(cap);
+                    let from_queue = need.min(state.queue.len());
+                    state.queue.drain(..from_queue);
+                    // A batch longer than the capacity sheds its own
+                    // oldest elements before they are ever queued.
+                    let skip = need - from_queue;
+                    state.queue.extend(batch[skip..].iter().cloned());
+                    need
+                }
+                None => {
+                    state.queue.extend(batch.iter().cloned());
+                    0
+                }
+            };
+            let wake = state.recv_waiting > 0;
+            drop(state);
+            if wake {
+                self.inner.not_empty.notify_one();
+            }
+            Ok(evicted)
         }
 
         /// Messages currently queued.
@@ -416,6 +459,33 @@ pub mod channel {
             assert_eq!(tx.force_send(2), Ok(None));
             assert_eq!(tx.force_send(3), Ok(Some(1)));
             assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![2, 3]);
+        }
+
+        #[test]
+        fn force_send_many_evicts_oldest_across_queue_and_batch() {
+            let (tx, rx) = bounded(4);
+            assert_eq!(tx.force_send_many(&[1, 2, 3]), Ok(0));
+            // Two evictions: the two oldest queued messages.
+            assert_eq!(tx.force_send_many(&[4, 5, 6]), Ok(2));
+            assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![3, 4, 5, 6]);
+            // A batch longer than capacity sheds its own front.
+            assert_eq!(tx.force_send_many(&[10, 11, 12, 13, 14, 15]), Ok(2));
+            assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![12, 13, 14, 15]);
+            // Unbounded never evicts; empty batches are free.
+            let (tx, rx) = unbounded();
+            assert_eq!(tx.force_send_many(&[] as &[u8]), Ok(0));
+            assert_eq!(tx.force_send_many(&[7, 8]), Ok(0));
+            drop(rx);
+            assert_eq!(tx.force_send_many(&[9]), Err(SendError(())));
+        }
+
+        #[test]
+        fn force_send_many_wakes_a_parked_receiver() {
+            let (tx, rx) = bounded(8);
+            let handle = thread::spawn(move || rx.recv_timeout(Duration::from_secs(5)));
+            thread::sleep(Duration::from_millis(20));
+            tx.force_send_many(&[42]).unwrap();
+            assert_eq!(handle.join().unwrap(), Ok(42));
         }
 
         #[test]
