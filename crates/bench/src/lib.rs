@@ -17,6 +17,7 @@
 //! Set `TWOFD_BENCH_SAMPLES` to scale trace sizes (default differs per
 //! target; the paper's WAN trace is 5,845,712 samples).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

@@ -1,0 +1,1088 @@
+//! The model-checking engine: a deterministic scheduler plus a
+//! happens-before memory model.
+//!
+//! # How an execution runs
+//!
+//! Real OS threads execute the test closure, but the engine serializes
+//! them: exactly one thread holds the "active" token at a time, and
+//! every instrumented operation (atomic access, mutex lock, condvar
+//! wait/notify, spawn/join) is an *operation point* where the scheduler
+//! may hand the token to another runnable thread. All nondeterminism —
+//! which thread runs next, which store a relaxed load observes — flows
+//! through [`EngineState::decide`], which records each choice on a
+//! decision path. The controller re-runs the closure, advancing the
+//! path depth-first (last choice incremented, suffix truncated) until
+//! the space is exhausted or the iteration cap is hit.
+//!
+//! # Memory model
+//!
+//! Each atomic variable keeps its full store history for the current
+//! execution. Stores tagged `Release` (or stronger) carry the storing
+//! thread's vector clock as their message; `Relaxed` stores carry an
+//! empty message. A load may observe any store that is (a) not older
+//! than the thread's per-variable read frontier (read coherence), (b)
+//! not hidden by a later store that already happened-before the reader,
+//! and (c) for `SeqCst` loads, not older than the latest `SeqCst`
+//! store. `Acquire` (or stronger) loads join the observed store's
+//! message into the reader's clock. Read-modify-writes always read the
+//! latest store (atomicity) and their store inherits the previous
+//! message (release sequences). Which visible store a load observes is
+//! itself a branch point, so stale-read bugs are found even with a
+//! preemption bound of zero.
+//!
+//! # Approximations (documented, deliberate)
+//!
+//! - Mutex unlock is not a preemption point: a schedule where another
+//!   thread runs between the last critical-section op and the unlock is
+//!   explored as the schedule where it runs before the lock release.
+//! - `SeqCst` is modeled as `AcqRel` plus "loads cannot observe stores
+//!   older than the latest `SeqCst` store" — slightly weaker than the
+//!   single total order, never unsound for the invariants checked here.
+//! - `notify_one` wakes the longest-waiting thread (FIFO) rather than
+//!   branching over waiters.
+//! - Mutex poisoning is not modeled; condvar timeouts never fire (a
+//!   wait that would time out must be woken or it is a deadlock).
+//! - `compare_exchange_weak` never fails spuriously.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::AtomicU64 as StdAtomicU64;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
+
+use crate::vclock::VClock;
+
+/// Panic payload used to unwind model threads when an execution is torn
+/// down (failure elsewhere, or budget exhausted). Never user-visible.
+pub(crate) struct Abort;
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Engine>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The engine and thread id of the model execution this OS thread is
+/// part of, if any. Instrumented types consult this to decide between
+/// the std delegate path and the modeled path.
+pub(crate) fn current() -> Option<(Arc<Engine>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn in_model() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+static PANIC_HOOK: Once = Once::new();
+
+/// Installs (once, process-wide) a panic hook that suppresses output
+/// for panics raised on model threads: assertion failures there are
+/// captured and re-reported with the failing schedule, and `Abort`
+/// unwinds are internal. Panics outside model threads print as usual.
+fn install_panic_hook() {
+    PANIC_HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !in_model() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Scheduling state of one modeled thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadStatus {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCondvar(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+#[derive(Debug)]
+struct ThreadInfo {
+    status: ThreadStatus,
+    clock: VClock,
+}
+
+#[derive(Debug, Default)]
+struct MutexState {
+    held_by: Option<usize>,
+    /// Clock released into the mutex at the last unlock; joined by the
+    /// next locker (the mutex happens-before edge).
+    clock: VClock,
+}
+
+#[derive(Debug, Default)]
+struct CondvarState {
+    /// Waiting thread ids in arrival order.
+    waiters: Vec<usize>,
+}
+
+/// One store event in an atomic variable's modification history.
+#[derive(Debug, Clone)]
+pub(crate) struct StoreEv {
+    value: u64,
+    /// Storing thread (`usize::MAX` for the initial value).
+    tid: usize,
+    /// The storing thread's own clock component at the store (0 for the
+    /// initial value). A store happened-before a reader iff the
+    /// reader's clock has `get(tid) >= tick`.
+    tick: u64,
+    /// Message carried to acquiring loads: the storer's clock for
+    /// release stores, empty for relaxed stores.
+    msg: VClock,
+}
+
+/// Per-atomic-variable model state, owned by the atomic shim and reset
+/// lazily when the engine's execution epoch moves past it.
+#[derive(Debug, Default)]
+pub(crate) struct VarState {
+    epoch: u64,
+    id: usize,
+    stores: Vec<StoreEv>,
+    /// Per-thread read frontier: index of the newest store each thread
+    /// has observed (coherence: reads never go backwards).
+    frontier: Vec<usize>,
+    /// Index of the latest SeqCst store.
+    last_sc: usize,
+}
+
+/// One recorded nondeterministic choice.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Choice {
+    picked: usize,
+    /// Number of alternatives at this point. 0 means "replay value not
+    /// yet verified against a live execution".
+    total: usize,
+}
+
+struct EngineState {
+    /// Execution counter; per-object state (atomics, mutex/condvar
+    /// registrations) is lazily reset when its epoch falls behind.
+    epoch: u64,
+    /// Thread id holding the run token (`usize::MAX` when the
+    /// execution has completed).
+    active: usize,
+    threads: Vec<ThreadInfo>,
+    path: Vec<Choice>,
+    pos: usize,
+    preemptions: usize,
+    ops: usize,
+    trace: Vec<(usize, String)>,
+    failure: Option<String>,
+    aborting: bool,
+    mutexes: Vec<MutexState>,
+    condvars: Vec<CondvarState>,
+    next_atom: usize,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl EngineState {
+    /// Consults (or extends) the decision path for a choice among
+    /// `total` alternatives. Choices with a single alternative are not
+    /// recorded, so callers must skip calling for `total <= 1`.
+    fn decide(&mut self, total: usize) -> Result<usize, String> {
+        debug_assert!(total > 1);
+        let picked = if self.pos < self.path.len() {
+            let c = &mut self.path[self.pos];
+            if c.total == 0 {
+                // Replay seed: adopt the live alternative count.
+                c.total = total;
+            } else if c.total != total {
+                return Err(format!(
+                    "nondeterministic execution: choice {} had {} alternatives, now {} \
+                     (does the test use wall-clock time or OS randomness?)",
+                    self.pos, c.total, total
+                ));
+            }
+            if c.picked >= total {
+                return Err(format!(
+                    "invalid replay seed: choice {} picks {} of {}",
+                    self.pos, c.picked, total
+                ));
+            }
+            c.picked
+        } else {
+            self.path.push(Choice { picked: 0, total });
+            0
+        };
+        self.pos += 1;
+        Ok(picked)
+    }
+
+    fn runnable_except(&self, me: usize) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(tid, t)| *tid != me && t.status == ThreadStatus::Runnable)
+            .map(|(tid, _)| tid)
+            .collect()
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads
+            .iter()
+            .all(|t| t.status == ThreadStatus::Finished)
+    }
+
+    /// Picks the next thread to hold the run token after the current
+    /// one blocked or finished. Forced switches do not count against
+    /// the preemption bound. Errors mean deadlock.
+    fn pick_next(&mut self) -> Result<(), String> {
+        let runnable: Vec<usize> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == ThreadStatus::Runnable)
+            .map(|(tid, _)| tid)
+            .collect();
+        match runnable.len() {
+            0 => {
+                if self.all_finished() {
+                    self.active = usize::MAX;
+                    Ok(())
+                } else {
+                    let stuck: Vec<String> = self
+                        .threads
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| t.status != ThreadStatus::Finished)
+                        .map(|(tid, t)| format!("thread {tid} {:?}", t.status))
+                        .collect();
+                    Err(format!(
+                        "deadlock: no runnable thread ({})",
+                        stuck.join(", ")
+                    ))
+                }
+            }
+            1 => {
+                self.active = runnable[0];
+                Ok(())
+            }
+            n => {
+                let pick = self.decide(n)?;
+                self.active = runnable[pick];
+                Ok(())
+            }
+        }
+    }
+
+    fn wake_mutex_waiters(&mut self, mid: usize) {
+        for t in &mut self.threads {
+            if t.status == ThreadStatus::BlockedMutex(mid) {
+                t.status = ThreadStatus::Runnable;
+            }
+        }
+    }
+}
+
+/// The shared model-checking engine for one [`Builder::check_result`]
+/// run. One engine is reused across all explored executions.
+pub(crate) struct Engine {
+    state: Mutex<EngineState>,
+    cv: Condvar,
+    preemption_bound: usize,
+    max_ops: usize,
+}
+
+impl Engine {
+    fn new(preemption_bound: usize, max_ops: usize) -> Engine {
+        Engine {
+            state: Mutex::new(EngineState {
+                epoch: 0,
+                active: 0,
+                threads: Vec::new(),
+                path: Vec::new(),
+                pos: 0,
+                preemptions: 0,
+                ops: 0,
+                trace: Vec::new(),
+                failure: None,
+                aborting: false,
+                mutexes: Vec::new(),
+                condvars: Vec::new(),
+                next_atom: 0,
+                os_handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            preemption_bound,
+            max_ops,
+        }
+    }
+
+    /// Locks the engine state, shrugging off poisoning (aborted model
+    /// threads may have unwound while another thread was parked in a
+    /// condvar wait on this mutex).
+    fn lock(&self) -> MutexGuard<'_, EngineState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records a failure, tears the execution down, and unwinds the
+    /// calling model thread.
+    fn fail(&self, mut st: MutexGuard<'_, EngineState>, msg: String) -> ! {
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        st.aborting = true;
+        self.cv.notify_all();
+        drop(st);
+        panic::panic_any(Abort);
+    }
+
+    fn abort_if_tearing_down<'a>(
+        &self,
+        st: MutexGuard<'a, EngineState>,
+    ) -> MutexGuard<'a, EngineState> {
+        if st.aborting {
+            drop(st);
+            panic::panic_any(Abort);
+        }
+        st
+    }
+
+    /// Parks the calling thread until it holds the run token again (or
+    /// the execution is tearing down, in which case it unwinds).
+    fn wait_turn<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, EngineState>,
+        me: usize,
+    ) -> MutexGuard<'a, EngineState> {
+        loop {
+            st = self.abort_if_tearing_down(st);
+            if st.active == me && st.threads[me].status == ThreadStatus::Runnable {
+                return st;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Marks the calling thread blocked, hands the token to another
+    /// runnable thread (deadlock if none), and parks until woken and
+    /// rescheduled.
+    fn block_current<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, EngineState>,
+        me: usize,
+        status: ThreadStatus,
+    ) -> MutexGuard<'a, EngineState> {
+        st.threads[me].status = status;
+        if let Err(msg) = st.pick_next() {
+            self.fail(st, msg);
+        }
+        self.cv.notify_all();
+        self.wait_turn(st, me)
+    }
+
+    /// An operation point: the calling thread is about to perform a
+    /// visible operation (`desc` goes into the trace). The scheduler
+    /// may preempt here, handing the token to another runnable thread
+    /// if the preemption budget allows.
+    pub(crate) fn op_point(&self, me: usize, desc: String) {
+        let mut st = self.lock();
+        st = self.abort_if_tearing_down(st);
+        st.ops += 1;
+        if st.ops > self.max_ops {
+            let msg = format!(
+                "operation budget exceeded ({} ops): livelock, or raise Builder::max_ops",
+                self.max_ops
+            );
+            self.fail(st, msg);
+        }
+        st.trace.push((me, desc));
+        if st.preemptions >= self.preemption_bound {
+            return;
+        }
+        let others = st.runnable_except(me);
+        if others.is_empty() {
+            return;
+        }
+        let pick = match st.decide(1 + others.len()) {
+            Ok(p) => p,
+            Err(msg) => self.fail(st, msg),
+        };
+        if pick > 0 {
+            let next = others[pick - 1];
+            st.preemptions += 1;
+            st.active = next;
+            self.cv.notify_all();
+            let _st = self.wait_turn(st, me);
+        }
+    }
+
+    // --- mutex ---
+
+    /// Registers a mutex object for the current execution, returning
+    /// its id. Object state from prior executions is lazily discarded
+    /// by comparing epochs.
+    pub(crate) fn register_mutex(&self, meta: &Mutex<ObjMeta>) -> usize {
+        let mut st = self.lock();
+        let mut m = meta.lock().unwrap_or_else(|e| e.into_inner());
+        if m.epoch != st.epoch {
+            m.epoch = st.epoch;
+            m.id = st.mutexes.len();
+            st.mutexes.push(MutexState::default());
+        }
+        m.id
+    }
+
+    pub(crate) fn register_condvar(&self, meta: &Mutex<ObjMeta>) -> usize {
+        let mut st = self.lock();
+        let mut m = meta.lock().unwrap_or_else(|e| e.into_inner());
+        if m.epoch != st.epoch {
+            m.epoch = st.epoch;
+            m.id = st.condvars.len();
+            st.condvars.push(CondvarState::default());
+        }
+        m.id
+    }
+
+    pub(crate) fn mutex_acquire(&self, me: usize, mid: usize) {
+        self.op_point(me, format!("mutex[{mid}].lock"));
+        let mut st = self.lock();
+        loop {
+            st = self.abort_if_tearing_down(st);
+            if st.mutexes[mid].held_by.is_none() {
+                st.mutexes[mid].held_by = Some(me);
+                let mclock = st.mutexes[mid].clock.clone();
+                st.threads[me].clock.join(&mclock);
+                return;
+            }
+            st = self.block_current(st, me, ThreadStatus::BlockedMutex(mid));
+        }
+    }
+
+    /// Releases a mutex with release semantics and wakes contenders.
+    /// Not a preemption point (see module docs).
+    pub(crate) fn mutex_unlock(&self, me: usize, mid: usize) {
+        let mut st = self.lock();
+        if st.aborting {
+            // Tear-down already in progress; just drop the hold.
+            st.mutexes[mid].held_by = None;
+            st.wake_mutex_waiters(mid);
+            return;
+        }
+        st.threads[me].clock.tick(me);
+        st.mutexes[mid].clock = st.threads[me].clock.clone();
+        st.mutexes[mid].held_by = None;
+        st.wake_mutex_waiters(mid);
+    }
+
+    /// Releases a mutex during panic unwinding: no clocks, no trace, no
+    /// further panics — the failure is already being reported.
+    pub(crate) fn mutex_release_silent(&self, mid: usize) {
+        let mut st = self.lock();
+        st.mutexes[mid].held_by = None;
+        st.wake_mutex_waiters(mid);
+    }
+
+    // --- condvar ---
+
+    /// Atomically releases `mid`, registers the caller as a waiter on
+    /// `cid`, and blocks; reacquires `mid` after being notified. The
+    /// release + registration happen under one engine lock, so no
+    /// artificial lost-wakeup window is introduced — any lost wakeup
+    /// the checker reports is real.
+    pub(crate) fn condvar_wait(&self, me: usize, cid: usize, mid: usize) {
+        self.op_point(me, format!("condvar[{cid}].wait(mutex[{mid}])"));
+        let mut st = self.lock();
+        st = self.abort_if_tearing_down(st);
+        st.threads[me].clock.tick(me);
+        st.mutexes[mid].clock = st.threads[me].clock.clone();
+        st.mutexes[mid].held_by = None;
+        st.wake_mutex_waiters(mid);
+        st.condvars[cid].waiters.push(me);
+        let st = self.block_current(st, me, ThreadStatus::BlockedCondvar(cid));
+        drop(st);
+        self.mutex_acquire(me, mid);
+    }
+
+    /// Notifies waiters. A notify with no waiters is lost — precisely
+    /// the semantics that let the checker surface lost-wakeup bugs as
+    /// deadlocks.
+    pub(crate) fn condvar_notify(&self, me: usize, cid: usize, all: bool) {
+        let kind = if all { "notify_all" } else { "notify_one" };
+        self.op_point(me, format!("condvar[{cid}].{kind}"));
+        let mut st = self.lock();
+        st = self.abort_if_tearing_down(st);
+        if all {
+            let waiters = std::mem::take(&mut st.condvars[cid].waiters);
+            for w in waiters {
+                st.threads[w].status = ThreadStatus::Runnable;
+            }
+        } else if !st.condvars[cid].waiters.is_empty() {
+            let w = st.condvars[cid].waiters.remove(0);
+            st.threads[w].status = ThreadStatus::Runnable;
+        }
+    }
+
+    // --- threads ---
+
+    /// Spawns a modeled thread running `f` on a real OS thread under
+    /// engine control. The child inherits the parent's clock (the spawn
+    /// happens-before everything in the child).
+    pub(crate) fn thread_spawn(
+        self: &Arc<Self>,
+        me: usize,
+        f: Box<dyn FnOnce() + Send + 'static>,
+    ) -> usize {
+        self.op_point(me, "thread.spawn".to_string());
+        let mut st = self.lock();
+        let tid = st.threads.len();
+        st.threads[me].clock.tick(me);
+        let clock = st.threads[me].clock.clone();
+        st.threads.push(ThreadInfo {
+            status: ThreadStatus::Runnable,
+            clock,
+        });
+        let eng = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("twofd-check-{tid}"))
+            .spawn(move || run_controlled(eng, tid, f))
+            .expect("spawn model thread");
+        st.os_handles.push(handle);
+        tid
+    }
+
+    /// Joins a modeled thread: blocks until it finishes, then joins its
+    /// final clock (everything in the child happens-before the join).
+    pub(crate) fn thread_join(&self, me: usize, tid: usize) {
+        self.op_point(me, format!("thread[{tid}].join"));
+        let mut st = self.lock();
+        loop {
+            st = self.abort_if_tearing_down(st);
+            if st.threads[tid].status == ThreadStatus::Finished {
+                let child = st.threads[tid].clock.clone();
+                st.threads[me].clock.join(&child);
+                return;
+            }
+            st = self.block_current(st, me, ThreadStatus::BlockedJoin(tid));
+        }
+    }
+
+    /// Normal completion of a modeled thread's closure.
+    fn thread_finish(&self, me: usize) {
+        let mut st = self.lock();
+        st.threads[me].clock.tick(me);
+        st.threads[me].status = ThreadStatus::Finished;
+        for t in &mut st.threads {
+            if t.status == ThreadStatus::BlockedJoin(me) {
+                t.status = ThreadStatus::Runnable;
+            }
+        }
+        if st.active == me && !st.aborting {
+            if let Err(msg) = st.pick_next() {
+                // Deadlock discovered as this thread exits. We are
+                // outside catch_unwind here, so record without
+                // panicking; blocked threads wake and unwind themselves.
+                if st.failure.is_none() {
+                    st.failure = Some(msg);
+                }
+                st.aborting = true;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Completion via `Abort` unwind: just mark finished.
+    fn thread_finish_aborted(&self, me: usize) {
+        let mut st = self.lock();
+        st.threads[me].status = ThreadStatus::Finished;
+        self.cv.notify_all();
+    }
+
+    /// Completion via a real panic (assertion failure in the test).
+    fn thread_fail(&self, me: usize, msg: String) {
+        let mut st = self.lock();
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        st.aborting = true;
+        st.threads[me].status = ThreadStatus::Finished;
+        self.cv.notify_all();
+    }
+
+    // --- atomics ---
+
+    /// Registers an atomic variable for the current execution; seeds
+    /// its history with the live value so atomics created outside the
+    /// model (or in a prior execution) read correctly.
+    pub(crate) fn register_atomic(&self, var: &Mutex<VarState>, inner: &StdAtomicU64) -> usize {
+        let mut st = self.lock();
+        let mut v = var.lock().unwrap_or_else(|e| e.into_inner());
+        if v.epoch != st.epoch {
+            v.epoch = st.epoch;
+            v.id = st.next_atom;
+            st.next_atom += 1;
+            v.stores = vec![StoreEv {
+                value: inner.load(std::sync::atomic::Ordering::SeqCst),
+                tid: usize::MAX,
+                tick: 0,
+                msg: VClock::new(),
+            }];
+            v.frontier.clear();
+            v.last_sc = 0;
+        }
+        v.id
+    }
+
+    pub(crate) fn atomic_load(
+        &self,
+        var: &Mutex<VarState>,
+        inner: &StdAtomicU64,
+        me: usize,
+        order: std::sync::atomic::Ordering,
+    ) -> u64 {
+        use std::sync::atomic::Ordering::*;
+        assert!(
+            !matches!(order, Release | AcqRel),
+            "there is no such thing as a release load"
+        );
+        let id = self.register_atomic(var, inner);
+        self.op_point(me, format!("atomic[{id}].load({order:?})"));
+        let mut st = self.lock();
+        let mut v = var.lock().unwrap_or_else(|e| e.into_inner());
+        if v.frontier.len() <= me {
+            v.frontier.resize(me + 1, 0);
+        }
+        let reader = st.threads[me].clock.clone();
+        let lo = if matches!(order, SeqCst) {
+            v.frontier[me].max(v.last_sc)
+        } else {
+            v.frontier[me]
+        };
+        let candidates: Vec<usize> = (lo..v.stores.len())
+            .filter(|&i| {
+                // Hidden if a later store already happened-before us.
+                !((i + 1)..v.stores.len()).any(|j| {
+                    let s = &v.stores[j];
+                    s.tick > 0 && reader.get(s.tid) >= s.tick
+                })
+            })
+            .collect();
+        debug_assert!(!candidates.is_empty(), "latest store is always visible");
+        let pick = if candidates.len() > 1 {
+            match st.decide(candidates.len()) {
+                Ok(p) => p,
+                Err(msg) => {
+                    drop(v);
+                    self.fail(st, msg);
+                }
+            }
+        } else {
+            0
+        };
+        let idx = candidates[pick];
+        v.frontier[me] = idx;
+        if matches!(order, Acquire | SeqCst) {
+            let msg = v.stores[idx].msg.clone();
+            st.threads[me].clock.join(&msg);
+        }
+        v.stores[idx].value
+    }
+
+    pub(crate) fn atomic_store(
+        &self,
+        var: &Mutex<VarState>,
+        inner: &StdAtomicU64,
+        me: usize,
+        value: u64,
+        order: std::sync::atomic::Ordering,
+    ) {
+        use std::sync::atomic::Ordering::*;
+        assert!(
+            !matches!(order, Acquire | AcqRel),
+            "there is no such thing as an acquire store"
+        );
+        let id = self.register_atomic(var, inner);
+        self.op_point(me, format!("atomic[{id}].store({value}, {order:?})"));
+        let mut st = self.lock();
+        let mut v = var.lock().unwrap_or_else(|e| e.into_inner());
+        if v.frontier.len() <= me {
+            v.frontier.resize(me + 1, 0);
+        }
+        let tick = st.threads[me].clock.tick(me);
+        let msg = if matches!(order, Release | SeqCst) {
+            st.threads[me].clock.clone()
+        } else {
+            VClock::new()
+        };
+        v.stores.push(StoreEv {
+            value,
+            tid: me,
+            tick,
+            msg,
+        });
+        let idx = v.stores.len() - 1;
+        if matches!(order, SeqCst) {
+            v.last_sc = idx;
+        }
+        v.frontier[me] = idx;
+        // Mirror into the live atomic so epoch refreshes and post-model
+        // reads see the final value.
+        inner.store(value, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Read-modify-write: reads the latest store (atomicity), applies
+    /// `f`, and if `f` returns a new value, appends a store inheriting
+    /// the previous message (release sequence) joined with the thread
+    /// clock when `success` is release-like. Returns the old value and
+    /// whether a store happened. `failure` is the ordering applied to
+    /// the read when no store happens (compare_exchange failure path).
+    // One argument per fact of the operation; bundling them into a
+    // struct would just rename the call sites.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn atomic_rmw(
+        &self,
+        var: &Mutex<VarState>,
+        inner: &StdAtomicU64,
+        me: usize,
+        desc: &str,
+        f: impl FnOnce(u64) -> Option<u64>,
+        success: std::sync::atomic::Ordering,
+        failure: std::sync::atomic::Ordering,
+    ) -> (u64, bool) {
+        use std::sync::atomic::Ordering::*;
+        let id = self.register_atomic(var, inner);
+        self.op_point(me, format!("atomic[{id}].{desc}"));
+        let mut st = self.lock();
+        let mut v = var.lock().unwrap_or_else(|e| e.into_inner());
+        if v.frontier.len() <= me {
+            v.frontier.resize(me + 1, 0);
+        }
+        let last = v.stores.len() - 1;
+        let old = v.stores[last].value;
+        match f(old) {
+            Some(new) => {
+                if matches!(success, Acquire | AcqRel | SeqCst) {
+                    let msg = v.stores[last].msg.clone();
+                    st.threads[me].clock.join(&msg);
+                }
+                let tick = st.threads[me].clock.tick(me);
+                let mut msg = v.stores[last].msg.clone();
+                if matches!(success, Release | AcqRel | SeqCst) {
+                    msg.join(&st.threads[me].clock);
+                }
+                v.stores.push(StoreEv {
+                    value: new,
+                    tid: me,
+                    tick,
+                    msg,
+                });
+                let idx = v.stores.len() - 1;
+                if matches!(success, SeqCst) {
+                    v.last_sc = idx;
+                }
+                v.frontier[me] = idx;
+                inner.store(new, std::sync::atomic::Ordering::SeqCst);
+                (old, true)
+            }
+            None => {
+                if matches!(failure, Acquire | SeqCst) {
+                    let msg = v.stores[last].msg.clone();
+                    st.threads[me].clock.join(&msg);
+                }
+                v.frontier[me] = last;
+                (old, false)
+            }
+        }
+    }
+
+    // --- controller support ---
+
+    fn begin_execution(&self, path: Vec<Choice>) {
+        let mut st = self.lock();
+        st.epoch += 1;
+        st.active = 0;
+        st.threads = vec![ThreadInfo {
+            status: ThreadStatus::Runnable,
+            clock: VClock::new(),
+        }];
+        st.path = path;
+        st.pos = 0;
+        st.preemptions = 0;
+        st.ops = 0;
+        st.trace.clear();
+        st.failure = None;
+        st.aborting = false;
+        st.mutexes.clear();
+        st.condvars.clear();
+        st.next_atom = 0;
+        debug_assert!(st.os_handles.is_empty());
+    }
+
+    fn wait_all_finished(&self) {
+        let mut st = self.lock();
+        while !st.all_finished() {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn drain_handles(&self) -> Vec<std::thread::JoinHandle<()>> {
+        std::mem::take(&mut self.lock().os_handles)
+    }
+
+    fn take_result(&self) -> (Option<String>, Vec<Choice>, Vec<(usize, String)>) {
+        let mut st = self.lock();
+        (
+            st.failure.take(),
+            std::mem::take(&mut st.path),
+            std::mem::take(&mut st.trace),
+        )
+    }
+}
+
+/// Registration record shared by the mutex/condvar shims: which engine
+/// execution (epoch) the object was last registered in, and its id.
+#[derive(Debug, Default)]
+pub(crate) struct ObjMeta {
+    epoch: u64,
+    id: usize,
+}
+
+/// Body run by every modeled OS thread (including the root).
+pub(crate) fn run_controlled(engine: Arc<Engine>, tid: usize, f: Box<dyn FnOnce() + Send>) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&engine), tid)));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        let st = engine.lock();
+        drop(engine.wait_turn(st, tid));
+        f();
+    }));
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    match outcome {
+        Ok(()) => engine.thread_finish(tid),
+        Err(payload) => {
+            if payload.is::<Abort>() {
+                engine.thread_finish_aborted(tid);
+            } else {
+                engine.thread_fail(tid, payload_message(payload));
+            }
+        }
+    }
+}
+
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Increments the decision path depth-first: bump the last
+/// non-exhausted choice and truncate everything after it. Returns
+/// false when the space is exhausted.
+fn advance(path: &mut Vec<Choice>) -> bool {
+    while let Some(last) = path.last_mut() {
+        if last.picked + 1 < last.total {
+            last.picked += 1;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+fn seed_string(path: &[Choice]) -> String {
+    if path.is_empty() {
+        return "-".to_string();
+    }
+    path.iter()
+        .map(|c| c.picked.to_string())
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+fn parse_seed(seed: &str) -> Result<Vec<Choice>, String> {
+    if seed == "-" || seed.is_empty() {
+        return Ok(Vec::new());
+    }
+    seed.split('.')
+        .map(|part| {
+            part.parse::<usize>()
+                .map(|picked| Choice { picked, total: 0 })
+                .map_err(|_| format!("invalid schedule seed component {part:?}"))
+        })
+        .collect()
+}
+
+/// Summary of a completed (non-failing) check.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Executions explored.
+    pub iterations: usize,
+    /// True when the bounded schedule space was exhausted; false when
+    /// the iteration cap stopped exploration early.
+    pub complete: bool,
+}
+
+/// A failing execution: what failed, and the schedule that got there.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Panic message or engine diagnosis (deadlock, budget).
+    pub message: String,
+    /// Replayable schedule seed (pass to [`Builder::replay_seed`]).
+    pub seed: String,
+    /// 1-based index of the failing execution.
+    pub iteration: usize,
+    /// Operation trace of the failing execution: (thread id, op).
+    pub trace: Vec<(usize, String)>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "model check failed: {}", self.message)?;
+        writeln!(f, "  execution: #{}", self.iteration)?;
+        writeln!(f, "  schedule seed: {}", self.seed)?;
+        writeln!(f, "  trace ({} ops):", self.trace.len())?;
+        for (tid, op) in &self.trace {
+            writeln!(f, "    [thread {tid}] {op}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Configures and runs a bounded model check.
+///
+/// Defaults: preemption bound 2, 100 000 executions, 20 000 ops per
+/// execution — small enough for CI, large enough to exhaust every suite
+/// in this repo.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    preemption_bound: usize,
+    max_iterations: usize,
+    max_ops: usize,
+    replay_seed: Option<String>,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: 2,
+            max_iterations: 100_000,
+            max_ops: 20_000,
+            replay_seed: None,
+        }
+    }
+}
+
+impl Builder {
+    /// A builder with default bounds.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Maximum number of forced context switches away from a runnable
+    /// thread per execution. Value-visibility choices do not count, so
+    /// stale-read bugs are found even at bound 0.
+    pub fn preemption_bound(mut self, bound: usize) -> Builder {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Caps the number of executions explored. When hit, the check
+    /// passes with [`Report::complete`] = false.
+    pub fn max_iterations(mut self, cap: usize) -> Builder {
+        self.max_iterations = cap;
+        self
+    }
+
+    /// Caps instrumented operations per execution (livelock backstop).
+    pub fn max_ops(mut self, cap: usize) -> Builder {
+        self.max_ops = cap;
+        self
+    }
+
+    /// Replays exactly one execution from a seed printed by a previous
+    /// failure instead of exploring.
+    pub fn replay_seed(mut self, seed: &str) -> Builder {
+        self.replay_seed = Some(seed.to_string());
+        self
+    }
+
+    /// Explores `f` under every schedule within bounds; returns the
+    /// first failure (with its schedule) or a pass report.
+    pub fn check_result<F>(&self, f: F) -> Result<Report, Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        install_panic_hook();
+        let f = Arc::new(f);
+        let engine = Arc::new(Engine::new(self.preemption_bound, self.max_ops));
+        let replaying = self.replay_seed.is_some();
+        let mut path = match &self.replay_seed {
+            Some(seed) => match parse_seed(seed) {
+                Ok(p) => p,
+                Err(msg) => {
+                    return Err(Failure {
+                        message: msg,
+                        seed: seed.clone(),
+                        iteration: 0,
+                        trace: Vec::new(),
+                    })
+                }
+            },
+            None => Vec::new(),
+        };
+        let mut iterations = 0;
+        loop {
+            if iterations >= self.max_iterations {
+                return Ok(Report {
+                    iterations,
+                    complete: false,
+                });
+            }
+            engine.begin_execution(std::mem::take(&mut path));
+            let eng = Arc::clone(&engine);
+            let fc = Arc::clone(&f);
+            let root = std::thread::Builder::new()
+                .name("twofd-check-0".to_string())
+                .spawn(move || run_controlled(eng, 0, Box::new(move || fc())))
+                .expect("spawn model root thread");
+            engine.wait_all_finished();
+            let _ = root.join();
+            for h in engine.drain_handles() {
+                let _ = h.join();
+            }
+            iterations += 1;
+            let (failure, done_path, trace) = engine.take_result();
+            if let Some(message) = failure {
+                return Err(Failure {
+                    message,
+                    seed: seed_string(&done_path),
+                    iteration: iterations,
+                    trace,
+                });
+            }
+            path = done_path;
+            if replaying || !advance(&mut path) {
+                return Ok(Report {
+                    iterations,
+                    complete: true,
+                });
+            }
+        }
+    }
+
+    /// Like [`Builder::check_result`] but panics with the rendered
+    /// failure (message, seed, trace) on the first failing schedule.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        match self.check_result(f) {
+            Ok(report) => report,
+            Err(failure) => panic!("{failure}"),
+        }
+    }
+}
+
+/// Checks `f` under every schedule within the default bounds, panicking
+/// with a replayable trace on the first failure. The entry point for
+/// model-check suites.
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f)
+}

@@ -1,0 +1,261 @@
+//! Drop-in replacements for `std::sync` primitives, instrumented for
+//! model checking.
+//!
+//! Outside a [`crate::model`] run every type delegates straight to its
+//! `std` counterpart, so code compiled against this module (via a
+//! `#[cfg(twofd_check)]` facade) behaves identically in ordinary tests.
+//! Inside a model run, every lock, unlock, wait, and notify becomes an
+//! engine operation point with happens-before tracking.
+
+pub mod atomic;
+
+use std::sync::Mutex as StdMutex;
+use std::sync::{Arc, Condvar as StdCondvar, LockResult, PoisonError, TryLockError};
+
+use crate::engine::{current, Engine, ObjMeta};
+
+/// Instrumented `std::sync::Mutex` stand-in.
+///
+/// Poisoning is surfaced on the delegate path exactly like std; on the
+/// modeled path a panicking thread tears the execution down, so lock
+/// never reports poison there.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    meta: StdMutex<ObjMeta>,
+    inner: StdMutex<T>,
+}
+
+/// Guard for [`Mutex`]; releases the model-level hold on drop.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    std: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<(Arc<Engine>, usize, usize)>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            meta: StdMutex::new(ObjMeta::default()),
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Acquires the mutex, blocking (or yielding to the model
+    /// scheduler) until it is available.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match current() {
+            None => match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock: self,
+                    std: Some(g),
+                    model: None,
+                }),
+                Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    std: Some(poisoned.into_inner()),
+                    model: None,
+                })),
+            },
+            Some((engine, me)) => {
+                let mid = engine.register_mutex(&self.meta);
+                engine.mutex_acquire(me, mid);
+                // The scheduler guarantees exclusivity; the inner lock
+                // is only ever contended if a prior aborted execution
+                // poisoned it, which we shrug off (poisoning is not
+                // modeled).
+                let g = self.inner.try_lock().unwrap_or_else(|e| match e {
+                    TryLockError::Poisoned(p) => p.into_inner(),
+                    TryLockError::WouldBlock => {
+                        unreachable!("model scheduler granted a held mutex")
+                    }
+                });
+                Ok(MutexGuard {
+                    lock: self,
+                    std: Some(g),
+                    model: Some((engine, me, mid)),
+                })
+            }
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.std.as_ref().expect("guard holds data lock")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.std.as_mut().expect("guard holds data lock")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the data lock first so a reacquire by the next
+        // scheduled thread always succeeds.
+        drop(self.std.take());
+        if let Some((engine, me, mid)) = self.model.take() {
+            if std::thread::panicking() {
+                engine.mutex_release_silent(mid);
+            } else {
+                engine.mutex_unlock(me, mid);
+            }
+        }
+    }
+}
+
+/// Result of a [`Condvar::wait_timeout`]; mirrors
+/// `std::sync::WaitTimeoutResult`.
+///
+/// On the modeled path timeouts never fire (see crate docs): a wait
+/// that would only end by timeout is reported as a deadlock, because
+/// production code in this repo uses timeouts defensively, never as the
+/// sole wakeup path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Instrumented `std::sync::Condvar` stand-in.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    meta: StdMutex<ObjMeta>,
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Condvar {
+        Condvar {
+            meta: StdMutex::new(ObjMeta::default()),
+            inner: StdCondvar::new(),
+        }
+    }
+
+    /// Blocks until notified, releasing the guard's mutex while parked.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match guard.model.take() {
+            None => {
+                let stdg = guard.std.take().expect("guard holds data lock");
+                let lock = guard.lock;
+                drop(guard);
+                match self.inner.wait(stdg) {
+                    Ok(g) => Ok(MutexGuard {
+                        lock,
+                        std: Some(g),
+                        model: None,
+                    }),
+                    Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                        lock,
+                        std: Some(poisoned.into_inner()),
+                        model: None,
+                    })),
+                }
+            }
+            Some((engine, me, mid)) => {
+                let cid = engine.register_condvar(&self.meta);
+                // Dismantle the guard without running its Drop (both
+                // options are None after the takes, so Drop would no-op
+                // anyway): the engine release must be atomic with
+                // waiter registration, which condvar_wait guarantees.
+                drop(guard.std.take());
+                let lock = guard.lock;
+                drop(guard);
+                engine.condvar_wait(me, cid, mid);
+                // condvar_wait returns with the model-level mutex held;
+                // re-take the data lock (uncontended by construction).
+                let stdg = lock.inner.try_lock().unwrap_or_else(|e| match e {
+                    TryLockError::Poisoned(p) => p.into_inner(),
+                    TryLockError::WouldBlock => {
+                        unreachable!("model scheduler granted a held mutex")
+                    }
+                });
+                Ok(MutexGuard {
+                    lock,
+                    std: Some(stdg),
+                    model: Some((engine, me, mid)),
+                })
+            }
+        }
+    }
+
+    /// Like [`Condvar::wait`] with an upper bound on the park time. On
+    /// the modeled path the timeout is ignored and this is a plain
+    /// wait that reports `timed_out() == false`.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        if guard.model.is_some() {
+            return self
+                .wait(guard)
+                .map(|g| (g, WaitTimeoutResult(false)))
+                .map_err(|p| {
+                    let g = p.into_inner();
+                    PoisonError::new((g, WaitTimeoutResult(false)))
+                });
+        }
+        let mut guard = guard;
+        let stdg = guard.std.take().expect("guard holds data lock");
+        let lock = guard.lock;
+        drop(guard);
+        match self.inner.wait_timeout(stdg, dur) {
+            Ok((g, t)) => Ok((
+                MutexGuard {
+                    lock,
+                    std: Some(g),
+                    model: None,
+                },
+                WaitTimeoutResult(t.timed_out()),
+            )),
+            Err(poisoned) => {
+                let (g, t) = poisoned.into_inner();
+                Err(PoisonError::new((
+                    MutexGuard {
+                        lock,
+                        std: Some(g),
+                        model: None,
+                    },
+                    WaitTimeoutResult(t.timed_out()),
+                )))
+            }
+        }
+    }
+
+    /// Wakes one waiter (the longest-waiting one on the modeled path).
+    pub fn notify_one(&self) {
+        match current() {
+            None => self.inner.notify_one(),
+            Some((engine, me)) => {
+                let cid = engine.register_condvar(&self.meta);
+                engine.condvar_notify(me, cid, false);
+            }
+        }
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        match current() {
+            None => self.inner.notify_all(),
+            Some((engine, me)) => {
+                let cid = engine.register_condvar(&self.meta);
+                engine.condvar_notify(me, cid, true);
+            }
+        }
+    }
+}

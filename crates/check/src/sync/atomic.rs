@@ -1,0 +1,281 @@
+//! Instrumented `std::sync::atomic` stand-ins.
+//!
+//! Each atomic keeps a real `std` atomic (the delegate path, and the
+//! value mirror the engine reads when an execution starts) plus a
+//! model-side store history. Inside a model run, loads branch over
+//! every store the memory model allows them to observe — this is what
+//! catches relaxed-ordering bugs without needing any preemptions.
+
+pub use std::sync::atomic::Ordering;
+
+use std::sync::atomic::AtomicU64 as StdAtomicU64;
+use std::sync::Mutex as StdMutex;
+
+use crate::engine::{current, VarState};
+
+/// Instrumented `std::sync::atomic::AtomicU64` stand-in.
+#[derive(Debug, Default)]
+pub struct AtomicU64 {
+    inner: StdAtomicU64,
+    var: StdMutex<VarState>,
+}
+
+impl AtomicU64 {
+    /// Creates a new atomic with the given initial value.
+    pub fn new(value: u64) -> AtomicU64 {
+        AtomicU64 {
+            inner: StdAtomicU64::new(value),
+            var: StdMutex::new(VarState::default()),
+        }
+    }
+
+    /// Loads the value, observing any store the memory model allows
+    /// under `order` (a branch point inside a model run).
+    pub fn load(&self, order: Ordering) -> u64 {
+        match current() {
+            None => self.inner.load(order),
+            Some((engine, me)) => engine.atomic_load(&self.var, &self.inner, me, order),
+        }
+    }
+
+    /// Stores a value.
+    pub fn store(&self, value: u64, order: Ordering) {
+        match current() {
+            None => self.inner.store(value, order),
+            Some((engine, me)) => engine.atomic_store(&self.var, &self.inner, me, value, order),
+        }
+    }
+
+    /// Atomically replaces the value, returning the previous one.
+    pub fn swap(&self, value: u64, order: Ordering) -> u64 {
+        match current() {
+            None => self.inner.swap(value, order),
+            Some((engine, me)) => {
+                engine
+                    .atomic_rmw(
+                        &self.var,
+                        &self.inner,
+                        me,
+                        &format!("swap({value}, {order:?})"),
+                        |_| Some(value),
+                        order,
+                        order,
+                    )
+                    .0
+            }
+        }
+    }
+
+    /// Atomically adds (wrapping), returning the previous value.
+    pub fn fetch_add(&self, value: u64, order: Ordering) -> u64 {
+        match current() {
+            None => self.inner.fetch_add(value, order),
+            Some((engine, me)) => {
+                engine
+                    .atomic_rmw(
+                        &self.var,
+                        &self.inner,
+                        me,
+                        &format!("fetch_add({value}, {order:?})"),
+                        |old| Some(old.wrapping_add(value)),
+                        order,
+                        order,
+                    )
+                    .0
+            }
+        }
+    }
+
+    /// Atomically subtracts (wrapping), returning the previous value.
+    pub fn fetch_sub(&self, value: u64, order: Ordering) -> u64 {
+        match current() {
+            None => self.inner.fetch_sub(value, order),
+            Some((engine, me)) => {
+                engine
+                    .atomic_rmw(
+                        &self.var,
+                        &self.inner,
+                        me,
+                        &format!("fetch_sub({value}, {order:?})"),
+                        |old| Some(old.wrapping_sub(value)),
+                        order,
+                        order,
+                    )
+                    .0
+            }
+        }
+    }
+
+    /// Atomically takes the maximum, returning the previous value.
+    pub fn fetch_max(&self, value: u64, order: Ordering) -> u64 {
+        match current() {
+            None => self.inner.fetch_max(value, order),
+            Some((engine, me)) => {
+                engine
+                    .atomic_rmw(
+                        &self.var,
+                        &self.inner,
+                        me,
+                        &format!("fetch_max({value}, {order:?})"),
+                        |old| Some(old.max(value)),
+                        order,
+                        order,
+                    )
+                    .0
+            }
+        }
+    }
+
+    /// Atomically takes the minimum, returning the previous value.
+    pub fn fetch_min(&self, value: u64, order: Ordering) -> u64 {
+        match current() {
+            None => self.inner.fetch_min(value, order),
+            Some((engine, me)) => {
+                engine
+                    .atomic_rmw(
+                        &self.var,
+                        &self.inner,
+                        me,
+                        &format!("fetch_min({value}, {order:?})"),
+                        |old| Some(old.min(value)),
+                        order,
+                        order,
+                    )
+                    .0
+            }
+        }
+    }
+
+    /// Compare-and-exchange; returns `Ok(previous)` on success,
+    /// `Err(actual)` on mismatch.
+    pub fn compare_exchange(
+        &self,
+        expected: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        match current() {
+            None => self.inner.compare_exchange(expected, new, success, failure),
+            Some((engine, me)) => {
+                let (old, stored) = engine.atomic_rmw(
+                    &self.var,
+                    &self.inner,
+                    me,
+                    &format!("compare_exchange({expected}, {new}, {success:?}, {failure:?})"),
+                    |old| (old == expected).then_some(new),
+                    success,
+                    failure,
+                );
+                if stored {
+                    Ok(old)
+                } else {
+                    Err(old)
+                }
+            }
+        }
+    }
+
+    /// Like [`AtomicU64::compare_exchange`]; the modeled version never
+    /// fails spuriously.
+    pub fn compare_exchange_weak(
+        &self,
+        expected: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        match current() {
+            None => self
+                .inner
+                .compare_exchange_weak(expected, new, success, failure),
+            Some(_) => self.compare_exchange(expected, new, success, failure),
+        }
+    }
+}
+
+/// Instrumented `std::sync::atomic::AtomicUsize` stand-in (backed by
+/// the 64-bit model; every supported platform has `usize` ≤ 64 bits).
+#[derive(Debug, Default)]
+pub struct AtomicUsize {
+    core: AtomicU64,
+}
+
+impl AtomicUsize {
+    /// Creates a new atomic with the given initial value.
+    pub fn new(value: usize) -> AtomicUsize {
+        AtomicUsize {
+            core: AtomicU64::new(value as u64),
+        }
+    }
+
+    /// Loads the value.
+    pub fn load(&self, order: Ordering) -> usize {
+        self.core.load(order) as usize
+    }
+
+    /// Stores a value.
+    pub fn store(&self, value: usize, order: Ordering) {
+        self.core.store(value as u64, order);
+    }
+
+    /// Atomically adds (wrapping), returning the previous value.
+    pub fn fetch_add(&self, value: usize, order: Ordering) -> usize {
+        self.core.fetch_add(value as u64, order) as usize
+    }
+
+    /// Atomically subtracts (wrapping), returning the previous value.
+    pub fn fetch_sub(&self, value: usize, order: Ordering) -> usize {
+        self.core.fetch_sub(value as u64, order) as usize
+    }
+
+    /// Atomically replaces the value, returning the previous one.
+    pub fn swap(&self, value: usize, order: Ordering) -> usize {
+        self.core.swap(value as u64, order) as usize
+    }
+
+    /// Compare-and-exchange; returns `Ok(previous)` on success,
+    /// `Err(actual)` on mismatch.
+    pub fn compare_exchange(
+        &self,
+        expected: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        self.core
+            .compare_exchange(expected as u64, new as u64, success, failure)
+            .map(|v| v as usize)
+            .map_err(|v| v as usize)
+    }
+}
+
+/// Instrumented `std::sync::atomic::AtomicBool` stand-in.
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    core: AtomicU64,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic with the given initial value.
+    pub fn new(value: bool) -> AtomicBool {
+        AtomicBool {
+            core: AtomicU64::new(u64::from(value)),
+        }
+    }
+
+    /// Loads the value.
+    pub fn load(&self, order: Ordering) -> bool {
+        self.core.load(order) != 0
+    }
+
+    /// Stores a value.
+    pub fn store(&self, value: bool, order: Ordering) {
+        self.core.store(u64::from(value), order);
+    }
+
+    /// Atomically replaces the value, returning the previous one.
+    pub fn swap(&self, value: bool, order: Ordering) -> bool {
+        self.core.swap(u64::from(value), order) != 0
+    }
+}

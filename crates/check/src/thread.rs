@@ -1,0 +1,73 @@
+//! Instrumented `std::thread` stand-ins (`spawn` / `JoinHandle`).
+//!
+//! Outside a model run these delegate to `std::thread`. Inside one,
+//! spawned closures run on real OS threads serialized by the engine
+//! scheduler, with spawn and join contributing happens-before edges.
+
+use std::sync::{Arc, Mutex};
+
+use crate::engine::{current, Engine};
+
+enum Handle<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        engine: Arc<Engine>,
+        tid: usize,
+        slot: Arc<Mutex<Option<T>>>,
+    },
+}
+
+/// Handle to a spawned (possibly modeled) thread.
+pub struct JoinHandle<T> {
+    handle: Handle<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// On the modeled path this never returns `Err`: a panicking model
+    /// thread fails the whole execution, which the checker reports with
+    /// the failing schedule instead.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.handle {
+            Handle::Std(h) => h.join(),
+            Handle::Model { engine, tid, slot } => {
+                let (_, me) = current().expect("model JoinHandle joined outside its model run");
+                engine.thread_join(me, tid);
+                let value = slot
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("joined model thread finished without a result");
+                Ok(value)
+            }
+        }
+    }
+}
+
+/// Spawns a thread running `f`; a drop-in for `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match current() {
+        None => JoinHandle {
+            handle: Handle::Std(std::thread::spawn(f)),
+        },
+        Some((engine, me)) => {
+            let slot: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+            let slot2 = Arc::clone(&slot);
+            let tid = engine.thread_spawn(
+                me,
+                Box::new(move || {
+                    let value = f();
+                    *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+                }),
+            );
+            JoinHandle {
+                handle: Handle::Model { engine, tid, slot },
+            }
+        }
+    }
+}

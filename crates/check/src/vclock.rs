@@ -1,0 +1,89 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! Every modeled thread carries a [`VClock`]; synchronization objects
+//! (mutexes, condvars, atomic store events) carry clocks too, and the
+//! engine joins them at each release/acquire edge. Two events are
+//! ordered iff one's clock is ≤ the other's at every component, which
+//! is exactly the partial order the memory model's visibility rule
+//! consults when deciding which store events a load may observe.
+
+/// A grow-on-demand vector clock indexed by thread id.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock {
+    ticks: Vec<u64>,
+}
+
+impl VClock {
+    /// The empty clock (happens-before nothing).
+    pub fn new() -> Self {
+        VClock { ticks: Vec::new() }
+    }
+
+    /// This clock's component for `tid` (0 if never set).
+    pub fn get(&self, tid: usize) -> u64 {
+        self.ticks.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Sets `tid`'s component to `tick`.
+    pub fn set(&mut self, tid: usize, tick: u64) {
+        if self.ticks.len() <= tid {
+            self.ticks.resize(tid + 1, 0);
+        }
+        self.ticks[tid] = tick;
+    }
+
+    /// Advances `tid`'s own component by one and returns the new tick.
+    pub fn tick(&mut self, tid: usize) -> u64 {
+        let next = self.get(tid) + 1;
+        self.set(tid, next);
+        next
+    }
+
+    /// Componentwise maximum: after `self.join(other)`, everything that
+    /// happened-before `other` also happens-before `self`.
+    pub fn join(&mut self, other: &VClock) {
+        if self.ticks.len() < other.ticks.len() {
+            self.ticks.resize(other.ticks.len(), 0);
+        }
+        for (i, &t) in other.ticks.iter().enumerate() {
+            if self.ticks[i] < t {
+                self.ticks[i] = t;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_empty() {
+        let c = VClock::new();
+        assert_eq!(c.get(0), 0);
+        assert_eq!(c.get(17), 0);
+    }
+
+    #[test]
+    fn tick_advances_own_component() {
+        let mut c = VClock::new();
+        assert_eq!(c.tick(2), 1);
+        assert_eq!(c.tick(2), 2);
+        assert_eq!(c.get(2), 2);
+        assert_eq!(c.get(0), 0);
+    }
+
+    #[test]
+    fn join_takes_componentwise_max() {
+        let mut a = VClock::new();
+        a.set(0, 3);
+        a.set(1, 1);
+        let mut b = VClock::new();
+        b.set(1, 5);
+        b.set(2, 2);
+        a.join(&b);
+        assert_eq!(a.get(0), 3);
+        assert_eq!(a.get(1), 5);
+        assert_eq!(a.get(2), 2);
+    }
+}

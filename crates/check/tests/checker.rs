@@ -1,0 +1,235 @@
+//! Self-tests for the model checker: it must catch known concurrency
+//! bugs (sensitivity) and pass known-correct protocols (soundness of
+//! the pass verdict), deterministically and replayably.
+//!
+//! These run under plain `cargo test` — the `twofd_check` cfg only
+//! gates the facades in other crates, never the checker itself.
+
+use std::sync::Arc;
+
+use twofd_check::sync::atomic::{AtomicU64, Ordering};
+use twofd_check::sync::{Condvar, Mutex};
+use twofd_check::{model, thread, Builder, Failure, Report};
+
+/// Classic message passing: writer publishes data then raises a flag;
+/// reader checks the flag then reads the data.
+fn message_passing(store_order: Ordering, load_order: Ordering) -> Result<Report, Failure> {
+    message_passing_with(Builder::new(), store_order, load_order)
+}
+
+fn message_passing_with(
+    builder: Builder,
+    store_order: Ordering,
+    load_order: Ordering,
+) -> Result<Report, Failure> {
+    builder.check_result(move || {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, store_order);
+        });
+        if flag.load(load_order) == 1 {
+            assert_eq!(
+                data.load(Ordering::Relaxed),
+                42,
+                "stale data behind the flag"
+            );
+        }
+        t.join().unwrap();
+    })
+}
+
+#[test]
+fn relaxed_message_passing_bug_is_caught() {
+    let failure = message_passing(Ordering::Relaxed, Ordering::Relaxed)
+        .expect_err("relaxed message passing must expose a stale read");
+    assert!(
+        failure.message.contains("stale data"),
+        "unexpected failure: {failure}"
+    );
+    assert!(!failure.trace.is_empty(), "failure must carry a trace");
+}
+
+#[test]
+fn release_acquire_message_passing_passes() {
+    let report = message_passing(Ordering::Release, Ordering::Acquire)
+        .expect("release/acquire message passing is correct");
+    assert!(report.complete, "schedule space should be exhausted");
+}
+
+/// The shard-counter invariant in miniature: `received` is bumped
+/// before `applied`, so an observer reading `applied` first must see
+/// `received >= applied`.
+fn counter_pair(order_add: Ordering, order_read: Ordering) -> Result<Report, Failure> {
+    Builder::new().check_result(move || {
+        let received = Arc::new(AtomicU64::new(0));
+        let applied = Arc::new(AtomicU64::new(0));
+        let (r2, a2) = (Arc::clone(&received), Arc::clone(&applied));
+        let t = thread::spawn(move || {
+            r2.fetch_add(1, order_add);
+            a2.fetch_add(1, order_add);
+        });
+        let a = applied.load(order_read);
+        let r = received.load(order_read);
+        assert!(r >= a, "observed applied={a} > received={r}");
+        t.join().unwrap();
+    })
+}
+
+#[test]
+fn relaxed_counter_pair_inversion_is_caught() {
+    let failure = counter_pair(Ordering::Relaxed, Ordering::Relaxed)
+        .expect_err("relaxed counters can be observed out of order");
+    assert!(failure.message.contains("observed applied"));
+}
+
+#[test]
+fn release_acquire_counter_pair_passes() {
+    let report = counter_pair(Ordering::Release, Ordering::Acquire)
+        .expect("release/acquire counters are observed in order");
+    assert!(report.complete);
+}
+
+#[test]
+fn lost_update_from_nonatomic_increment_is_caught() {
+    let result = Builder::new().check_result(|| {
+        let c = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c2 = Arc::clone(&c);
+                thread::spawn(move || {
+                    let v = c2.load(Ordering::Relaxed);
+                    c2.store(v + 1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.load(Ordering::Relaxed), 2, "an increment was lost");
+    });
+    let failure = result.expect_err("load+store increments race");
+    assert!(failure.message.contains("increment was lost"));
+}
+
+#[test]
+fn mutex_protected_increments_pass() {
+    let report = model(|| {
+        let c = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c2 = Arc::clone(&c);
+                thread::spawn(move || {
+                    *c2.lock().unwrap() += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*c.lock().unwrap(), 2);
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn unconditional_wait_racing_a_notify_is_caught_as_deadlock() {
+    let result = Builder::new().check_result(|| {
+        let m = Arc::new(Mutex::new(()));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let t = thread::spawn(move || {
+            // Bug: waits without a predicate, so a notify delivered
+            // before the wait is lost and the thread parks forever.
+            let g = m2.lock().unwrap();
+            drop(cv2.wait(g).unwrap());
+        });
+        cv.notify_one();
+        t.join().unwrap();
+    });
+    let failure = result.expect_err("notify-before-wait loses the wakeup");
+    assert!(
+        failure.message.contains("deadlock"),
+        "expected a deadlock diagnosis, got: {}",
+        failure.message
+    );
+}
+
+#[test]
+fn predicate_guarded_wait_passes() {
+    let report = model(|| {
+        let m = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let t = thread::spawn(move || {
+            let mut g = m2.lock().unwrap();
+            while !*g {
+                g = cv2.wait(g).unwrap();
+            }
+        });
+        *m.lock().unwrap() = true;
+        cv.notify_one();
+        t.join().unwrap();
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn join_establishes_happens_before() {
+    model(|| {
+        let d = Arc::new(AtomicU64::new(0));
+        let d2 = Arc::clone(&d);
+        let t = thread::spawn(move || d2.store(7, Ordering::Relaxed));
+        t.join().unwrap();
+        // Even a relaxed load must see the child's store through the
+        // join edge; the initial value is no longer observable.
+        assert_eq!(d.load(Ordering::Relaxed), 7);
+    });
+}
+
+#[test]
+fn spawn_establishes_happens_before() {
+    model(|| {
+        let d = Arc::new(AtomicU64::new(0));
+        d.store(9, Ordering::Relaxed);
+        let d2 = Arc::clone(&d);
+        let t = thread::spawn(move || {
+            assert_eq!(d2.load(Ordering::Relaxed), 9);
+        });
+        t.join().unwrap();
+    });
+}
+
+#[test]
+fn failing_schedule_replays_from_seed() {
+    let failure = message_passing(Ordering::Relaxed, Ordering::Relaxed)
+        .expect_err("relaxed message passing must fail");
+    let replayed = message_passing_with(
+        Builder::new().replay_seed(&failure.seed),
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    )
+    .expect_err("replaying the failing seed must fail again");
+    assert_eq!(replayed.message, failure.message);
+}
+
+#[test]
+fn iteration_cap_reports_incomplete() {
+    let report = Builder::new()
+        .max_iterations(1)
+        .check_result(|| {
+            let a = Arc::new(AtomicU64::new(0));
+            let a2 = Arc::clone(&a);
+            let t = thread::spawn(move || a2.store(1, Ordering::Relaxed));
+            let _ = a.load(Ordering::Relaxed);
+            t.join().unwrap();
+        })
+        .expect("benign program");
+    assert_eq!(report.iterations, 1);
+    assert!(
+        !report.complete,
+        "branching program cannot finish in one execution"
+    );
+}

@@ -25,6 +25,10 @@
 //! crate is `deny(unsafe_code)`): the FFI call and the pointer plumbing
 //! around it are confined here behind a safe slice-returning API.
 #![allow(unsafe_code)]
+// Every unsafe operation must sit in an explicit `unsafe {}` block with
+// its own `// SAFETY:` comment, even inside unsafe fns (there are none
+// today; this keeps it that way).
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::io;
 use std::net::UdpSocket;
@@ -76,6 +80,11 @@ mod linux {
     pub const SOL_SOCKET: c_int = 1;
     pub const SO_RCVBUF: c_int = 8;
 
+    // SAFETY: these signatures must match the kernel/glibc ABI exactly.
+    // `recvmmsg`/`sendmmsg` are in glibc ≥ 2.12 and take (fd, msgvec,
+    // vlen, flags[, timeout]) with the `#[repr(C)]` layouts above;
+    // `setsockopt` is POSIX. Callers uphold pointer validity per call
+    // site (each has its own SAFETY comment).
     extern "C" {
         pub fn recvmmsg(
             sockfd: c_int,

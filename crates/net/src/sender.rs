@@ -103,6 +103,8 @@ impl HeartbeatSender {
                     // as losses; the detector's whole job is surviving
                     // those.
                     let _ = socket.send(&buf);
+                    // ordering: Relaxed — standalone stat counter; no
+                    // reader infers other memory from its value.
                     thread_shared.sent.fetch_add(1, Ordering::Relaxed);
                 }
             })?;
@@ -133,6 +135,7 @@ impl HeartbeatSender {
 
     /// Heartbeats actually handed to the socket so far.
     pub fn sent(&self) -> u64 {
+        // ordering: Relaxed — standalone stat counter, see the add site.
         self.shared.sent.load(Ordering::Relaxed)
     }
 

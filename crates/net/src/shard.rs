@@ -1011,6 +1011,8 @@ fn shard_worker(
                 }
             }
             if drained_all {
+                // xtask:allow(wall_clock) — measures sweep duration for
+                // the sweep_hist metric; never feeds detector decisions.
                 let sweep_started = std::time::Instant::now();
                 set.sweep(now, &mut events);
                 shared

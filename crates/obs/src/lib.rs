@@ -41,6 +41,31 @@ pub mod metric;
 pub mod qos;
 pub mod registry;
 
+/// Synchronization primitives behind the model-checking facade.
+///
+/// Ordinary builds re-export `std::sync`; building with
+/// `RUSTFLAGS="--cfg twofd_check"` swaps in the instrumented
+/// `twofd-check` shims so the metric cells and the registry lock run
+/// under exhaustive schedule exploration (`cargo test -p twofd-check`
+/// with that cfg). The shims delegate to `std` outside a model run, so
+/// cfg'd builds behave identically in ordinary tests.
+pub mod sync {
+    #[cfg(not(twofd_check))]
+    pub use std::sync::Mutex;
+
+    #[cfg(twofd_check)]
+    pub use twofd_check::sync::Mutex;
+
+    /// Atomic types behind the same facade.
+    pub mod atomic {
+        #[cfg(not(twofd_check))]
+        pub use std::sync::atomic::{AtomicU64, Ordering};
+
+        #[cfg(twofd_check)]
+        pub use twofd_check::sync::atomic::{AtomicU64, Ordering};
+    }
+}
+
 pub use http::MetricsServer;
 pub use metric::{Counter, Gauge, Histogram};
 pub use qos::{QosAxis, QosPlan, QosTracker, QosTrackerConfig, QosVerdict, StreamConfigFn};

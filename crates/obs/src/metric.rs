@@ -17,9 +17,38 @@
 //! indexing is pure bit arithmetic on the value — no search, no float
 //! math — which keeps `observe` cheap enough for per-heartbeat use.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use twofd_sim::time::Span;
+
+/// Ordering of the `count` increment in [`Histogram::observe_ns`].
+///
+/// `Release`, paired with the `Acquire` load in [`Histogram::count`]:
+/// the count increment is the *last* write of an observation, so a
+/// reader that sees `count == k` is guaranteed to also see at least `k`
+/// bucket and sum increments — snapshots read count-first are never
+/// ahead of the buckets. The model-check suite
+/// (`crates/check/tests/obs_model.rs`) verifies exactly this invariant.
+#[cfg(not(twofd_check))]
+#[inline]
+fn count_add_ordering() -> Ordering {
+    Ordering::Release
+}
+
+/// Under the model-check cfg, `TWOFD_CHECK_MUTATE=1` deliberately
+/// weakens the count increment to `Relaxed` so CI can assert the
+/// checker catches the resulting snapshot inversion (a sensitivity
+/// test proving the suite has teeth). Unset, behaves like production.
+#[cfg(twofd_check)]
+fn count_add_ordering() -> Ordering {
+    if std::env::var_os("TWOFD_CHECK_MUTATE").is_some_and(|v| v == "1") {
+        // ordering: Relaxed — the deliberate mutation this knob exists
+        // for; the model-check suite asserts it is caught.
+        Ordering::Relaxed
+    } else {
+        Ordering::Release
+    }
+}
 
 /// A monotonically increasing counter.
 ///
@@ -36,20 +65,27 @@ impl Counter {
     }
 
     /// Adds one.
+    ///
+    /// `Release` so that cross-counter invariants hold for readers:
+    /// when code bumps counter A before counter B (e.g. `received`
+    /// before `applied`/`dropped` in the shard runtime), a reader that
+    /// `get`s B first and A second can never observe B ahead of A.
+    /// Free on x86-64 (every RMW is already a full barrier) and cheap
+    /// on AArch64 (`ldaxr`/`stlxr`); verified by the model-check suite.
     #[inline]
     pub fn inc(&self) {
-        self.0.fetch_add(1, Ordering::Relaxed);
+        self.0.fetch_add(1, Ordering::Release);
     }
 
-    /// Adds `n`.
+    /// Adds `n`. Same ordering contract as [`Counter::inc`].
     #[inline]
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        self.0.fetch_add(n, Ordering::Release);
     }
 
-    /// Current value.
+    /// Current value (`Acquire`, pairing with the `Release` adds).
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(Ordering::Acquire)
     }
 }
 
@@ -72,13 +108,25 @@ impl Gauge {
     }
 
     /// Sets the value.
+    ///
+    /// `Relaxed` is sound: a gauge is a single self-contained cell — no
+    /// reader infers anything about *other* memory from its value, so
+    /// there is no release/acquire pairing to maintain. Atomicity alone
+    /// (no torn f64 bits) is the full contract.
     #[inline]
     pub fn set(&self, v: f64) {
+        // ordering: Relaxed — single-cell gauge, no cross-variable protocol.
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 
     /// Adds `delta` (CAS loop; gauges are not hot-path metrics).
+    ///
+    /// `Relaxed` is sound for the same single-cell reason as
+    /// [`Gauge::set`]; the CAS loop itself guarantees the
+    /// read-modify-write is lossless regardless of ordering.
     pub fn add(&self, delta: f64) {
+        // ordering: Relaxed — single-cell gauge; the CAS loop alone makes
+        // the read-modify-write lossless.
         let mut cur = self.0.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + delta).to_bits();
@@ -92,8 +140,9 @@ impl Gauge {
         }
     }
 
-    /// Current value.
+    /// Current value (`Relaxed`: single-cell contract, see [`Gauge::set`]).
     pub fn get(&self) -> f64 {
+        // ordering: Relaxed — single-cell gauge, see `set`.
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
 }
@@ -187,11 +236,22 @@ impl Histogram {
     }
 
     /// Records a duration in nanoseconds.
+    ///
+    /// The bucket and sum adds are `Relaxed`: they carry no payload for
+    /// other memory, and the *count* increment that follows is the
+    /// `Release` publication point for the whole observation (see
+    /// `count_add_ordering` in this module). A snapshot reading `count` first
+    /// (`Acquire`) therefore sees every bucket/sum increment of the
+    /// observations it counted — `sum(buckets) >= count` always holds
+    /// for that read order, which `crates/check/tests/obs_model.rs`
+    /// verifies exhaustively.
     #[inline]
     pub fn observe_ns(&self, ns: u64) {
+        // ordering: Relaxed — published by the Release count add below.
         self.0.buckets[Self::bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed — published by the Release count add below.
         self.0.sum_ns.fetch_add(ns, Ordering::Relaxed);
-        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, count_add_ordering());
     }
 
     /// Records a [`Span`].
@@ -206,20 +266,37 @@ impl Histogram {
     }
 
     /// Number of observations.
+    ///
+    /// `Acquire`, pairing with the `Release` count increment: a
+    /// snapshot that calls `count()` before [`Histogram::bucket_counts`]
+    /// / [`Histogram::sum_secs`] sees at least that many bucket and sum
+    /// increments.
     pub fn count(&self) -> u64 {
-        self.0.count.load(Ordering::Relaxed)
+        self.0.count.load(Ordering::Acquire)
     }
 
     /// Sum of all observations, seconds.
+    ///
+    /// `Relaxed` is sound: visibility of the increments is established
+    /// by the `Acquire` read in [`Histogram::count`] (snapshots read
+    /// count first); the sum itself publishes nothing.
     pub fn sum_secs(&self) -> f64 {
+        // ordering: Relaxed — visibility comes from the count-first
+        // Acquire read (doc above).
         self.0.sum_ns.load(Ordering::Relaxed) as f64 / 1e9
     }
 
     /// Per-bucket (non-cumulative) counts, in index order.
+    ///
+    /// `Relaxed` is sound for the same reason as [`Histogram::sum_secs`]:
+    /// the count-first `Acquire` read already ordered these loads after
+    /// the increments they must observe.
     pub fn bucket_counts(&self) -> Vec<u64> {
         self.0
             .buckets
             .iter()
+            // ordering: Relaxed — visibility comes from the count-first
+            // Acquire read (doc above).
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
     }

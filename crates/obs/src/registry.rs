@@ -21,8 +21,9 @@
 //! the HTTP exposition thread without an outer `Arc`.
 
 use crate::metric::{Counter, Gauge, Histogram};
+use crate::sync::Mutex;
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// The kind of a metric family.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

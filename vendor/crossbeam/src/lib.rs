@@ -13,11 +13,28 @@
 
 #![forbid(unsafe_code)]
 
+/// Synchronization primitives behind the model-checking facade.
+///
+/// Ordinary builds re-export `std::sync`; building with
+/// `RUSTFLAGS="--cfg twofd_check"` swaps in the instrumented
+/// `twofd-check` shims so the channel's park/wake protocol runs under
+/// exhaustive schedule exploration. The shims delegate to `std` outside
+/// a model run, so even cfg'd builds behave identically in normal
+/// tests.
+pub mod sync {
+    #[cfg(not(twofd_check))]
+    pub use std::sync::{Condvar, Mutex, MutexGuard};
+
+    #[cfg(twofd_check)]
+    pub use twofd_check::sync::{Condvar, Mutex, MutexGuard};
+}
+
 pub mod channel {
     //! MPMC channels (stand-in for `crossbeam-channel`).
 
+    use crate::sync::{Condvar, Mutex, MutexGuard};
     use std::collections::VecDeque;
-    use std::sync::{Arc, Condvar, Mutex};
+    use std::sync::Arc;
     use std::time::{Duration, Instant};
 
     struct State<T> {
@@ -125,7 +142,7 @@ pub mod channel {
     }
 
     impl<T> Inner<T> {
-        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        fn lock(&self) -> MutexGuard<'_, State<T>> {
             self.state.lock().unwrap_or_else(|e| e.into_inner())
         }
     }

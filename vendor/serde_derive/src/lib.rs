@@ -8,6 +8,8 @@
 //! annotations, including `#[serde(...)]` helper attributes, and emit
 //! nothing.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// Accepts `#[derive(Serialize)]` and `#[serde(...)]` attributes.
