@@ -64,6 +64,13 @@ fn quick() -> bool {
     std::env::var("TWOFD_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
+/// Run only the scaling-matrix section and exit — for iterating on the
+/// multi-shard fix without paying for the dispatch/UDP sections. Set
+/// `TWOFD_BENCH_SCALING_ONLY=1`.
+fn scaling_only() -> bool {
+    std::env::var("TWOFD_BENCH_SCALING_ONLY").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 /// Stream cardinality; override with `TWOFD_BENCH_STREAMS`. The default
 /// 10 000 matches the fleet-monitoring scenario; small values keep the
 /// whole detector table cache-resident, which isolates dispatch cost
@@ -289,6 +296,23 @@ fn main() {
         std::thread::available_parallelism().map_or(1, usize::from),
     );
 
+    // The scaling matrix the wheel/slab rework exists for: sustained
+    // observed intake across stream cardinalities × shard counts.
+    // Before the rework, 8 shards *collapsed* below 4 (every worker
+    // wake paid a stale-horizon heap probe plus a HashMap-walking sweep
+    // over its whole shard); the wheel parks workers on live horizons
+    // only and sweeps by harvesting due buckets, so adding shards must
+    // not cost sustained intake.
+    println!("\n# scaling matrix (observed, batch-64 handoff, pinned clock)");
+    let cells = scaling_matrix();
+    match write_scaling_json(&cells) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => println!("could not write BENCH_scaling.json: {e}"),
+    }
+    if scaling_only() {
+        return;
+    }
+
     println!("\n# dispatch (single-threaded ProcessSet, same workload, no scheduling noise)");
     let (boxed_quiet, _) = best_of(|| (baseline(&jobs, boxed_builder(), false), 0.0));
     println!("boxed   heartbeat path: {boxed_quiet:>12.0} hb/s (Box<dyn> + vtable, pre-spec)");
@@ -461,6 +485,125 @@ fn main() {
          # end-to-end on a single-core host cannot show parallel speedup\n\
          # (see module docs)."
     );
+}
+
+/// One measured cell of the scaling matrix.
+struct ScalingCell {
+    streams: u64,
+    shards: usize,
+    heartbeats: usize,
+    /// Sustained observed intake: ingest + all detector work retired
+    /// (the acceptance metric — what bounds steady-state absorption).
+    sustained: f64,
+    /// Socket-thread handoff rate during the burst (scheduler-share
+    /// bound on a single-core host; secondary).
+    handoff: f64,
+}
+
+/// Runs the scaling matrix: observed intake at {10k, 100k, 1M} streams
+/// × {1, 2, 4, 8} shards, batch-64 handoff (the `recvmmsg` intake
+/// thread's shape), pinned clock (maximal sweep work — the throughput
+/// sections' convention). Quick mode keeps every row but drops to one
+/// beat per stream and one repetition.
+///
+/// The headline metric per cell is **sustained** observed intake: the
+/// rate at which the monitor ingests *and retires* heartbeats with a
+/// reader attached — the rate it can absorb indefinitely without
+/// unbounded queue growth, and the number that collapsed before the
+/// wheel/slab rework. The raw socket-thread handoff rate is kept as a
+/// secondary column, but on a single-core box it measures the producer
+/// thread's scheduler share (≈ 1/(workers+1), so it *must* fall as
+/// shards rise) rather than anything about the detector architecture;
+/// see the module docs.
+fn scaling_matrix() -> Vec<ScalingCell> {
+    let live_sweep = Duration::from_millis(5);
+    let mut cells = Vec::new();
+    for streams in [10_000u64, 100_000, 1_000_000] {
+        // `schedule` needs at least one beat per stream; full mode gives
+        // small fleets enough beats for a steady-state measurement.
+        let total = if quick() {
+            streams
+        } else {
+            (streams * 2).max(1_000_000)
+        };
+        let jobs = schedule(total, streams);
+        for n_shards in [1usize, 2, 4, 8] {
+            let (handoff, sustained) = best_of(|| {
+                sharded(
+                    &jobs,
+                    n_shards,
+                    true,
+                    live_sweep,
+                    ObsOptions::default(),
+                    ClockMode::Pinned,
+                    64,
+                )
+            });
+            println!(
+                "{streams:>9} streams x {n_shards} shard(s): \
+                 sustained {sustained:>12.0} hb/s | handoff {handoff:>12.0} hb/s"
+            );
+            cells.push(ScalingCell {
+                streams,
+                shards: n_shards,
+                heartbeats: jobs.len(),
+                sustained,
+                handoff,
+            });
+        }
+        let sustained_at = |n: usize| {
+            cells
+                .iter()
+                .find(|c| c.streams == streams && c.shards == n)
+                .map_or(0.0, |c| c.sustained)
+        };
+        println!(
+            "{streams:>9} streams: 8-shard / 4-shard sustained observed intake = {:.2}x",
+            sustained_at(8) / sustained_at(4)
+        );
+    }
+    cells
+}
+
+/// Emits the scaling matrix as `results/BENCH_scaling.json` at the
+/// workspace root. Hand-rolled writer — the workspace vendors no JSON
+/// serializer — with a flat schema so CI and EXPERIMENTS.md can consume
+/// it without tooling.
+fn write_scaling_json(cells: &[ScalingCell]) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_scaling.json");
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"shard_throughput/scaling\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick() { "quick" } else { "full" }
+    ));
+    out.push_str("  \"batch\": 64,\n");
+    out.push_str("  \"observed\": true,\n");
+    out.push_str("  \"clock\": \"pinned\",\n");
+    out.push_str(&format!("  \"reps\": {},\n", reps()));
+    out.push_str(&format!(
+        "  \"cores_visible\": {},\n",
+        std::thread::available_parallelism().map_or(1, usize::from)
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"streams\": {}, \"shards\": {}, \"heartbeats\": {}, \
+             \"sustained_intake_hb_s\": {:.1}, \"handoff_hb_s\": {:.1}}}{}\n",
+            c.streams,
+            c.shards,
+            c.heartbeats,
+            c.sustained,
+            c.handoff,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&path, out)?;
+    Ok(path)
 }
 
 /// Blasts `total` heartbeats round-robin across `streams` at a live

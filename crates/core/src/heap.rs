@@ -1,0 +1,297 @@
+//! The heap-based reference `ProcessSet` — differential oracle for the
+//! timing-wheel implementation.
+//!
+//! This is the original lazy-deletion `BinaryHeap` process set that
+//! [`crate::ProcessSet`] replaced, kept as an independently simple
+//! implementation of the *same* published-timeline contract so the
+//! wheel can be differentially tested against it (see the proptest in
+//! `tests/shard_equivalence.rs`). Two deliberate fixes over the
+//! historical version:
+//!
+//! 1. **Stale-horizon fix** ([`HeapProcessSet::next_expiry`]): the old
+//!    `next_expiry` peeked the heap top blindly, so it could report a
+//!    horizon long superseded by fresher heartbeats and make a shard
+//!    worker park-and-wake on a dead deadline. It now pops stale
+//!    entries until the top corresponds to a live stream horizon.
+//! 2. **Equality staleness**: every fresh decision pushes its horizon
+//!    (even one at or before its own arrival — the "no fresh message"
+//!    shrink case), and an entry is live iff its deadline *equals* the
+//!    stream's current `trust_until`. This makes the heap's live-entry
+//!    multiset — and hence its `next_expiry` sequence — identical to
+//!    the wheel's by construction, while publishing the same
+//!    S-transitions at the same exact stamps as before (a shrink-case
+//!    expiry is published at the first sweep past it rather than at the
+//!    first sweep past the stream's *previous* horizon).
+//!
+//! Unlike [`crate::ProcessSet`] this keeps the `K: Ord` bound (heap
+//! entries are `(Nanos, K)` tuples) and scans full detector entries for
+//! status queries; it is for tests and small sets, not the fleet path.
+
+use crate::detector::{Decision, FailureDetector, FdOutput};
+use crate::multi::{DetectorBuilder, ProcessStatus, StreamTransition};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::Hash;
+
+use twofd_sim::time::Nanos;
+
+struct Entry<D> {
+    fd: D,
+    last_published: FdOutput,
+}
+
+/// A bank of per-process failure detectors scheduled by a lazy-deletion
+/// binary min-heap. Reference implementation — see the module docs.
+pub struct HeapProcessSet<K, B: DetectorBuilder<K>> {
+    builder: B,
+    detectors: HashMap<K, Entry<B::Detector>>,
+    /// Min-heap of `(trust_until, key)` expiry candidates, lazily
+    /// deleted: an entry is live iff it equals its stream's current
+    /// horizon.
+    expiries: BinaryHeap<Reverse<(Nanos, K)>>,
+}
+
+impl<K, B> HeapProcessSet<K, B>
+where
+    K: Eq + Hash + Ord + Clone,
+    B: DetectorBuilder<K>,
+{
+    /// Creates an empty set; `builder` constructs the detector for a
+    /// process the first time a heartbeat from it is seen (or when
+    /// registered explicitly).
+    pub fn new(builder: B) -> Self {
+        HeapProcessSet {
+            builder,
+            detectors: HashMap::new(),
+            expiries: BinaryHeap::new(),
+        }
+    }
+
+    /// Pre-registers a process so it is reported (as `Suspect`) before
+    /// its first heartbeat.
+    pub fn register(&mut self, key: K) {
+        let builder = &self.builder;
+        self.detectors.entry(key.clone()).or_insert_with(|| Entry {
+            fd: builder.build(&key),
+            last_published: FdOutput::Suspect,
+        });
+    }
+
+    /// Removes a process from monitoring; returns whether it existed.
+    /// Any queued expiry entries for it are discarded lazily.
+    pub fn deregister(&mut self, key: &K) -> bool {
+        self.detectors.remove(key).is_some()
+    }
+
+    /// Feeds a heartbeat from process `key`, auto-registering unknown
+    /// processes. Returns the decision (None for stale heartbeats).
+    pub fn on_heartbeat(&mut self, key: K, seq: u64, arrival: Nanos) -> Option<Decision> {
+        let mut scratch = Vec::new();
+        self.on_heartbeat_with_events(key, seq, arrival, &mut scratch)
+    }
+
+    /// Feeds a heartbeat and appends any resulting output transitions to
+    /// `events` — same contract as
+    /// [`crate::ProcessSet::on_heartbeat_with_events`].
+    pub fn on_heartbeat_with_events(
+        &mut self,
+        key: K,
+        seq: u64,
+        arrival: Nanos,
+        events: &mut Vec<StreamTransition<K>>,
+    ) -> Option<Decision> {
+        let builder = &self.builder;
+        let entry = self.detectors.entry(key.clone()).or_insert_with(|| Entry {
+            fd: builder.build(&key),
+            last_published: FdOutput::Suspect,
+        });
+        let prev = entry.fd.current_decision();
+        let decision = entry.fd.on_heartbeat(seq, arrival)?;
+
+        if entry.last_published == FdOutput::Trust {
+            if let Some(p) = prev {
+                if p.trust_until < arrival {
+                    entry.last_published = FdOutput::Suspect;
+                    events.push(StreamTransition {
+                        key: key.clone(),
+                        output: FdOutput::Suspect,
+                        at: p.trust_until,
+                    });
+                }
+            }
+        }
+
+        if decision.trust_until > arrival && entry.last_published == FdOutput::Suspect {
+            entry.last_published = FdOutput::Trust;
+            events.push(StreamTransition {
+                key: key.clone(),
+                output: FdOutput::Trust,
+                at: arrival,
+            });
+        }
+        // Unconditional: even a shrink-case horizon (trust_until <=
+        // arrival) is queued, so the live-entry multiset matches the
+        // wheel's exactly.
+        self.expiries.push(Reverse((decision.trust_until, key)));
+
+        Some(decision)
+    }
+
+    /// Publishes the S-transition of every stream whose trust horizon
+    /// expired strictly before `now`, stamped at the exact expiry
+    /// instant.
+    pub fn sweep(&mut self, now: Nanos, events: &mut Vec<StreamTransition<K>>) {
+        while let Some(Reverse((t, _))) = self.expiries.peek() {
+            if *t >= now {
+                break;
+            }
+            let Reverse((t, key)) = self.expiries.pop().expect("peeked entry");
+            let Some(entry) = self.detectors.get_mut(&key) else {
+                continue; // deregistered since the entry was queued
+            };
+            let Some(d) = entry.fd.current_decision() else {
+                continue;
+            };
+            if d.trust_until != t {
+                continue; // stale: superseded by a fresher heartbeat
+            }
+            if entry.last_published == FdOutput::Trust {
+                entry.last_published = FdOutput::Suspect;
+                events.push(StreamTransition {
+                    key,
+                    output: FdOutput::Suspect,
+                    at: t,
+                });
+            }
+        }
+    }
+
+    /// Earliest *live* queued horizon: stale entries (superseded or
+    /// deregistered) are popped before reporting, so the returned
+    /// instant always matches some stream's current `trust_until`.
+    pub fn next_expiry(&mut self) -> Option<Nanos> {
+        loop {
+            let Reverse((t, key)) = self.expiries.peek()?;
+            let live = self
+                .detectors
+                .get(key)
+                .and_then(|e| e.fd.current_decision())
+                .is_some_and(|d| d.trust_until == *t);
+            if live {
+                return Some(*t);
+            }
+            self.expiries.pop();
+        }
+    }
+
+    /// The output for process `key` at time `t` (`None` if unknown).
+    pub fn output(&self, key: &K, t: Nanos) -> Option<FdOutput> {
+        self.detectors.get(key).map(|e| e.fd.output_at(t))
+    }
+
+    /// Status snapshot of every monitored process at time `t`, in
+    /// unspecified order.
+    pub fn statuses(&self, t: Nanos) -> Vec<ProcessStatus<K>> {
+        self.detectors
+            .iter()
+            .map(|(key, e)| ProcessStatus {
+                key: key.clone(),
+                output: e.fd.output_at(t),
+                last_seq: e.fd.last_seq(),
+                trust_until: e.fd.current_decision().map(|d| d.trust_until),
+            })
+            .collect()
+    }
+
+    /// `(trusted, suspected)` process counts at time `t`.
+    pub fn counts(&self, t: Nanos) -> (usize, usize) {
+        let mut trusted = 0;
+        let mut suspect = 0;
+        for e in self.detectors.values() {
+            match e.fd.output_at(t) {
+                FdOutput::Trust => trusted += 1,
+                FdOutput::Suspect => suspect += 1,
+            }
+        }
+        (trusted, suspect)
+    }
+
+    /// Number of monitored processes.
+    pub fn len(&self) -> usize {
+        self.detectors.len()
+    }
+
+    /// True when no process is monitored.
+    pub fn is_empty(&self) -> bool {
+        self.detectors.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::twofd::TwoWindowFd;
+    use twofd_sim::time::Span;
+
+    const DI: Span = Span(100_000_000);
+
+    fn set() -> HeapProcessSet<&'static str, impl Fn(&&'static str) -> TwoWindowFd> {
+        HeapProcessSet::new(|_key: &&str| TwoWindowFd::new(1, 100, DI, Span::from_millis(40)))
+    }
+
+    fn hb(seq: u64) -> Nanos {
+        Nanos(seq * DI.0 + 10_000_000)
+    }
+
+    #[test]
+    fn next_expiry_reports_only_live_horizons() {
+        let mut s = set();
+        for seq in 1..=5 {
+            s.on_heartbeat("a", seq, hb(seq));
+        }
+        let live = s.statuses(hb(5))[0].trust_until.unwrap();
+        // The historical bug: four superseded horizons sit below `live`
+        // in the heap. The fixed probe must skip them all.
+        assert_eq!(s.next_expiry(), Some(live));
+    }
+
+    #[test]
+    fn next_expiry_skips_deregistered_streams() {
+        let mut s = set();
+        s.on_heartbeat("a", 1, hb(1));
+        s.on_heartbeat("b", 5, hb(1) + Span::from_millis(1));
+        s.deregister(&"a");
+        let live = s
+            .statuses(hb(1))
+            .iter()
+            .find(|st| st.key == "b")
+            .unwrap()
+            .trust_until
+            .unwrap();
+        assert_eq!(s.next_expiry(), Some(live));
+        s.deregister(&"b");
+        assert_eq!(s.next_expiry(), None);
+    }
+
+    #[test]
+    fn sweep_and_synthesis_match_the_published_contract() {
+        let mut s = set();
+        let mut events = Vec::new();
+        s.on_heartbeat_with_events("a", 1, hb(1), &mut events);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].output, FdOutput::Trust);
+        let trust_until = s.statuses(hb(1))[0].trust_until.unwrap();
+        events.clear();
+        s.sweep(trust_until, &mut events);
+        assert!(events.is_empty(), "horizon instant itself is exclusive");
+        s.sweep(trust_until + Span(1), &mut events);
+        assert_eq!(
+            events,
+            vec![StreamTransition {
+                key: "a",
+                output: FdOutput::Suspect,
+                at: trust_until
+            }]
+        );
+    }
+}

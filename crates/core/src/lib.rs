@@ -39,6 +39,7 @@ pub mod chen;
 pub mod detector;
 pub mod ed;
 pub mod estimator;
+pub mod heap;
 pub mod math;
 pub mod metrics;
 pub mod multi;
@@ -46,9 +47,11 @@ pub mod netest;
 pub mod phi;
 pub mod qos;
 pub mod replay;
+pub mod slab;
 pub mod suite;
 pub mod timeline;
 pub mod twofd;
+pub mod wheel;
 pub mod window;
 
 pub use bertier::{BertierFd, BertierParams};
@@ -57,15 +60,18 @@ pub use chen::ChenFd;
 pub use detector::{Decision, FailureDetector, FdOutput};
 pub use ed::{EdConfig, EdFd};
 pub use estimator::ChenEstimator;
+pub use heap::HeapProcessSet;
 pub use metrics::{mistakes_by_segment, Mistake, QosMetrics};
 pub use multi::{DetectorBuilder, ProcessSet, ProcessStatus, SharedFactory, StreamTransition};
 pub use netest::NetworkEstimator;
 pub use phi::{PhiAccrualFd, PhiConfig};
 pub use qos::{configure, recurrence_lower_bound, ConfigError, FdConfig, NetworkBehavior, QosSpec};
 pub use replay::{detect_crash, replay, ReplayResult};
+pub use slab::{HotSlot, StreamSlab};
 pub use suite::{AnyDetector, DetectorConfig, DetectorSpec, ParseSpecError};
 pub use timeline::{Timeline, Transition};
 pub use twofd::{MultiWindowFd, TwoWindowFd};
+pub use wheel::{TimingWheel, WheelEntry};
 
 // Re-exported so downstream code can name trace segments without an
 // explicit twofd-trace dependency.

@@ -29,26 +29,35 @@
 //! what [`crate::replay::replay`] reconstructs offline. The sharded
 //! monitor runtime in `twofd-net` is built on exactly this property.
 //!
-//! Expiries are tracked in a min-heap keyed by `trust_until` with lazy
-//! deletion: each fresh heartbeat pushes its new horizon and stale
-//! entries are discarded when popped, so a sweep costs O(expired · log n)
-//! rather than O(streams).
+//! ## Storage: dense slots, hot/cold split, timing wheel
 //!
-//! ## Inline detector storage
+//! Keys are interned to dense `u32` slots at registration
+//! ([`ProcessSet::register`] returns the slot). Per-stream state lives
+//! in a [`crate::slab::StreamSlab`]: a 24-byte hot mirror per stream
+//! (trust horizon, last sequence, publication state) in one dense array,
+//! with the detector itself — 192 bytes for an [`AnyDetector`] — and the
+//! key in parallel cold arrays. Scans ([`ProcessSet::counts`],
+//! [`ProcessSet::statuses`], [`ProcessSet::suspected`], the obs gauges)
+//! walk only the hot array; a heartbeat apply touches the hot mirror
+//! plus exactly one detector.
 //!
-//! A [`ProcessSet`] stores its builder's concrete
-//! [`DetectorBuilder::Detector`] type **inline** in the stream table.
-//! With a spec-driven builder (a [`DetectorConfig`], or the fleet
-//! runtime's per-stream plan) that type is [`crate::AnyDetector`]: no
-//! per-stream heap allocation, and every `on_heartbeat`/`output_at` on
-//! the hot path dispatches through a `match` instead of a vtable.
-//! Closures returning `Box<dyn FailureDetector + Send>` still work for
-//! detector implementations outside the paper's suite.
+//! Expiries are scheduled on a hierarchical [`crate::wheel::TimingWheel`]
+//! — `O(1)` insert and advance instead of the former binary heap's
+//! `O(log n)` — with the same lazy-deletion contract: every fresh
+//! decision enqueues `(slot, generation, trust_until)`, and an entry is
+//! live iff its deadline still equals the stream's current horizon and
+//! its generation matches (recycled slots bump the generation, so a
+//! re-registered stream can never inherit its predecessor's expiries).
+//! [`ProcessSet::next_expiry`] prunes dead entries before reporting, so
+//! the sweeper's park deadline always belongs to a live stream.
+//!
+//! The heap-based original survives as [`crate::HeapProcessSet`], the
+//! differential oracle for this implementation.
 
 use crate::detector::{Decision, FailureDetector, FdOutput};
+use crate::slab::StreamSlab;
 use crate::suite::{AnyDetector, DetectorConfig};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use crate::wheel::{TimingWheel, WheelEntry};
 use std::hash::Hash;
 use std::sync::Arc;
 use twofd_sim::time::Nanos;
@@ -130,29 +139,18 @@ pub struct ProcessStatus<K> {
     pub trust_until: Option<Nanos>,
 }
 
-struct Entry<D> {
-    /// The detector itself, stored inline: with a spec-driven builder
-    /// this is an [`AnyDetector`], so the hot path never chases a
-    /// per-stream heap pointer or vtable.
-    fd: D,
-    /// Last output published as a [`StreamTransition`]; processes start
-    /// as (implicitly published) `Suspect`.
-    last_published: FdOutput,
-}
-
-/// A bank of per-process failure detectors.
+/// A bank of per-process failure detectors over dense stream slots.
 pub struct ProcessSet<K, B: DetectorBuilder<K>> {
     builder: B,
-    detectors: HashMap<K, Entry<B::Detector>>,
-    /// Min-heap of `(trust_until, key)` expiry candidates, lazily
-    /// deleted: entries outdated by fresher heartbeats are skipped when
-    /// popped.
-    expiries: BinaryHeap<Reverse<(Nanos, K)>>,
+    slab: StreamSlab<K, B::Detector>,
+    wheel: TimingWheel,
+    /// Reusable harvest buffer for [`ProcessSet::sweep`].
+    due: Vec<WheelEntry>,
 }
 
 impl<K, B> ProcessSet<K, B>
 where
-    K: Eq + Hash + Ord + Clone,
+    K: Eq + Hash + Clone,
     B: DetectorBuilder<K>,
 {
     /// Creates an empty set; `builder` constructs the detector for a
@@ -161,25 +159,37 @@ where
     pub fn new(builder: B) -> Self {
         ProcessSet {
             builder,
-            detectors: HashMap::new(),
-            expiries: BinaryHeap::new(),
+            slab: StreamSlab::new(),
+            wheel: TimingWheel::new(Nanos::ZERO),
+            due: Vec::new(),
         }
     }
 
     /// Pre-registers a process so it is reported (as `Suspect`) before
-    /// its first heartbeat.
-    pub fn register(&mut self, key: K) {
+    /// its first heartbeat, returning its dense slot. Registering an
+    /// already-known key is a no-op that returns the existing slot —
+    /// state, queued expiries and gauges are unaffected.
+    pub fn register(&mut self, key: K) -> u32 {
         let builder = &self.builder;
-        self.detectors.entry(key.clone()).or_insert_with(|| Entry {
-            fd: builder.build(&key),
-            last_published: FdOutput::Suspect,
-        });
+        self.slab.intern_with(key, |k| builder.build(k))
+    }
+
+    /// The dense slot a registered process was interned at.
+    pub fn slot_of(&self, key: &K) -> Option<u32> {
+        self.slab.slot_of(key)
     }
 
     /// Removes a process from monitoring; returns whether it existed.
-    /// Any queued expiry entries for it are discarded lazily.
+    /// Its slot is recycled under a new generation, so any queued expiry
+    /// entries die (they can never alias the slot's next occupant).
     pub fn deregister(&mut self, key: &K) -> bool {
-        self.detectors.remove(key).is_some()
+        match self.slab.remove(key) {
+            Some(slot) => {
+                self.wheel.note_removed(slot);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Feeds a heartbeat from process `key`, auto-registering unknown
@@ -208,19 +218,21 @@ where
         events: &mut Vec<StreamTransition<K>>,
     ) -> Option<Decision> {
         let builder = &self.builder;
-        let entry = self.detectors.entry(key.clone()).or_insert_with(|| Entry {
-            fd: builder.build(&key),
-            last_published: FdOutput::Suspect,
-        });
-        let prev = entry.fd.current_decision();
-        let decision = entry.fd.on_heartbeat(seq, arrival)?;
+        let slot = self.slab.intern_with(key, |k| builder.build(k));
+        let (hot, fd, key) = self.slab.apply(slot);
+        let prev = fd.current_decision();
+        let decision = fd.on_heartbeat(seq, arrival)?;
+        if let Some(s) = fd.last_seq() {
+            hot.set_seq(s);
+        }
+        hot.set_decision(decision.trust_until);
 
         // Expiry between the previous fresh arrival and this one that no
         // sweep noticed: publish it now, stamped at the expiry instant.
-        if entry.last_published == FdOutput::Trust {
+        if hot.published_trust() {
             if let Some(p) = prev {
                 if p.trust_until < arrival {
-                    entry.last_published = FdOutput::Suspect;
+                    hot.set_published(false);
                     events.push(StreamTransition {
                         key: key.clone(),
                         output: FdOutput::Suspect,
@@ -230,19 +242,21 @@ where
             }
         }
 
-        if decision.trust_until > arrival {
-            if entry.last_published == FdOutput::Suspect {
-                entry.last_published = FdOutput::Trust;
-                events.push(StreamTransition {
-                    key: key.clone(),
-                    output: FdOutput::Trust,
-                    at: arrival,
-                });
-            }
-            self.expiries.push(Reverse((decision.trust_until, key)));
+        if decision.trust_until > arrival && !hot.published_trust() {
+            hot.set_published(true);
+            events.push(StreamTransition {
+                key: key.clone(),
+                output: FdOutput::Trust,
+                at: arrival,
+            });
         }
-        // else: the heartbeat arrived past its own freshness point — the
-        // detector stays suspicious (Chen §II-B1's "no fresh message").
+        // A trust_until at or before the arrival means the heartbeat
+        // arrived past its own freshness point — the detector stays
+        // suspicious (Chen §II-B1's "no fresh message"). The horizon is
+        // queued unconditionally either way: dead entries are cheap and
+        // the live-entry multiset stays identical to the heap oracle's.
+        let gen = hot.gen();
+        self.wheel.insert(slot, gen, decision.trust_until);
 
         Some(decision)
     }
@@ -253,86 +267,102 @@ where
     /// its predecessor's horizon from producing a zero-length suspicion,
     /// matching the replay reconstruction.
     pub fn sweep(&mut self, now: Nanos, events: &mut Vec<StreamTransition<K>>) {
-        while let Some(Reverse((t, _))) = self.expiries.peek() {
-            if *t >= now {
-                break;
-            }
-            let Reverse((t, key)) = self.expiries.pop().expect("peeked entry");
-            let Some(entry) = self.detectors.get_mut(&key) else {
-                continue; // deregistered since the entry was queued
-            };
-            let Some(d) = entry.fd.current_decision() else {
-                continue;
-            };
-            if d.trust_until > t {
-                continue; // stale: a fresher heartbeat re-queued the horizon
-            }
-            if entry.last_published == FdOutput::Trust {
-                entry.last_published = FdOutput::Suspect;
+        let mut due = std::mem::take(&mut self.due);
+        due.clear();
+        self.wheel.advance(now, &mut due);
+        // The wheel harvests in bucket order; publish in deterministic
+        // (deadline, slot) order like a heap would pop.
+        due.sort_unstable_by_key(|e| (e.deadline, e.slot));
+        for e in &due {
+            if let Some(key) = self.slab.publish_expiry(e.slot, e.gen, e.deadline) {
                 events.push(StreamTransition {
-                    key,
+                    key: key.clone(),
                     output: FdOutput::Suspect,
-                    at: d.trust_until,
+                    at: e.deadline,
                 });
             }
         }
+        self.due = due;
     }
 
-    /// Earliest queued expiry candidate (a scheduling hint: the entry may
-    /// be outdated by fresher heartbeats and expire later, never earlier).
-    pub fn next_expiry(&self) -> Option<Nanos> {
-        self.expiries.peek().map(|Reverse((t, _))| *t)
+    /// Earliest *live* trust horizon currently scheduled — the instant
+    /// the next S-transition will happen if no further heartbeat
+    /// arrives. Stale wheel entries (superseded horizons, deregistered
+    /// or recycled slots) are pruned before reporting, so a sweeper
+    /// parked on the returned deadline never wakes for a dead horizon.
+    pub fn next_expiry(&mut self) -> Option<Nanos> {
+        let slab = &self.slab;
+        self.wheel
+            .next_expiry_with(|e| slab.entry_is_live(e.slot, e.gen, e.deadline))
     }
 
-    /// The output for process `key` at time `t` (`None` if unknown).
+    /// The output for process `key` at time `t` (`None` if unknown),
+    /// answered from the hot mirror without touching the detector.
     pub fn output(&self, key: &K, t: Nanos) -> Option<FdOutput> {
-        self.detectors.get(key).map(|e| e.fd.output_at(t))
+        self.slab
+            .slot_of(key)
+            .map(|slot| self.slab.hot(slot).output_at(t))
     }
 
     /// Status snapshot of every monitored process at time `t`, in
     /// unspecified order.
     pub fn statuses(&self, t: Nanos) -> Vec<ProcessStatus<K>> {
-        self.detectors
-            .iter()
-            .map(|(key, e)| ProcessStatus {
+        let mut out = Vec::with_capacity(self.slab.len());
+        self.slab.for_each(|key, hot| {
+            out.push(ProcessStatus {
                 key: key.clone(),
-                output: e.fd.output_at(t),
-                last_seq: e.fd.last_seq(),
-                trust_until: e.fd.current_decision().map(|d| d.trust_until),
-            })
-            .collect()
+                output: hot.output_at(t),
+                last_seq: hot.last_seq(),
+                trust_until: hot.trust_until(),
+            });
+        });
+        out
     }
 
     /// Keys of all processes currently suspected at time `t`.
     pub fn suspected(&self, t: Nanos) -> Vec<K> {
-        self.detectors
-            .iter()
-            .filter(|(_, e)| e.fd.output_at(t) == FdOutput::Suspect)
-            .map(|(k, _)| k.clone())
-            .collect()
+        let mut out = Vec::new();
+        self.slab.for_each(|key, hot| {
+            if hot.output_at(t) == FdOutput::Suspect {
+                out.push(key.clone());
+            }
+        });
+        out
     }
 
-    /// `(trusted, suspected)` process counts at time `t`.
+    /// `(trusted, suspected)` process counts at time `t` — a pure scan
+    /// of the dense hot array (the obs-gauge path).
     pub fn counts(&self, t: Nanos) -> (usize, usize) {
         let mut trusted = 0;
-        let mut suspect = 0;
-        for e in self.detectors.values() {
-            match e.fd.output_at(t) {
-                FdOutput::Trust => trusted += 1,
-                FdOutput::Suspect => suspect += 1,
+        self.slab.for_each_hot(|hot| {
+            if hot.output_at(t) == FdOutput::Trust {
+                trusted += 1;
             }
-        }
-        (trusted, suspect)
+        });
+        (trusted, self.slab.len() - trusted)
     }
 
     /// Number of monitored processes.
     pub fn len(&self) -> usize {
-        self.detectors.len()
+        self.slab.len()
     }
 
     /// True when no process is monitored.
     pub fn is_empty(&self) -> bool {
-        self.detectors.is_empty()
+        self.slab.is_empty()
+    }
+
+    /// Total stream slots ever allocated (monitored + recycled). Stable
+    /// under register/deregister churn: vacated slots are reused before
+    /// new ones are minted.
+    pub fn slot_capacity(&self) -> usize {
+        self.slab.capacity()
+    }
+
+    /// Number of expiry entries currently queued on the timing wheel,
+    /// including superseded (dead) ones not yet pruned.
+    pub fn queued_expiries(&self) -> usize {
+        self.wheel.len()
     }
 }
 
@@ -371,6 +401,19 @@ mod tests {
         s.register("quiet");
         assert_eq!(s.output(&"quiet", hb(1)), Some(FdOutput::Suspect));
         assert_eq!(s.output(&"unknown", hb(1)), None);
+    }
+
+    #[test]
+    fn registration_interns_dense_slots() {
+        let mut s = set();
+        let a = s.register("a");
+        let b = s.register("b");
+        assert_eq!((a, b), (0, 1));
+        // Registering again returns the same slot, builds nothing new.
+        assert_eq!(s.register("a"), 0);
+        assert_eq!(s.slot_of(&"b"), Some(1));
+        assert_eq!(s.slot_of(&"unseen"), None);
+        assert_eq!(s.len(), 2);
     }
 
     #[test]
@@ -523,7 +566,7 @@ mod tests {
     }
 
     #[test]
-    fn stale_heap_entries_are_skipped() {
+    fn stale_wheel_entries_are_skipped() {
         let mut s = set();
         let mut events = Vec::new();
         for seq in 1..=5 {
@@ -547,5 +590,130 @@ mod tests {
         events.clear();
         s.sweep(Nanos::from_secs(3600), &mut events);
         assert!(events.is_empty());
+    }
+
+    /// Regression (stale-horizon bug): `next_expiry` used to peek the
+    /// scheduling structure blindly and report horizons already
+    /// superseded by fresher heartbeats, making shard workers park and
+    /// wake on dead deadlines. The reported horizon must always be some
+    /// live stream's current `trust_until`.
+    #[test]
+    fn next_expiry_always_matches_a_live_stream() {
+        let mut s = set();
+        for seq in 1..=5 {
+            s.on_heartbeat("a", seq, hb(seq));
+        }
+        s.on_heartbeat("b", 1, hb(5) + Span::from_millis(3));
+        let live: Vec<Nanos> = s
+            .statuses(hb(5))
+            .iter()
+            .filter_map(|st| st.trust_until)
+            .collect();
+        let reported = s.next_expiry().expect("two live horizons queued");
+        assert!(
+            live.contains(&reported),
+            "reported horizon {reported:?} matches no live stream ({live:?})"
+        );
+        assert_eq!(reported, *live.iter().min().unwrap());
+
+        // Deregistering the stream that owns the minimum must move the
+        // reported horizon to the surviving stream, not a dead entry.
+        let owner = s
+            .statuses(hb(5))
+            .into_iter()
+            .find(|st| st.trust_until == Some(reported))
+            .unwrap()
+            .key;
+        s.deregister(&owner);
+        let survivor: Vec<Nanos> = s
+            .statuses(hb(5))
+            .iter()
+            .filter_map(|st| st.trust_until)
+            .collect();
+        assert_eq!(s.next_expiry(), survivor.iter().min().copied());
+    }
+
+    /// Regression (re-registration leak): a deregister/re-register cycle
+    /// must neither resurrect the old occupant's queued expiries nor
+    /// drift the stream-count bookkeeping, and churn must not grow the
+    /// slot table or the wheel without bound.
+    #[test]
+    fn churn_is_leak_free_and_gauges_reconcile() {
+        let mut s = set();
+        let mut events = Vec::new();
+        s.on_heartbeat_with_events("a", 1, hb(1), &mut events);
+        s.on_heartbeat_with_events("b", 1, hb(1), &mut events);
+        let baseline_slots = s.slot_capacity();
+
+        for round in 0..100u64 {
+            events.clear();
+            // Vacate and immediately re-register under the same key.
+            assert!(s.deregister(&"a"));
+            s.register("a");
+            assert_eq!(s.len(), 2, "register/deregister must reconcile");
+            // The new incarnation is suspect until it heartbeats...
+            assert_eq!(s.output(&"a", hb(round + 2)), Some(FdOutput::Suspect));
+            // ...and the old incarnation's queued expiry must not
+            // publish against it.
+            s.sweep(hb(round + 2), &mut events);
+            assert!(
+                events.iter().all(|e| e.key != "a"),
+                "old incarnation's expiry leaked into round {round}: {events:?}"
+            );
+            s.on_heartbeat_with_events("a", round + 2, hb(round + 2), &mut events);
+        }
+
+        assert_eq!(
+            s.slot_capacity(),
+            baseline_slots,
+            "churn minted new slots instead of recycling"
+        );
+        // Dead entries are pruned by sweeps/probes: the wheel cannot
+        // have accumulated anywhere near one entry per churn round.
+        s.next_expiry();
+        assert!(
+            s.queued_expiries() <= 4,
+            "wheel leaked {} entries over churn",
+            s.queued_expiries()
+        );
+        // Exact gauge reconciliation: counts sum to len.
+        let (t, su) = s.counts(hb(101));
+        assert_eq!(t + su, s.len());
+    }
+
+    /// The hot-mirror fast path must agree with the detectors for every
+    /// spec in the suite (they all use the default `output_at`).
+    #[test]
+    fn hot_mirror_matches_detector_outputs_across_suite() {
+        use crate::suite::DetectorSpec;
+        for spec in [
+            DetectorSpec::Chen { window: 100 },
+            DetectorSpec::Bertier { window: 100 },
+            DetectorSpec::Phi { window: 100 },
+            DetectorSpec::Ed { window: 100 },
+            DetectorSpec::TwoWindow { n1: 1, n2: 100 },
+            DetectorSpec::MultiWindow {
+                windows: vec![1, 10, 100],
+            },
+        ] {
+            let cfg = DetectorConfig {
+                spec: spec.clone(),
+                ..DetectorConfig::default()
+            };
+            let mut s: ProcessSet<u64, DetectorConfig> = ProcessSet::new(cfg.clone());
+            let mut fd = cfg.build();
+            for seq in 1..=20u64 {
+                let at = Nanos(seq * DI.0 + (seq % 7) * 3_000_000);
+                s.on_heartbeat(1, seq, at);
+                fd.on_heartbeat(seq, at);
+                for probe in [at + Span(1), at + Span::from_millis(35), at + DI + DI] {
+                    assert_eq!(
+                        s.output(&1, probe),
+                        Some(fd.output_at(probe)),
+                        "spec {spec:?} diverges at {probe:?}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -152,9 +152,17 @@ impl FleetMonitor {
     }
 
     /// Pre-registers a stream so it is reported (as suspect) before its
-    /// first heartbeat.
+    /// first heartbeat. Streams are interned to dense per-shard slots;
+    /// re-registering a known stream is a no-op.
     pub fn register(&self, stream: u64) {
         self.runtime.register(stream);
+    }
+
+    /// Removes a stream from monitoring; returns whether it existed.
+    /// Later heartbeats (or a re-`register`) start a fresh incarnation
+    /// with no memory — and no queued expiries — of the old one.
+    pub fn deregister(&self, stream: u64) -> bool {
+        self.runtime.deregister(stream)
     }
 
     /// Current output for one stream (`None` if never seen/registered).
@@ -437,6 +445,14 @@ mod tests {
         let statuses = monitor.statuses();
         assert_eq!(statuses.len(), 1);
         assert_eq!(statuses[0].key, 99);
+        // Deregistering forgets the stream entirely; re-registering
+        // starts a clean incarnation (and slots/gauges reconcile).
+        assert!(monitor.deregister(99));
+        assert!(!monitor.deregister(99));
+        assert_eq!(monitor.output(99), None);
+        assert!(monitor.statuses().is_empty());
+        monitor.register(99);
+        assert_eq!(monitor.output(99), Some(FdOutput::Suspect));
     }
 
     #[test]

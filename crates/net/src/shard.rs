@@ -36,13 +36,18 @@
 //!   The accounting identity is untouched: every heartbeat of a batch
 //!   is counted received, and every one the enqueue displaces (from the
 //!   queue or from the batch's own overflow) is counted dropped.
-//! * **Deadline-driven sweeping** — each worker sweeps its shard's
-//!   expiry heap after draining a batch, publishing Trust→Suspect
-//!   transitions at the exact `trust_until` instant without anyone
-//!   querying. An idle worker *parks* on its queue until
-//!   [`ProcessSet::next_expiry`] (any enqueue wakes it immediately), so
-//!   idle shards cost ~zero CPU and suspicion is published at the
-//!   freshness point itself rather than up to one poll interval late.
+//! * **Deadline-driven sweeping** — each worker advances its shard's
+//!   hierarchical timing wheel ([`twofd_core::wheel`]) after draining a
+//!   batch, harvesting every expired horizon in one `O(1)`-amortized
+//!   pass and publishing Trust→Suspect transitions at the exact
+//!   `trust_until` instant without anyone querying. An idle worker
+//!   *parks* on its queue until [`ProcessSet::next_expiry`] (any
+//!   enqueue wakes it immediately), so idle shards cost ~zero CPU and
+//!   suspicion is published at the freshness point itself rather than
+//!   up to one poll interval late. `next_expiry` prunes superseded
+//!   wheel entries before reporting, so the park deadline always
+//!   belongs to a live stream — the old lazy heap could report a dead
+//!   horizon and wake the worker for nothing.
 //!
 //! Because transitions carry exact timestamps (see
 //! [`twofd_core::multi`]), the per-stream event timeline is a pure
@@ -71,6 +76,7 @@ use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
@@ -232,6 +238,17 @@ const GROUP_BATCH: usize = 64;
 /// worker.
 const MIN_PARK: Duration = Duration::from_micros(200);
 
+/// Yields a worker spends waiting for its queue to refill after a
+/// productive drain, before falling back to the sweep-then-park path.
+/// Under sustained load the producer refills the queue within a yield,
+/// so the worker picks the next batch up without a futex park/wake
+/// round-trip — on a core-starved host those round-trips otherwise
+/// dominate small per-shard batches (each wake retires
+/// `batch/n_shards` heartbeats but costs a full context switch). On an
+/// idle fleet the yields return immediately (no other runnable thread)
+/// and the worker parks exactly as before.
+const DRAIN_LINGER: u32 = 16;
+
 /// Per-stream worker-side observability state.
 struct StreamObs {
     last_arrival: Option<Nanos>,
@@ -325,6 +342,13 @@ struct ShardShared {
     to_suspect: Counter,
     /// Wall-clock duration of each expiry sweep.
     sweep_hist: Histogram,
+    /// Heartbeats whose hot-obs update (jitter/QoS tracker) has landed.
+    /// The worker feeds the trackers *after* releasing the set lock, so
+    /// `applied` can lead the tracker state by one pass; [`ShardRuntime::
+    /// flush`] waits this counter out too, or a barrier-then-query could
+    /// read a tracker missing the last batch's decisions. Only advanced
+    /// when `hot` is `Some`; not a metric.
+    obs_applied: AtomicU64,
     /// Opt-in extras; `None` when `ObsOptions` asked for nothing, so
     /// the default hot path pays zero for them.
     hot: Option<Mutex<HotObs>>,
@@ -621,6 +645,7 @@ impl ShardRuntime {
                     to_trust: transitions_vec.with(&[&label, "to_trust"]),
                     to_suspect: transitions_vec.with(&[&label, "to_suspect"]),
                     sweep_hist: sweep_vec.with(&[&label]),
+                    obs_applied: AtomicU64::new(0),
                     hot,
                 });
                 let worker = {
@@ -796,9 +821,27 @@ impl ShardRuntime {
     }
 
     /// Pre-registers a stream so it is reported (as suspect) before its
-    /// first heartbeat.
+    /// first heartbeat. Interns the stream to a dense per-shard slot;
+    /// registering an already-known stream is a no-op (state, queued
+    /// expiries and the stream-count gauges are unaffected).
     pub fn register(&self, stream: u64) {
         self.shard_of(stream).shared.set.lock().register(stream);
+    }
+
+    /// Removes a stream from monitoring; returns whether it existed.
+    /// The detector state, queued expiries (dead by slot-generation
+    /// bump) and any per-stream QoS/obs state are released, and the
+    /// stream-count gauges reconcile immediately. A later heartbeat or
+    /// [`ShardRuntime::register`] starts a fresh incarnation with no
+    /// memory of the old one.
+    pub fn deregister(&self, stream: u64) -> bool {
+        let shard = self.shard_of(stream);
+        // Lock order: `set` strictly before `hot` (never held together).
+        let existed = shard.shared.set.lock().deregister(&stream);
+        if let Some(hot) = shard.shared.hot.as_ref() {
+            hot.lock().streams.remove(&stream);
+        }
+        existed
     }
 
     /// Current output for one stream (`None` if never seen/registered).
@@ -919,7 +962,13 @@ impl ShardRuntime {
         loop {
             let behind = self.inner.shards.iter().any(|s| {
                 let shared = &s.shared;
-                shared.applied.get() + shared.dropped.get() < shared.received.get()
+                let handled = |done: u64| done + shared.dropped.get() < shared.received.get();
+                // The worker feeds the hot-obs trackers after releasing
+                // the set lock, so `applied` alone would let a
+                // barrier-then-query read a tracker missing the last
+                // batch; wait for the obs echo too when extras are on.
+                handled(shared.applied.get())
+                    || (shared.hot.is_some() && handled(shared.obs_applied.load(Ordering::Acquire)))
             });
             if !behind {
                 return;
@@ -936,6 +985,11 @@ impl ShardRuntime {
 /// clock that jumps while the worker sleeps is noticed within one
 /// interval. `None` parks indefinitely: with no pending expiry there is
 /// nothing to sweep, and any enqueue (or shutdown) wakes the worker.
+///
+/// `next_expiry` is a *live* horizon ([`ProcessSet::next_expiry`] prunes
+/// superseded entries before reporting), so a park here always ends at
+/// an instant where there is real expiry work — the stale-horizon
+/// park-and-wake-for-nothing cycle of the lazy heap cannot happen.
 fn park_duration(
     next_expiry: Option<Nanos>,
     now: Nanos,
@@ -1037,12 +1091,34 @@ fn shard_worker(
                     }
                 }
             }
+            if batch > 0 {
+                // Release pairs with the Acquire in `flush`: once the
+                // count covers a heartbeat, its tracker update (and the
+                // transitions of the same pass, applied just above) is
+                // visible to whoever the barrier releases.
+                shared
+                    .obs_applied
+                    .fetch_add(batch as u64, Ordering::Release);
+            }
         }
         publish(&shared, &events_tx, &events_dropped, &mut events);
         if disconnected {
             return;
         }
-        if batch == 0 {
+        if batch > 0 {
+            // Just drained a batch: under load the producer refills the
+            // queue within a yield, and picking the next batch up here
+            // skips the park/wake context switch entirely. The wait
+            // touches only the queue (never the detector set lock, so
+            // it cannot contend with queries or scrapes); if the queue
+            // stays empty the next pass sweeps once and parks as
+            // before.
+            let mut spins = DRAIN_LINGER;
+            while spins > 0 && rx.is_empty() {
+                thread::yield_now();
+                spins -= 1;
+            }
+        } else {
             // Idle: park until the next freshness point — or until an
             // enqueue wakes us, which is how a fresh batch starts
             // processing immediately instead of on the next poll tick.
@@ -1223,6 +1299,84 @@ mod tests {
     fn default_plan_is_the_papers_two_window() {
         use twofd_core::FailureDetector;
         assert_eq!(DetectorPlan::default().build(&0).name(), "2w-fd(1,1000)");
+    }
+
+    /// Regression (re-registration leak): deregister/re-register churn
+    /// must keep the stream-count gauges exactly reconciled, and an old
+    /// incarnation's queued trust horizon must never publish against
+    /// the stream's new incarnation.
+    #[test]
+    fn churn_reconciles_gauges_and_leaks_no_expiries() {
+        let (rt, clock) = runtime_with_manual_clock(2);
+        clock.advance_to(hb(1));
+        rt.ingest(1, 1, hb(1)); // the churned stream
+        rt.ingest(2, 1, hb(1)); // a stable neighbour on the other shard
+        rt.flush();
+        assert_eq!(rt.len(), 2);
+
+        let mut last_round = 1;
+        for round in 2..=50u64 {
+            assert!(rt.deregister(1));
+            assert!(!rt.deregister(1), "double deregister must be a no-op");
+            rt.register(1);
+            // The fresh incarnation starts suspect and seq-blank...
+            assert_eq!(rt.output(1), Some(FdOutput::Suspect));
+            // ...so the same sequence number is fresh again.
+            let at = hb(round);
+            clock.advance_to(at);
+            rt.ingest(1, round, at);
+            rt.flush();
+            assert_eq!(rt.len(), 2, "round {round}: stream count drifted");
+            let stats = rt.stats();
+            assert_eq!(
+                stats.live() + stats.suspect(),
+                rt.len(),
+                "round {round}: gauges do not reconcile: {stats:?}"
+            );
+            last_round = round;
+        }
+
+        // Only the *live* incarnation's horizon may ever fire. Old
+        // incarnations were deregistered while trusted: their queued
+        // entries are dead and must not synthesize S-transitions.
+        let final_horizon = rt
+            .statuses()
+            .iter()
+            .find(|st| st.key == 1)
+            .unwrap()
+            .trust_until
+            .unwrap();
+        clock.advance_to(final_horizon + Span::from_secs(5));
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        let mut events = Vec::new();
+        while std::time::Instant::now() < deadline {
+            events.extend(rt.events().try_iter());
+            let s_count = events
+                .iter()
+                .filter(|e| e.output == FdOutput::Suspect)
+                .count();
+            if s_count >= 2 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+        let stream1_s: Vec<_> = events
+            .iter()
+            .filter(|e| e.key == 1 && e.output == FdOutput::Suspect)
+            .collect();
+        assert_eq!(
+            stream1_s.len(),
+            1,
+            "exactly one S for the live incarnation: {stream1_s:?}"
+        );
+        assert_eq!(stream1_s[0].at, final_horizon);
+        // Every incarnation published its T at its heartbeat arrival.
+        let stream1_t = events
+            .iter()
+            .filter(|e| e.key == 1 && e.output == FdOutput::Trust)
+            .count();
+        assert_eq!(stream1_t as u64, last_round, "one T per incarnation");
+        assert_eq!(rt.events_dropped(), 0);
     }
 
     #[test]

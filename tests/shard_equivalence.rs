@@ -370,3 +370,174 @@ fn saturated_shard_queue_drops_and_counts_instead_of_blocking() {
     assert!(stats.dropped() > 0, "{stats:?}");
     assert!(stats.shards[0].queue_depth <= 8);
 }
+
+// ---------------------------------------------------------------------------
+// Wheel-vs-heap differential property test.
+//
+// `ProcessSet` (dense slots + hierarchical timing wheel) and
+// `HeapProcessSet` (the original lazy-deletion binary heap, kept as the
+// reference oracle) implement the same published-timeline contract. On a
+// random interleaving of heartbeats, sweeps, registrations and
+// deregistrations they must agree on:
+//
+//   * every decision returned for every heartbeat,
+//   * the `next_expiry` value after every single operation (the parking
+//     deadline the shard workers sleep on),
+//   * the per-stream Trust/Suspect event timeline, event for event,
+//   * final outputs and trusted/suspected counts.
+// ---------------------------------------------------------------------------
+
+mod wheel_heap_differential {
+    use super::*;
+    use proptest::prelude::*;
+    use twofd::core::{HeapProcessSet, ProcessSet, StreamTransition};
+
+    const N_STREAMS: u64 = 6;
+
+    /// One decoded fuzz operation.
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        /// Advance time by `dt` and heartbeat `stream` (stale replays the
+        /// stream's last sequence number instead of advancing it).
+        Heartbeat { stream: u64, stale: bool, dt: u64 },
+        /// Advance time by `dt` and sweep both sets.
+        Sweep { dt: u64 },
+        /// Deregister `stream` from both sets.
+        Deregister { stream: u64 },
+        /// (Re-)register `stream` in both sets.
+        Register { stream: u64 },
+    }
+
+    /// Decodes a raw generated tuple into an operation. The `mag` field
+    /// picks a time-delta magnitude so traces mix sub-tick steps,
+    /// interval-scale steps (around the 100 ms heartbeat period) and
+    /// multi-second jumps that force level-1/2/3 wheel cascades.
+    fn decode((kind, stream, mag, d): (u8, u64, u8, u64)) -> Op {
+        let stream = stream % N_STREAMS;
+        let dt = match mag % 4 {
+            0 => d % 2_000_000,                     // < 2 ms: within a tick
+            1 => 1_000_000 + (d % 200_000_000),     // 1–201 ms: interval scale
+            2 => 100_000_000 + (d % 2_000_000_000), // 0.1–2.1 s: level 1–2
+            _ => d % 400_000_000_000,               // up to 400 s: level 2–3
+        };
+        match kind % 100 {
+            0..=69 => Op::Heartbeat {
+                stream,
+                stale: kind % 7 == 0,
+                dt,
+            },
+            70..=84 => Op::Sweep { dt },
+            85..=92 => Op::Deregister { stream },
+            _ => Op::Register { stream },
+        }
+    }
+
+    /// Per-stream event timelines from a flat event log (cross-stream
+    /// order within one sweep is unspecified — slot order vs key order —
+    /// so equality is demanded per stream).
+    fn per_stream(events: &[StreamTransition<u64>]) -> BTreeMap<u64, Vec<(FdOutput, Nanos)>> {
+        let mut map: BTreeMap<u64, Vec<(FdOutput, Nanos)>> = BTreeMap::new();
+        for e in events {
+            map.entry(e.key).or_default().push((e.output, e.at));
+        }
+        map
+    }
+
+    fn config() -> DetectorConfig {
+        // Tight margin on 2W-FD(1,8): late heartbeats routinely shrink or
+        // overrun horizons, so traces exercise S-transitions, missed-
+        // expiry synthesis and the shrink (trust_until <= arrival) case.
+        DetectorConfig::new(
+            DetectorSpec::TwoWindow { n1: 1, n2: 8 },
+            Span::from_millis(100),
+            0.015,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+        #[test]
+        fn wheel_and_heap_agree_on_timelines_and_next_expiry(
+            raw in prop::collection::vec(
+                (0u8..255, 0u64..N_STREAMS, 0u8..4, 0u64..u64::MAX),
+                40..280,
+            )
+        ) {
+            let mut wheel: ProcessSet<u64, DetectorConfig> = ProcessSet::new(config());
+            let mut heap: HeapProcessSet<u64, DetectorConfig> =
+                HeapProcessSet::new(config());
+            let mut wheel_events = Vec::new();
+            let mut heap_events = Vec::new();
+            let mut now = Nanos(10_000_000);
+            let mut seqs: BTreeMap<u64, u64> = BTreeMap::new();
+
+            for (i, &tuple) in raw.iter().enumerate() {
+                match decode(tuple) {
+                    Op::Heartbeat { stream, stale, dt } => {
+                        now = Nanos(now.0.saturating_add(dt));
+                        let seq = {
+                            let c = seqs.entry(stream).or_insert(0);
+                            if !stale {
+                                *c += 1;
+                            }
+                            (*c).max(1)
+                        };
+                        let dw = wheel.on_heartbeat_with_events(
+                            stream, seq, now, &mut wheel_events,
+                        );
+                        let dh = heap.on_heartbeat_with_events(
+                            stream, seq, now, &mut heap_events,
+                        );
+                        prop_assert_eq!(dw, dh, "op {}: decision mismatch", i);
+                    }
+                    Op::Sweep { dt } => {
+                        now = Nanos(now.0.saturating_add(dt));
+                        wheel.sweep(now, &mut wheel_events);
+                        heap.sweep(now, &mut heap_events);
+                    }
+                    Op::Deregister { stream } => {
+                        let rw = wheel.deregister(&stream);
+                        let rh = heap.deregister(&stream);
+                        prop_assert_eq!(rw, rh, "op {}: deregister mismatch", i);
+                        // A deregistered stream restarts from scratch.
+                        seqs.remove(&stream);
+                    }
+                    Op::Register { stream } => {
+                        wheel.register(stream);
+                        heap.register(stream);
+                    }
+                }
+                // The parking deadline must agree after *every* op: both
+                // prune dead entries, so both report the same live
+                // minimum horizon (or none).
+                prop_assert_eq!(
+                    wheel.next_expiry(),
+                    heap.next_expiry(),
+                    "op {}: next_expiry diverged",
+                    i
+                );
+                prop_assert_eq!(wheel.len(), heap.len(), "op {}: len diverged", i);
+            }
+
+            // Final sweep far in the future flushes every pending expiry.
+            now = Nanos(now.0.saturating_add(3_600_000_000_000));
+            wheel.sweep(now, &mut wheel_events);
+            heap.sweep(now, &mut heap_events);
+            prop_assert_eq!(wheel.next_expiry(), heap.next_expiry());
+
+            // Event-for-event equality per stream.
+            prop_assert_eq!(per_stream(&wheel_events), per_stream(&heap_events));
+
+            // Output and gauge agreement at several probe instants.
+            for probe in [now, Nanos(now.0 + 1), Nanos(now.0 + 50_000_000)] {
+                for stream in 0..N_STREAMS {
+                    prop_assert_eq!(
+                        wheel.output(&stream, probe),
+                        heap.output(&stream, probe)
+                    );
+                }
+                prop_assert_eq!(wheel.counts(probe), heap.counts(probe));
+            }
+        }
+    }
+}

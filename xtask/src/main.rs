@@ -12,10 +12,14 @@
 //!    `unsafe` tokens appear only in `crates/net/src/intake.rs` (the
 //!    single libc-facing module).
 //! 3. **Wall-clock ban.** `Instant::now()` / `SystemTime::now()` are
-//!    forbidden in `crates/net/src` production code outside `clock.rs`:
-//!    per-heartbeat hot paths must route through the shard clock so
-//!    time is injectable and cheap. A justified exception is marked
-//!    `// xtask:allow(wall_clock)` on the same or preceding line.
+//!    forbidden in `crates/net/src` (outside `clock.rs`) and
+//!    `crates/core/src` production code: per-heartbeat hot paths must
+//!    route through the shard clock so time is injectable and cheap,
+//!    and the core detector/wheel/slab layer is a pure function of the
+//!    timestamps it is handed — a hidden wall-clock read there would
+//!    break replay determinism and the wheel/heap differential oracle.
+//!    A justified exception is marked `// xtask:allow(wall_clock)` on
+//!    the same or preceding line.
 //! 4. **Atomic-ordering allowlist.** `Acquire`, `Release` and `AcqRel`
 //!    are free. `Ordering::Relaxed` requires an `ordering:`
 //!    justification comment within the preceding 12 lines.
@@ -130,8 +134,8 @@ fn analyze(root: &Path) -> Vec<Finding> {
             }
         }
 
-        // Rule 3: wall-clock ban in net production code.
-        if rel.starts_with("crates/net/src/") && rel != "crates/net/src/clock.rs" {
+        // Rule 3: wall-clock ban in net and core production code.
+        if in_wall_clock_scope(&rel) {
             for (line, message) in wall_clock_findings(&lines) {
                 findings.push(Finding {
                     file: rel.clone(),
@@ -177,6 +181,14 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
             out.push(path);
         }
     }
+}
+
+/// Rule 3 scope: net production code (minus the clock module, which
+/// exists to do the wall-clock read once) and the whole core crate
+/// (detectors, wheel, slab — pure functions of their timestamps).
+fn in_wall_clock_scope(rel: &str) -> bool {
+    (rel.starts_with("crates/net/src/") && rel != "crates/net/src/clock.rs")
+        || rel.starts_with("crates/core/src/")
 }
 
 /// Crate roots that must carry the unsafe_code attribute.
@@ -292,8 +304,8 @@ fn wall_clock_findings(lines: &[&str]) -> Vec<(usize, String)> {
         if !marked {
             out.push((
                 idx + 1,
-                "wall-clock read in net production code outside clock.rs \
-                 (route through the shard clock, or mark \
+                "wall-clock read in net/core production code outside \
+                 clock.rs (route through the shard clock, or mark \
                  `// xtask:allow(wall_clock)`)"
                     .into(),
             ));
@@ -454,6 +466,18 @@ mod tests {
              a.load(Ordering::Acquire);\n    a.fetch_add(1, Ordering::AcqRel);\n}\n",
         );
         assert!(ordering_findings(&src, false).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_scope_covers_net_and_core() {
+        assert!(in_wall_clock_scope("crates/net/src/shard.rs"));
+        assert!(in_wall_clock_scope("crates/core/src/wheel.rs"));
+        assert!(in_wall_clock_scope("crates/core/src/multi.rs"));
+        assert!(!in_wall_clock_scope("crates/net/src/clock.rs"));
+        assert!(!in_wall_clock_scope(
+            "crates/bench/benches/shard_throughput.rs"
+        ));
+        assert!(!in_wall_clock_scope("crates/sim/src/time.rs"));
     }
 
     #[test]
