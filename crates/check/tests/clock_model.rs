@@ -1,0 +1,91 @@
+//! Model-check suite for `twofd_net::clock::ManualClock`: concurrent
+//! `advance_to` against readers after the SeqCst → AcqRel/Acquire
+//! demotion.
+//!
+//! Compiled only with `RUSTFLAGS="--cfg twofd_check"` — the cfg swaps
+//! the clock's `AtomicU64` for the instrumented shim, so loads here
+//! branch over every store the memory model allows.
+
+#![cfg(twofd_check)]
+
+use std::sync::Arc;
+
+use twofd_check::sync::atomic::{AtomicU64, Ordering};
+use twofd_check::{model, thread, Builder};
+use twofd_net::clock::ManualClock;
+use twofd_sim::time::Nanos;
+
+/// Two threads racing `advance_to` with different targets: every reader
+/// observes a monotone axis, and once both advances are ordered (join),
+/// the clock reads the maximum.
+#[test]
+fn concurrent_advances_converge_to_the_max() {
+    let report = model(|| {
+        let clock = Arc::new(ManualClock::new());
+        let (c1, c2) = (Arc::clone(&clock), Arc::clone(&clock));
+        let t1 = thread::spawn(move || c1.advance_to(Nanos(100)));
+        let t2 = thread::spawn(move || c2.advance_to(Nanos(60)));
+        let first = clock.now();
+        let second = clock.now();
+        assert!(
+            second >= first,
+            "clock went backwards: {first:?} -> {second:?}"
+        );
+        t1.join().unwrap();
+        t2.join().unwrap();
+        assert_eq!(clock.now(), Nanos(100), "joined advances must settle");
+    });
+    assert!(report.complete);
+}
+
+/// A backwards `advance_to` is a no-op under every interleaving: a
+/// reader can never observe the clock dip below a previously published
+/// instant.
+#[test]
+fn backwards_advance_never_rewinds_a_reader() {
+    let report = model(|| {
+        let clock = Arc::new(ManualClock::new());
+        clock.advance_to(Nanos(500));
+        let c2 = Arc::clone(&clock);
+        let rewinder = thread::spawn(move || c2.advance_to(Nanos(100)));
+        assert_eq!(clock.now(), Nanos(500));
+        rewinder.join().unwrap();
+        assert_eq!(clock.now(), Nanos(500));
+    });
+    assert!(report.complete);
+}
+
+/// The deterministic drivers' publication contract: everything written
+/// *before* `advance_to(T)` is visible to a reader that observes the
+/// clock at `T`. The payload uses Relaxed accesses on purpose — only
+/// the clock's own Release/Acquire pair may order it, so demoting the
+/// clock to Relaxed would make the checker find a schedule where the
+/// reader sees `T` with a stale payload.
+#[test]
+fn advance_publishes_prior_writes_to_observers() {
+    let run = || {
+        Builder::new().preemption_bound(2).check_result(|| {
+            let clock = Arc::new(ManualClock::new());
+            let payload = Arc::new(AtomicU64::new(0));
+            let (c2, p2) = (Arc::clone(&clock), Arc::clone(&payload));
+            let writer = thread::spawn(move || {
+                // ordering: Relaxed — ordered solely by the clock's
+                // Release on `advance_to`, which is the property under
+                // test.
+                p2.store(7, Ordering::Relaxed);
+                c2.advance_to(Nanos(100));
+            });
+            if clock.now() >= Nanos(100) {
+                // ordering: Relaxed — see the store site.
+                let seen = payload.load(Ordering::Relaxed);
+                assert_eq!(
+                    seen, 7,
+                    "observed the advanced clock but not the write before it"
+                );
+            }
+            writer.join().unwrap();
+        })
+    };
+    let report = run().expect("advance_to publishes prior writes");
+    assert!(report.complete);
+}

@@ -1,0 +1,32 @@
+//! # twofd-cluster — deterministic virtual-time cluster simulation
+//!
+//! Runs the **real** fleet runtime — [`twofd_net::ShardRuntime`], the
+//! same sharded monitor that serves live UDP traffic — inside a
+//! discrete-event cluster simulator. A single global event loop owns a
+//! [`twofd_net::ManualClock`] per monitor node and drives thousands of
+//! simulated heartbeat senders through scripted links
+//! ([`twofd_sim::link`]), delivering arrivals via `ingest_batch` and
+//! expiries via caller-driven sweeps, all in virtual time.
+//!
+//! The pieces:
+//!
+//! * [`node`] — per-node clock scripting (origin offset + ppm drift).
+//! * [`sim`] — the event loop: [`sim::ClusterConfig`] in,
+//!   [`sim::ScenarioReport`] out, bit-identical for a given seed.
+//! * [`scenarios`] — the named scenario library (steady state, crash,
+//!   partitions, brownouts, churn, skewed clocks), each carrying the
+//!   QoS envelope its report must land in.
+//!
+//! A year of simulated cluster traffic costs seconds of wall clock, and
+//! any interesting run replays exactly from its seed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod node;
+pub mod scenarios;
+pub mod sim;
+
+pub use node::NodeClock;
+pub use scenarios::{library, Envelope, Scale, Scenario, StreamEnvelope};
+pub use sim::{run, ClusterConfig, MonitorReport, MonitorSpec, ScenarioReport, SenderSpec};

@@ -1,0 +1,144 @@
+//! Per-node virtual clocks.
+//!
+//! The paper's clock model deliberately leaves sender and monitor
+//! clocks unsynchronized: every process reads its own free-running
+//! clock, and only *receiver-side* timestamps feed the detectors. A
+//! [`NodeClock`] makes that scriptable inside the simulator: it maps
+//! the scheduler's single **global** timeline to one node's **local**
+//! timeline via an origin (`start`), an initial reading (`offset`) and
+//! a rate error (`drift_ppm`).
+//!
+//! ```text
+//!     local(g) = offset + (g − start) · (10⁶ + drift_ppm) / 10⁶
+//! ```
+//!
+//! Senders use the inverse to place beat `i` (due at *local* `i·Δi`)
+//! on the global timeline; monitors use the forward map to stamp
+//! arrivals in their own time before handing them to the real runtime.
+
+use twofd_sim::time::{Nanos, Span};
+
+/// One node's mapping between global simulation time and its local
+/// clock reading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeClock {
+    /// Global instant the node's clock starts running (its process
+    /// start — before this the node does not exist).
+    pub start: Nanos,
+    /// The local reading at `start` (a per-process origin; real
+    /// monotonic clocks all start from an arbitrary point).
+    pub offset: Span,
+    /// Rate error in parts per million: `+500` runs half a millisecond
+    /// fast per second, `-500` slow. Must be `> -1_000_000` so the
+    /// clock keeps moving forward.
+    pub drift_ppm: i64,
+}
+
+impl Default for NodeClock {
+    fn default() -> Self {
+        NodeClock::aligned()
+    }
+}
+
+impl NodeClock {
+    /// A clock perfectly aligned with the global timeline.
+    pub fn aligned() -> Self {
+        NodeClock {
+            start: Nanos::ZERO,
+            offset: Span::ZERO,
+            drift_ppm: 0,
+        }
+    }
+
+    /// A clock starting at global `start`, with the given origin offset
+    /// and rate error.
+    ///
+    /// # Panics
+    /// If `drift_ppm <= -1_000_000` (the clock would stop or reverse).
+    pub fn new(start: Nanos, offset: Span, drift_ppm: i64) -> Self {
+        assert!(
+            drift_ppm > -1_000_000,
+            "drift must leave the clock moving forward"
+        );
+        NodeClock {
+            start,
+            offset,
+            drift_ppm,
+        }
+    }
+
+    /// The node's local reading at global instant `global` (clamped to
+    /// `offset` before the node starts). `i128` arithmetic keeps the
+    /// ppm scaling exact over multi-hour nanosecond timelines.
+    pub fn local(&self, global: Nanos) -> Nanos {
+        let since = global.saturating_since(self.start).0 as i128;
+        let scaled = since * (1_000_000 + self.drift_ppm as i128) / 1_000_000;
+        Nanos(self.offset.0.saturating_add(scaled as u64))
+    }
+
+    /// The global instant at which the node's clock reads `local`
+    /// (clamped to `start` for readings before the origin). Inverse of
+    /// [`NodeClock::local`] up to integer rounding.
+    pub fn global_at(&self, local: Nanos) -> Nanos {
+        let since_local = local.0.saturating_sub(self.offset.0) as i128;
+        let scaled = since_local * 1_000_000 / (1_000_000 + self.drift_ppm as i128);
+        Nanos(self.start.0.saturating_add(scaled as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_clock_is_the_identity() {
+        let c = NodeClock::aligned();
+        let t = Nanos::from_secs(1234);
+        assert_eq!(c.local(t), t);
+        assert_eq!(c.global_at(t), t);
+    }
+
+    #[test]
+    fn offset_and_drift_compose() {
+        // Starts at global 10s, reads 1000s then, runs +500 ppm fast.
+        let c = NodeClock::new(Nanos::from_secs(10), Span::from_secs(1000), 500);
+        // 100s of global time → 100.05s of local time.
+        let local = c.local(Nanos::from_secs(110));
+        assert_eq!(local, Nanos(1000_000_000_000 + 100_050_000_000));
+        // Before the node starts, the clock reads its origin.
+        assert_eq!(c.local(Nanos::from_secs(5)), Nanos::from_secs(1000));
+    }
+
+    #[test]
+    fn global_at_inverts_local() {
+        let c = NodeClock::new(Nanos::from_secs(3), Span::from_millis(250), -750);
+        for g in [
+            Nanos::from_secs(3),
+            Nanos::from_secs(40),
+            Nanos(123_456_789_012),
+        ] {
+            let round_trip = c.global_at(c.local(g));
+            let err = round_trip.0.abs_diff(g.0);
+            assert!(err <= 2, "{g:?} -> {round_trip:?}");
+        }
+    }
+
+    #[test]
+    fn local_is_monotone_in_global() {
+        let c = NodeClock::new(Nanos::from_secs(1), Span::from_secs(7), -900_000);
+        let mut prev = c.local(Nanos::ZERO);
+        for i in 0..1000u64 {
+            let next = c.local(Nanos(i * 10_000_000));
+            assert!(next >= prev);
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn rejects_reversing_drift() {
+        assert!(std::panic::catch_unwind(|| {
+            NodeClock::new(Nanos::ZERO, Span::ZERO, -1_000_000)
+        })
+        .is_err());
+    }
+}

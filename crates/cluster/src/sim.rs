@@ -1,0 +1,475 @@
+//! The discrete-event cluster scheduler.
+//!
+//! [`run`] executes a [`ClusterConfig`] — N simulated senders beaming
+//! heartbeats over scripted [`LinkSpec`] links at M monitor nodes — in
+//! **virtual time**, against the *real* production runtime: each
+//! monitor is a live [`ShardRuntime`] with its worker threads, queues,
+//! timing wheels and QoS trackers, driven through a
+//! [`twofd_net::clock::ManualClock`] instead of the OS clock.
+//!
+//! ## The determinism protocol
+//!
+//! The scheduler owns one global [`EventQueue`]; beats and deliveries
+//! pop in timestamp order (stable on ties). Per monitor, deliveries
+//! accumulate into a batch buffer and flush as:
+//!
+//! 1. [`ShardRuntime::ingest_batch`] with every arrival `≤ T`,
+//! 2. *then* `clock.advance_to(T)` (the last arrival's local time).
+//!
+//! Enqueue-before-advance means a worker can never sweep a horizon
+//! that a queued heartbeat extends, so the published transition
+//! timeline is a pure function of the schedule — worker scheduling
+//! jitter cannot change it (`tests/shard_equivalence.rs` pins the same
+//! property for the runtime itself). A [`ShardRuntime::flush`] barrier
+//! every few batches bounds in-flight work below the queue capacity,
+//! keeping the drop-oldest backpressure path — whose victims *would*
+//! be timing-dependent — unreachable.
+//!
+//! At the horizon the scheduler flushes, advances each monitor to its
+//! local end-of-run instant, and calls [`ShardRuntime::sweep_now`] to
+//! retire every pending expiry synchronously. The drained timeline is
+//! then canonicalized by `(at, key)` — a total order, since one stream
+//! cannot transition twice at one instant — so two runs with the same
+//! seed produce byte-identical reports.
+
+use crate::node::NodeClock;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+use twofd_core::{DetectorConfig, FdOutput, QosMetrics};
+use twofd_net::clock::{ManualClock, TimeSource};
+use twofd_net::shard::{FleetEvent, Job, ObsOptions, ShardConfig, ShardRuntime};
+use twofd_obs::{QosPlan, QosTrackerConfig, QosVerdict};
+use twofd_sim::link::LinkSpec;
+use twofd_sim::rng::SimRng;
+use twofd_sim::time::{Nanos, Span};
+use twofd_sim::EventQueue;
+
+/// Deliveries buffered per monitor before a batch flush.
+const FLUSH_BATCH: usize = 256;
+
+/// Batch flushes between [`ShardRuntime::flush`] barriers. The barrier
+/// bounds in-flight heartbeats to `BARRIER_EVERY × FLUSH_BATCH`, far
+/// below the per-shard queue capacity, so drop-oldest backpressure —
+/// whose victims depend on worker timing — can never engage.
+const BARRIER_EVERY: usize = 32;
+
+/// Per-shard queue capacity; must exceed `BARRIER_EVERY × FLUSH_BATCH`
+/// (see above) even if every in-flight heartbeat routes to one shard.
+const QUEUE_CAPACITY: usize = 16 * 1024;
+
+/// Transition-event channel capacity per monitor. Drained every flush;
+/// sized so a burst of transitions between drains cannot overflow
+/// (overflow would drop a timing-dependent subset and break replay —
+/// [`MonitorReport::events_dropped`] is asserted zero by envelopes).
+const EVENT_CAPACITY: usize = 64 * 1024;
+
+/// One monitor node: a real [`ShardRuntime`] plus its virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorSpec {
+    /// The node's local clock (arrivals are stamped in *its* time).
+    pub clock: NodeClock,
+    /// Worker shards of this monitor's runtime.
+    pub n_shards: usize,
+}
+
+impl Default for MonitorSpec {
+    fn default() -> Self {
+        MonitorSpec {
+            clock: NodeClock::aligned(),
+            n_shards: 4,
+        }
+    }
+}
+
+/// One simulated sender: a stream id, its own clock (which fixes both
+/// its join time and its beat cadence), an optional crash instant, and
+/// one directed [`LinkSpec`] per monitor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SenderSpec {
+    /// Stream id carried by this sender's heartbeats.
+    pub stream: u64,
+    /// The sender's clock; `clock.start` is its join time and beat `i`
+    /// is due at *local* `i·Δi`.
+    pub clock: NodeClock,
+    /// Global instant the process crashes (no beat at or after this).
+    pub stop: Option<Nanos>,
+    /// Directed links to each monitor, indexed like
+    /// [`ClusterConfig::monitors`].
+    pub links: Vec<LinkSpec>,
+}
+
+/// A complete simulated cluster: the fleet, the monitors, the detector
+/// recipe and the QoS contract under test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Scenario name (carried into the report).
+    pub name: String,
+    /// Heartbeat inter-send interval `Δi` (in sender-local time).
+    pub interval: Span,
+    /// Global run length; beats and deliveries beyond it do not happen.
+    pub duration: Span,
+    /// Detector recipe every monitor applies to every stream.
+    pub detector: DetectorConfig,
+    /// QoS tracker (and optional contracted bound) attached to every
+    /// stream on every monitor; `None` runs without QoS tracking.
+    pub qos: Option<QosTrackerConfig>,
+    /// The monitor nodes.
+    pub monitors: Vec<MonitorSpec>,
+    /// The fleet; every sender needs one link per monitor.
+    pub senders: Vec<SenderSpec>,
+}
+
+/// What one monitor observed over the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorReport {
+    /// Every published Trust/Suspect transition, canonicalized by
+    /// `(at, key)` — the deterministic replay timeline.
+    pub timeline: Vec<FleetEvent>,
+    /// Final detector output per stream (sorted by stream id), read at
+    /// the monitor's local end-of-run instant.
+    pub final_outputs: Vec<(u64, FdOutput)>,
+    /// Per-stream QoS estimates and verdicts at end of run (sorted by
+    /// stream id; empty when [`ClusterConfig::qos`] is `None`).
+    pub qos: Vec<(u64, QosMetrics, QosVerdict)>,
+    /// Heartbeats delivered to (and ingested by) this monitor.
+    pub ingested: u64,
+    /// Transition events lost to channel overflow — nonzero means the
+    /// timeline is untrustworthy, and envelopes assert it zero.
+    pub events_dropped: u64,
+}
+
+/// The full outcome of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name, from [`ClusterConfig::name`].
+    pub name: String,
+    /// The seed the run was driven by.
+    pub seed: u64,
+    /// Heartbeats emitted across the fleet.
+    pub beats_sent: u64,
+    /// Heartbeat deliveries across all monitors (sent × monitors −
+    /// losses − post-horizon arrivals).
+    pub deliveries: u64,
+    /// Discrete events processed by the scheduler (beats + deliveries);
+    /// the virtual-time throughput numerator.
+    pub sim_events: u64,
+    /// The scripted global run length.
+    pub virtual_duration: Span,
+    /// Per-monitor observations, indexed like [`ClusterConfig::monitors`].
+    pub monitors: Vec<MonitorReport>,
+}
+
+impl ScenarioReport {
+    /// An order-stable FNV-1a digest over every timeline event, final
+    /// output and QoS estimate — two runs replayed bit-identically iff
+    /// their digests match (used by the determinism harness and the
+    /// bench artifact).
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(self.name.as_bytes());
+        eat(&self.seed.to_le_bytes());
+        eat(&self.beats_sent.to_le_bytes());
+        eat(&self.deliveries.to_le_bytes());
+        for m in &self.monitors {
+            for e in &m.timeline {
+                eat(&e.key.to_le_bytes());
+                eat(&[matches!(e.output, FdOutput::Suspect) as u8]);
+                eat(&e.at.0.to_le_bytes());
+            }
+            for &(stream, out) in &m.final_outputs {
+                eat(&stream.to_le_bytes());
+                eat(&[matches!(out, FdOutput::Suspect) as u8]);
+            }
+            for (stream, metrics, verdict) in &m.qos {
+                eat(&stream.to_le_bytes());
+                eat(&metrics.detection_time.to_bits().to_le_bytes());
+                eat(&metrics.mistake_rate.to_bits().to_le_bytes());
+                eat(&metrics.avg_mistake_duration.to_bits().to_le_bytes());
+                eat(&metrics.query_accuracy.to_bits().to_le_bytes());
+                eat(&[verdict.met as u8]);
+            }
+        }
+        h
+    }
+
+    /// Total transitions observed across all monitors.
+    pub fn transitions(&self) -> usize {
+        self.monitors.iter().map(|m| m.timeline.len()).sum()
+    }
+}
+
+/// A scheduler event: a sender's beat deadline, or a heartbeat landing
+/// at a monitor.
+enum Ev {
+    Beat {
+        sender: usize,
+    },
+    Deliver {
+        monitor: usize,
+        stream: u64,
+        seq: u64,
+    },
+}
+
+/// Live state of one sender during the run.
+struct SenderState {
+    seq: u64,
+    /// One `(link model, private rng)` per monitor; a forked rng per
+    /// link keeps each link's random stream independent, so adding a
+    /// monitor (or more draws on one link) never perturbs another.
+    links: Vec<(twofd_sim::link::LinkModel, SimRng)>,
+}
+
+/// Live state of one monitor during the run.
+struct MonitorState {
+    rt: ShardRuntime,
+    clock: Arc<ManualClock>,
+    buffer: Vec<Job>,
+    timeline: Vec<FleetEvent>,
+    ingested: u64,
+    flushes: usize,
+}
+
+impl MonitorState {
+    /// The batch flush: ingest everything buffered, then advance the
+    /// virtual clock to the last arrival (enqueue-before-advance), and
+    /// drain whatever transitions the workers have published so far.
+    fn flush_batch(&mut self) {
+        let Some(&(_, _, last_arrival)) = self.buffer.last() else {
+            return;
+        };
+        self.rt.ingest_batch(&self.buffer);
+        self.ingested += self.buffer.len() as u64;
+        self.buffer.clear();
+        self.clock.advance_to(last_arrival);
+        self.timeline.extend(self.rt.events().try_iter());
+        self.flushes += 1;
+        if self.flushes.is_multiple_of(BARRIER_EVERY) {
+            // Bound in-flight work so the shard queues can never
+            // overflow (drops would be timing-dependent).
+            self.rt.flush();
+        }
+    }
+
+    /// Drains the event channel until every transition the runtime has
+    /// counted as published is collected. Called after the final
+    /// `flush` + `sweep_now`, when the run is quiescent: the loop only
+    /// spins while a worker is mid-publish, which lasts microseconds.
+    fn settle(&mut self) {
+        let mut stable = 0u32;
+        let mut last_published = u64::MAX;
+        loop {
+            self.timeline.extend(self.rt.events().try_iter());
+            let stats = self.rt.stats();
+            let published: u64 = stats.shards.iter().map(|s| s.to_trust + s.to_suspect).sum();
+            let collected = self.timeline.len() as u64 + stats.events_dropped;
+            if collected == published && published == last_published {
+                stable += 1;
+                if stable >= 3 {
+                    return;
+                }
+            } else {
+                stable = 0;
+            }
+            last_published = published;
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+/// Runs `config` under `seed`, returning the full deterministic report.
+///
+/// # Panics
+/// If the config is malformed: no monitors, a zero interval/duration,
+/// a sender whose `links` don't match the monitor count, or duplicate
+/// stream ids.
+pub fn run(config: &ClusterConfig, seed: u64) -> ScenarioReport {
+    assert!(!config.monitors.is_empty(), "need at least one monitor");
+    assert!(
+        !config.interval.is_zero(),
+        "heartbeat interval must be positive"
+    );
+    assert!(!config.duration.is_zero(), "run must cover some time");
+    for s in &config.senders {
+        assert_eq!(
+            s.links.len(),
+            config.monitors.len(),
+            "sender {} needs one link per monitor",
+            s.stream
+        );
+    }
+    {
+        let mut ids: Vec<u64> = config.senders.iter().map(|s| s.stream).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), config.senders.len(), "duplicate stream ids");
+    }
+
+    let mut root = SimRng::seed_from_u64(seed);
+    let mut senders: Vec<SenderState> = config
+        .senders
+        .iter()
+        .map(|s| SenderState {
+            seq: 0,
+            links: s
+                .links
+                .iter()
+                .map(|l| (l.instantiate(), root.fork()))
+                .collect(),
+        })
+        .collect();
+
+    let mut monitors: Vec<MonitorState> = config
+        .monitors
+        .iter()
+        .map(|m| {
+            let clock = Arc::new(ManualClock::new());
+            let rt = ShardRuntime::new(
+                ShardConfig {
+                    detector: config.detector.clone().into(),
+                    n_shards: m.n_shards,
+                    queue_capacity: QUEUE_CAPACITY,
+                    event_capacity: EVENT_CAPACITY,
+                    obs: ObsOptions {
+                        jitter: false,
+                        qos: config.qos.map(QosPlan::Uniform),
+                    },
+                    ..ShardConfig::default()
+                },
+                Arc::clone(&clock) as Arc<dyn TimeSource>,
+            );
+            // Pre-register the whole fleet: every stream has a defined
+            // output (initially Suspect) from the first instant, like a
+            // monitor bootstrapped from a membership list.
+            for s in &config.senders {
+                rt.register(s.stream);
+            }
+            MonitorState {
+                rt,
+                clock,
+                buffer: Vec::with_capacity(FLUSH_BATCH),
+                timeline: Vec::new(),
+                ingested: 0,
+                flushes: 0,
+            }
+        })
+        .collect();
+
+    let horizon = Nanos::ZERO + config.duration;
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    for (i, s) in config.senders.iter().enumerate() {
+        let first = s.clock.global_at(Nanos(config.interval.0));
+        if first < horizon && s.stop.is_none_or(|stop| first < stop) {
+            queue.schedule(first, Ev::Beat { sender: i });
+        }
+    }
+
+    let mut beats_sent = 0u64;
+    let mut deliveries = 0u64;
+    let mut sim_events = 0u64;
+    while let Some((t, ev)) = queue.pop() {
+        sim_events += 1;
+        match ev {
+            Ev::Beat { sender } => {
+                beats_sent += 1;
+                let spec = &config.senders[sender];
+                let state = &mut senders[sender];
+                state.seq += 1;
+                for (m, (link, rng)) in state.links.iter_mut().enumerate() {
+                    if let twofd_sim::Transmission::Delivered { delay } = link.transmit(rng, t) {
+                        let arrival = t + delay;
+                        if arrival < horizon {
+                            queue.schedule(
+                                arrival,
+                                Ev::Deliver {
+                                    monitor: m,
+                                    stream: spec.stream,
+                                    seq: state.seq,
+                                },
+                            );
+                        }
+                    }
+                }
+                let next_local = Nanos(config.interval.0.saturating_mul(state.seq + 1));
+                let next = spec.clock.global_at(next_local);
+                if next < horizon && spec.stop.is_none_or(|stop| next < stop) {
+                    queue.schedule(next, Ev::Beat { sender });
+                }
+            }
+            Ev::Deliver {
+                monitor,
+                stream,
+                seq,
+            } => {
+                deliveries += 1;
+                let local = config.monitors[monitor].clock.local(t);
+                let state = &mut monitors[monitor];
+                state.buffer.push((stream, seq, local));
+                if state.buffer.len() >= FLUSH_BATCH {
+                    state.flush_batch();
+                }
+            }
+        }
+    }
+
+    // End of run: flush the tail, advance every monitor to its local
+    // end instant, retire pending expiries synchronously, and collect.
+    let mut reports = Vec::with_capacity(monitors.len());
+    for (m, mut state) in monitors.into_iter().enumerate() {
+        state.flush_batch();
+        state.rt.flush();
+        let end_local = config.monitors[m].clock.local(horizon);
+        state.clock.advance_to(end_local);
+        state.rt.sweep_now();
+        state.settle();
+        // Canonical order: (at, key) is total — a stream cannot
+        // transition twice at one instant (an S needs a strictly
+        // earlier horizon; the T restoring it moves the horizon past
+        // it) — so sorting erases worker/channel interleaving.
+        state
+            .timeline
+            .sort_unstable_by_key(|e| (e.at, e.key, matches!(e.output, FdOutput::Suspect)));
+        let mut streams: Vec<u64> = config.senders.iter().map(|s| s.stream).collect();
+        streams.sort_unstable();
+        let final_outputs = streams
+            .iter()
+            .map(|&s| (s, state.rt.output(s).expect("registered stream")))
+            .collect();
+        let qos = if config.qos.is_some() {
+            streams
+                .iter()
+                .filter_map(|&s| {
+                    let metrics = state.rt.qos_metrics(s)?;
+                    let verdict = state.rt.qos_verdict(s)?;
+                    Some((s, metrics, verdict))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        reports.push(MonitorReport {
+            timeline: state.timeline,
+            final_outputs,
+            qos,
+            ingested: state.ingested,
+            events_dropped: state.rt.events_dropped(),
+        });
+    }
+
+    ScenarioReport {
+        name: config.name.clone(),
+        seed,
+        beats_sent,
+        deliveries,
+        sim_events,
+        virtual_duration: config.duration,
+        monitors: reports,
+    }
+}

@@ -7,10 +7,24 @@
 //! algorithms tolerate by construction (Eq. 2 estimates expected
 //! arrivals from receiver-side timestamps only, and `V(D)` is
 //! skew-invariant).
+//!
+//! [`SkewedClock`] scripts that setting deliberately: it wraps any base
+//! [`TimeSource`] with a fixed origin offset and a parts-per-million
+//! drift rate, so tests and the cluster simulator can hand each node a
+//! clock that disagrees with every other node's — and verify the
+//! detectors genuinely never compare timestamps across clock domains.
 
+// The `twofd_check` cfg swaps the clock's atomic for the instrumented
+// model-checker shim, so the `clock_model` suite can exhaust the
+// interleavings of `advance_to` against concurrent readers.
+#[cfg(not(twofd_check))]
 use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(twofd_check)]
+use twofd_check::sync::atomic::{AtomicU64, Ordering};
+
+use std::sync::Arc;
 use std::time::Instant;
-use twofd_sim::time::Nanos;
+use twofd_sim::time::{Nanos, Span};
 
 /// A source of monotone [`Nanos`] instants.
 ///
@@ -72,18 +86,78 @@ impl ManualClock {
 
     /// Advances the clock to `t` (no-op if `t` is in the past).
     pub fn advance_to(&self, t: Nanos) {
-        self.now.fetch_max(t.0, Ordering::SeqCst);
+        // Release (the AcqRel store half) pairs with the Acquire in
+        // `now`: a reader that observes the advanced value also sees
+        // every write the advancing thread made before the advance —
+        // e.g. heartbeats enqueued before the clock reached their
+        // arrival times, the invariant the deterministic drivers rely
+        // on. The Acquire half orders chained `advance_to` calls from
+        // different threads. SeqCst bought nothing on top: no reader
+        // compares orderings across more than this one location.
+        self.now.fetch_max(t.0, Ordering::AcqRel);
     }
 
     /// The current manual time.
     pub fn now(&self) -> Nanos {
-        Nanos(self.now.load(Ordering::SeqCst))
+        Nanos(self.now.load(Ordering::Acquire))
     }
 }
 
 impl TimeSource for ManualClock {
     fn now(&self) -> Nanos {
         ManualClock::now(self)
+    }
+}
+
+/// A [`TimeSource`] reading another source through a fixed origin
+/// offset and a parts-per-million drift rate.
+///
+/// Reads `offset + base · (1 + drift_ppm / 10⁶)`: positive `drift_ppm`
+/// runs fast, negative runs slow. With a monotone base and
+/// `drift_ppm > -1_000_000` the skewed axis is monotone too. This is
+/// the paper's unsynchronized-clocks setting made scriptable — hand
+/// each sender (or monitor) a differently skewed view of one underlying
+/// clock and the per-node axes disagree exactly like independent
+/// hardware clocks would.
+pub struct SkewedClock {
+    base: Arc<dyn TimeSource>,
+    offset: Span,
+    drift_ppm: i64,
+}
+
+impl SkewedClock {
+    /// Wraps `base` with an origin `offset` and `drift_ppm` drift.
+    ///
+    /// # Panics
+    /// If `drift_ppm <= -1_000_000` (time would stop or reverse).
+    pub fn new(base: Arc<dyn TimeSource>, offset: Span, drift_ppm: i64) -> Self {
+        assert!(
+            drift_ppm > -1_000_000,
+            "drift must leave the clock moving forward"
+        );
+        SkewedClock {
+            base,
+            offset,
+            drift_ppm,
+        }
+    }
+
+    /// The configured origin offset.
+    pub fn offset(&self) -> Span {
+        self.offset
+    }
+
+    /// The configured drift, in parts per million.
+    pub fn drift_ppm(&self) -> i64 {
+        self.drift_ppm
+    }
+}
+
+impl TimeSource for SkewedClock {
+    fn now(&self) -> Nanos {
+        let base = self.base.now().0 as i128;
+        let scaled = base * (1_000_000 + self.drift_ppm as i128) / 1_000_000;
+        Nanos(self.offset.0.saturating_add(scaled as u64))
     }
 }
 
@@ -120,6 +194,35 @@ mod tests {
         assert_eq!(c.now(), Nanos(500));
         let dynamic: &dyn TimeSource = &c;
         assert_eq!(dynamic.now(), Nanos(500));
+    }
+
+    #[test]
+    fn skewed_clock_applies_offset_and_drift() {
+        let manual = Arc::new(ManualClock::new());
+        let fast = SkewedClock::new(
+            Arc::clone(&manual) as Arc<dyn TimeSource>,
+            Span::from_secs(5),
+            100_000, // +10%
+        );
+        let slow = SkewedClock::new(
+            Arc::clone(&manual) as Arc<dyn TimeSource>,
+            Span::ZERO,
+            -500_000, // -50%
+        );
+        assert_eq!(fast.now(), Nanos::from_secs(5));
+        assert_eq!(slow.now(), Nanos::ZERO);
+        manual.advance_to(Nanos::from_secs(10));
+        assert_eq!(fast.now(), Nanos::from_secs(5) + Span::from_secs(11));
+        assert_eq!(slow.now(), Nanos::from_secs(5));
+        assert_eq!(fast.offset(), Span::from_secs(5));
+        assert_eq!(slow.drift_ppm(), -500_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "moving forward")]
+    fn skewed_clock_rejects_reversing_drift() {
+        let manual = Arc::new(ManualClock::new());
+        let _ = SkewedClock::new(manual, Span::ZERO, -1_000_000);
     }
 
     #[test]

@@ -16,8 +16,9 @@
 //! polling.
 
 use crate::clock::{MonotonicClock, TimeSource};
-use crate::intake::{BatchReceiver, BATCH};
+use crate::intake::BATCH;
 use crate::shard::{FleetEvent, Job, RuntimeStats, ShardConfig, ShardRuntime};
+use crate::transport::{Transport, UdpDatagramTransport, UdpTransport};
 use crate::wire::Heartbeat;
 use crossbeam::channel::Receiver;
 use parking_lot::Mutex;
@@ -78,6 +79,19 @@ impl FleetMonitor {
 
     /// Like [`FleetMonitor::spawn_with`] with an explicit [`IntakeMode`].
     pub fn spawn_with_intake(config: ShardConfig, mode: IntakeMode) -> io::Result<FleetMonitor> {
+        Self::spawn_with_clock(config, mode, Arc::new(MonotonicClock::new()))
+    }
+
+    /// Like [`FleetMonitor::spawn_with_intake`] with an explicit
+    /// [`TimeSource`] stamping arrivals and driving the sweepers. The
+    /// default constructors pass a fresh [`MonotonicClock`]; a
+    /// [`crate::clock::ManualClock`] here puts the whole UDP monitor on
+    /// a virtual time axis.
+    pub fn spawn_with_clock(
+        config: ShardConfig,
+        mode: IntakeMode,
+        clock: Arc<dyn TimeSource>,
+    ) -> io::Result<FleetMonitor> {
         let socket = UdpSocket::bind(("127.0.0.1", 0))?;
         let local_addr = socket.local_addr()?;
         // Short read timeout so the thread notices stop requests.
@@ -89,23 +103,50 @@ impl FleetMonitor {
             // Best-effort — the kernel caps it at net.core.rmem_max.
             let _ = crate::intake::set_recv_buffer(&socket, 4 << 20);
         }
+        match mode {
+            IntakeMode::Batched => {
+                Self::spawn_with_transport_at(config, UdpTransport::new(socket), clock, local_addr)
+            }
+            IntakeMode::PerDatagram => Self::spawn_with_transport_at(
+                config,
+                UdpDatagramTransport::new(socket),
+                clock,
+                local_addr,
+            ),
+        }
+    }
 
-        let clock = Arc::new(MonotonicClock::new());
-        let runtime = Arc::new(ShardRuntime::new(
-            config,
-            Arc::clone(&clock) as Arc<dyn TimeSource>,
-        ));
+    /// Spawns the monitor over an arbitrary [`Transport`] — the seam the
+    /// deterministic tests thread an in-memory
+    /// [`crate::transport::SimTransport`] through. The returned
+    /// handle's [`FleetMonitor::local_addr`] is the unspecified
+    /// `127.0.0.1:0`, since a non-socket transport has no address.
+    pub fn spawn_with_transport<T: Transport + 'static>(
+        config: ShardConfig,
+        transport: T,
+        clock: Arc<dyn TimeSource>,
+    ) -> io::Result<FleetMonitor> {
+        Self::spawn_with_transport_at(config, transport, clock, ([127, 0, 0, 1], 0).into())
+    }
+
+    fn spawn_with_transport_at<T: Transport + 'static>(
+        config: ShardConfig,
+        transport: T,
+        clock: Arc<dyn TimeSource>,
+        local_addr: SocketAddr,
+    ) -> io::Result<FleetMonitor> {
+        let runtime = Arc::new(ShardRuntime::new(config, Arc::clone(&clock)));
         let rejected = runtime.registry().counter(
             "twofd_monitor_rejected_total",
             "Malformed datagrams dropped by the ingestion thread",
         );
         let intake_batches = runtime.registry().counter(
             "twofd_intake_batches_total",
-            "Socket receive calls that returned at least one datagram",
+            "Transport receive calls that returned at least one datagram",
         );
         let intake_datagrams = runtime.registry().counter(
             "twofd_intake_datagrams_total",
-            "Datagrams pulled off the socket (valid or not)",
+            "Datagrams pulled off the transport (valid or not)",
         );
         let stop = Arc::new(AtomicBool::new(false));
 
@@ -115,25 +156,16 @@ impl FleetMonitor {
             let rejected = rejected.clone();
             thread::Builder::new()
                 .name("twofd-fleet-ingest".into())
-                .spawn(move || match mode {
-                    IntakeMode::Batched => ingest_batched(
-                        socket,
+                .spawn(move || {
+                    ingest_loop(
+                        transport,
                         runtime,
                         clock,
                         stop,
                         rejected,
                         intake_batches,
                         intake_datagrams,
-                    ),
-                    IntakeMode::PerDatagram => ingest_per_datagram(
-                        socket,
-                        runtime,
-                        clock,
-                        stop,
-                        rejected,
-                        intake_batches,
-                        intake_datagrams,
-                    ),
+                    )
                 })?
         };
 
@@ -264,26 +296,29 @@ impl Drop for FleetMonitor {
     }
 }
 
-/// Batched ingest loop: one kernel crossing, one clock read, and one
-/// [`ShardRuntime::ingest_batch`] per batch. Decoding borrows the
-/// receiver's arena, so the whole path is allocation-free after the
-/// initial `jobs` reservation.
-fn ingest_batched(
-    socket: UdpSocket,
+/// The one ingest loop, generic over the [`Transport`] seam: one
+/// `recv_batch`, one clock read, and one [`ShardRuntime::ingest_batch`]
+/// per batch. Decoding borrows the transport's buffers, so the UDP path
+/// is allocation-free after the initial `jobs` reservation. The old
+/// per-datagram loop is this loop over a batch of one — feeding the
+/// same datagrams through either produces the identical transition
+/// timeline (batching is invisible to detector semantics; see
+/// [`ShardRuntime::ingest_batch`]).
+fn ingest_loop<T: Transport>(
+    mut transport: T,
     runtime: Arc<ShardRuntime>,
-    clock: Arc<MonotonicClock>,
+    clock: Arc<dyn TimeSource>,
     stop: Arc<AtomicBool>,
     rejected: Counter,
     intake_batches: Counter,
     intake_datagrams: Counter,
 ) {
-    let mut receiver = BatchReceiver::new();
     let mut jobs: Vec<Job> = Vec::with_capacity(BATCH);
     loop {
         if stop.load(Ordering::Acquire) {
             return;
         }
-        let n = match receiver.recv_batch(&socket) {
+        let n = match transport.recv_batch() {
             Ok(n) => n,
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
@@ -292,14 +327,17 @@ fn ingest_batched(
             }
             Err(_) => return,
         };
+        if n == 0 {
+            continue;
+        }
         // One arrival timestamp for the whole batch: every datagram in
-        // it was already queued in the socket buffer at this instant, so
-        // a shared "now" is at least as accurate as serially reading the
-        // clock while the rest of the batch waits.
+        // it was already queued in the transport's buffer at this
+        // instant, so a shared "now" is at least as accurate as serially
+        // reading the clock while the rest of the batch waits.
         let arrival = clock.now();
         jobs.clear();
         for i in 0..n {
-            match Heartbeat::decode(receiver.datagram(i)) {
+            match Heartbeat::decode(transport.datagram(i)) {
                 Ok(hb) => jobs.push((hb.stream, hb.seq, arrival)),
                 Err(_) => rejected.inc(),
             }
@@ -307,42 +345,6 @@ fn ingest_batched(
         intake_batches.inc();
         intake_datagrams.add(n as u64);
         runtime.ingest_batch(&jobs);
-    }
-}
-
-/// The original per-datagram loop: one `recv`, clock read, and enqueue
-/// per heartbeat. Kept behind [`IntakeMode::PerDatagram`] so tests and
-/// benchmarks can compare both paths in-tree.
-fn ingest_per_datagram(
-    socket: UdpSocket,
-    runtime: Arc<ShardRuntime>,
-    clock: Arc<MonotonicClock>,
-    stop: Arc<AtomicBool>,
-    rejected: Counter,
-    intake_batches: Counter,
-    intake_datagrams: Counter,
-) {
-    let mut buf = [0u8; 128];
-    loop {
-        if stop.load(Ordering::Acquire) {
-            return;
-        }
-        let len = match socket.recv(&mut buf) {
-            Ok(len) => len,
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(_) => return,
-        };
-        let arrival = clock.now();
-        intake_batches.inc();
-        intake_datagrams.inc();
-        match Heartbeat::decode(&buf[..len]) {
-            Ok(hb) => runtime.ingest(hb.stream, hb.seq, arrival),
-            Err(_) => rejected.inc(),
-        }
     }
 }
 

@@ -16,6 +16,8 @@
 //!   freshness sweeping and drop-oldest backpressure.
 //! * [`intake`] — batch UDP receive: `recvmmsg(2)` on Linux (raw FFI,
 //!   no extra crates), portable single-`recv` fallback elsewhere.
+//! * [`transport`] — the send/recv seam: UDP (batched or per-datagram)
+//!   and an in-memory pair for deterministic, socket-free runs.
 //! * [`fleet`] — one socket monitoring many senders, demultiplexed by
 //!   the wire format's stream id into the sharded runtime.
 //!
@@ -36,14 +38,19 @@ pub mod intake;
 pub mod monitor;
 pub mod sender;
 pub mod shard;
+pub mod transport;
 pub mod wire;
 
-pub use clock::{ManualClock, MonotonicClock, TimeSource};
+pub use clock::{ManualClock, MonotonicClock, SkewedClock, TimeSource};
 pub use fleet::{FleetMonitor, IntakeMode};
 pub use intake::BatchReceiver;
 pub use monitor::{Monitor, TransitionEvent};
 pub use sender::HeartbeatSender;
 pub use shard::{
     DetectorPlan, FleetEvent, Job, ObsOptions, RuntimeStats, ShardConfig, ShardRuntime, ShardStats,
+};
+pub use transport::{
+    sim_channel, SenderTransport, SimSender, SimTransport, Transport, UdpDatagramTransport,
+    UdpSenderTransport, UdpTransport,
 };
 pub use wire::{Heartbeat, WireError, WIRE_SIZE};

@@ -10,7 +10,7 @@
 //! dropped (newest-first) and counted in
 //! [`Monitor::events_dropped`] rather than growing memory without limit.
 
-use crate::clock::MonotonicClock;
+use crate::clock::{MonotonicClock, TimeSource};
 use crate::wire::Heartbeat;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
@@ -54,7 +54,7 @@ struct Shared {
     stop: AtomicBool,
     received: Counter,
     rejected: Counter,
-    clock: MonotonicClock,
+    clock: Arc<dyn TimeSource>,
     events: Sender<TransitionEvent>,
     events_dropped: Counter,
 }
@@ -88,6 +88,20 @@ impl Monitor {
         detectors: Vec<DetectorConfig>,
         event_capacity: usize,
     ) -> io::Result<Monitor> {
+        Self::spawn_with_clock(detectors, event_capacity, Arc::new(MonotonicClock::new()))
+    }
+
+    /// Like [`Monitor::spawn_with_event_capacity`] with an explicit
+    /// [`TimeSource`] stamping arrivals and timing queries — the clock
+    /// seam that lets a deterministic driver put the monitor on a
+    /// virtual time axis. The default constructors pass a fresh
+    /// [`MonotonicClock`] (its own origin, deliberately unsynchronized
+    /// with any sender's, as in the paper).
+    pub fn spawn_with_clock(
+        detectors: Vec<DetectorConfig>,
+        event_capacity: usize,
+        clock: Arc<dyn TimeSource>,
+    ) -> io::Result<Monitor> {
         assert!(!detectors.is_empty(), "monitor needs at least one detector");
         let detectors: Vec<AnyDetector> = detectors.iter().map(DetectorConfig::build).collect();
         let socket = UdpSocket::bind(("127.0.0.1", 0))?;
@@ -106,7 +120,7 @@ impl Monitor {
             stop: AtomicBool::new(false),
             received: Counter::new(),
             rejected: Counter::new(),
-            clock: MonotonicClock::new(),
+            clock,
             events: tx,
             events_dropped: Counter::new(),
         });

@@ -6,7 +6,8 @@
 //! (stops for ever), which is how the live examples and integration
 //! tests exercise actual failure detection end to end.
 
-use crate::clock::MonotonicClock;
+use crate::clock::{MonotonicClock, TimeSource};
+use crate::transport::{SenderTransport, UdpSenderTransport};
 use crate::wire::{Heartbeat, WIRE_SIZE};
 use parking_lot::Mutex;
 use std::io;
@@ -42,20 +43,70 @@ pub struct HeartbeatSender {
 
 impl HeartbeatSender {
     /// Spawns a sender emitting heartbeats for `stream` every `interval`
-    /// to `target`.
+    /// to `target`, timed by a fresh [`MonotonicClock`] (its own origin,
+    /// deliberately unsynchronized with the monitor's — the paper's
+    /// clock model).
     pub fn spawn(stream: u64, interval: Span, target: SocketAddr) -> io::Result<HeartbeatSender> {
-        assert!(!interval.is_zero(), "heartbeat interval must be positive");
+        Self::spawn_with_clock(stream, interval, target, Arc::new(MonotonicClock::new()))
+    }
+
+    /// Like [`HeartbeatSender::spawn`] with an explicit [`TimeSource`]
+    /// timing the beats — e.g. a [`crate::clock::SkewedClock`] to script
+    /// this sender's clock running fast, slow, or offset from every
+    /// other node's.
+    pub fn spawn_with_clock(
+        stream: u64,
+        interval: Span,
+        target: SocketAddr,
+        clock: Arc<dyn TimeSource>,
+    ) -> io::Result<HeartbeatSender> {
         let socket = UdpSocket::bind(("127.0.0.1", 0))?;
         let local_addr = socket.local_addr()?;
         socket.connect(target)?;
+        Self::spawn_on_at(
+            stream,
+            interval,
+            UdpSenderTransport::new(socket),
+            clock,
+            local_addr,
+        )
+    }
 
+    /// Spawns the sender over an arbitrary [`SenderTransport`] — the
+    /// seam that lets tests emit heartbeats into an in-memory
+    /// [`crate::transport::SimSender`] inbox instead of a socket. The
+    /// returned handle's [`HeartbeatSender::local_addr`] is the
+    /// unspecified `127.0.0.1:0`, since a non-socket transport has no
+    /// address.
+    pub fn spawn_on<T: SenderTransport + 'static>(
+        stream: u64,
+        interval: Span,
+        transport: T,
+        clock: Arc<dyn TimeSource>,
+    ) -> io::Result<HeartbeatSender> {
+        Self::spawn_on_at(
+            stream,
+            interval,
+            transport,
+            clock,
+            ([127, 0, 0, 1], 0).into(),
+        )
+    }
+
+    fn spawn_on_at<T: SenderTransport + 'static>(
+        stream: u64,
+        interval: Span,
+        mut transport: T,
+        clock: Arc<dyn TimeSource>,
+        local_addr: SocketAddr,
+    ) -> io::Result<HeartbeatSender> {
+        assert!(!interval.is_zero(), "heartbeat interval must be positive");
         let shared = Arc::new(Shared {
             crashed: AtomicBool::new(false),
             paused: AtomicBool::new(false),
             sent: AtomicU64::new(0),
         });
         let thread_shared = Arc::clone(&shared);
-        let clock = MonotonicClock::new();
         let period = Duration::from_nanos(interval.0);
 
         let thread = thread::Builder::new()
@@ -102,7 +153,7 @@ impl HeartbeatSender {
                     // Send errors (e.g. monitor socket gone) are treated
                     // as losses; the detector's whole job is surviving
                     // those.
-                    let _ = socket.send(&buf);
+                    let _ = transport.send(&buf);
                     // ordering: Relaxed — standalone stat counter; no
                     // reader infers other memory from its value.
                     thread_shared.sent.fetch_add(1, Ordering::Relaxed);

@@ -447,6 +447,11 @@ impl RuntimeStats {
 struct Inner {
     shards: Vec<Shard>,
     events_rx: Receiver<FleetEvent>,
+    /// The workers' event channel, kept here too so
+    /// [`ShardRuntime::sweep_now`] can publish caller-driven sweeps
+    /// through the same stream. Does not keep workers alive — they own
+    /// their own clones, and shutdown is the job queues disconnecting.
+    events_tx: Sender<FleetEvent>,
     events_dropped: Counter,
     clock: Arc<dyn TimeSource>,
 }
@@ -679,6 +684,7 @@ impl ShardRuntime {
         let inner = Arc::new(Inner {
             shards,
             events_rx,
+            events_tx,
             events_dropped,
             clock,
         });
@@ -974,6 +980,57 @@ impl ShardRuntime {
                 return;
             }
             thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Runs one expiry sweep over every shard from the *caller's*
+    /// thread, at the clock's current instant, publishing any resulting
+    /// Trust→Suspect transitions through the same [`ShardRuntime::events`]
+    /// channel the workers use.
+    ///
+    /// This is the virtual-time barrier: a deterministic driver that
+    /// jumps a [`crate::clock::ManualClock`] past a trust horizon calls
+    /// [`ShardRuntime::flush`], advances the clock, then `sweep_now` —
+    /// and the suspicion is published before the call returns, instead
+    /// of whenever a parked worker next re-validates its deadline
+    /// (bounded only by `sweep_interval` wall time). Idempotent: a
+    /// sweep retires each expired horizon exactly once, so calling
+    /// again — or racing a worker's own sweep, with which it serializes
+    /// on the shard lock — publishes nothing twice.
+    pub fn sweep_now(&self) {
+        let now = self.inner.clock.now();
+        let mut events: Vec<FleetEvent> = Vec::new();
+        for shard in &self.inner.shards {
+            {
+                let mut set = shard.shared.set.lock();
+                // xtask:allow(wall_clock) — measures sweep duration for
+                // the sweep_hist metric; never feeds detector decisions.
+                let sweep_started = std::time::Instant::now();
+                set.sweep(now, &mut events);
+                shard
+                    .shared
+                    .sweep_hist
+                    .observe_ns(sweep_started.elapsed().as_nanos() as u64);
+            }
+            if events.is_empty() {
+                continue;
+            }
+            // Feed the QoS trackers outside the set lock, exactly like
+            // the worker (lock order: `set` strictly before `hot`).
+            if let Some(hot) = &shard.shared.hot {
+                let mut hot = hot.lock();
+                if hot.qos.is_some() {
+                    for event in &events {
+                        hot.on_transition(event);
+                    }
+                }
+            }
+            publish(
+                &shard.shared,
+                &self.inner.events_tx,
+                &self.inner.events_dropped,
+                &mut events,
+            );
         }
     }
 }
@@ -1376,6 +1433,48 @@ mod tests {
             .filter(|e| e.key == 1 && e.output == FdOutput::Trust)
             .count();
         assert_eq!(stream1_t as u64, last_round, "one T per incarnation");
+        assert_eq!(rt.events_dropped(), 0);
+    }
+
+    /// `sweep_now` must retire expired horizons synchronously — the
+    /// events are in the channel the moment the call returns, with no
+    /// dependence on a worker waking up. Exercised with workers parked
+    /// far away so only the caller-driven sweep can plausibly run.
+    #[test]
+    fn sweep_now_publishes_expiries_synchronously() {
+        let clock = Arc::new(ManualClock::new());
+        let config = ShardConfig {
+            detector: plan(),
+            n_shards: 2,
+            sweep_interval: Duration::from_secs(3600),
+            ..ShardConfig::default()
+        };
+        let rt = ShardRuntime::new(config, clock.clone() as Arc<dyn TimeSource>);
+        clock.advance_to(hb(1));
+        rt.ingest(4, 1, hb(1));
+        rt.ingest(5, 1, hb(1));
+        rt.flush();
+        let horizons: HashMap<u64, Nanos> = rt
+            .statuses()
+            .iter()
+            .map(|s| (s.key, s.trust_until.unwrap()))
+            .collect();
+        let max_horizon = horizons.values().copied().max().unwrap();
+        clock.advance_to(max_horizon + Span::from_secs(1));
+        rt.sweep_now();
+        // No polling loop: everything is already published.
+        let events: Vec<FleetEvent> = rt.events().try_iter().collect();
+        let suspects: Vec<_> = events
+            .iter()
+            .filter(|e| e.output == FdOutput::Suspect)
+            .collect();
+        assert_eq!(suspects.len(), 2, "{events:?}");
+        for event in suspects {
+            assert_eq!(event.at, horizons[&event.key], "exact expiry stamp");
+        }
+        // Idempotent: a second sweep finds nothing left to retire.
+        rt.sweep_now();
+        assert_eq!(rt.events().try_iter().count(), 0);
         assert_eq!(rt.events_dropped(), 0);
     }
 

@@ -38,7 +38,7 @@ use twofd_core::{Decision, FdOutput, Mistake, QosMetrics, QosSpec};
 use twofd_sim::time::{Nanos, Span};
 
 /// Configuration for one stream's [`QosTracker`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QosTrackerConfig {
     /// The contracted bound to judge against; `None` tracks estimates
     /// without issuing verdicts (the verdict is then vacuously met).

@@ -15,6 +15,8 @@
 //!   log-normal delays for WAN-like behaviour.
 //! * [`loss`] — loss models, including Gilbert–Elliott bursty loss.
 //! * [`scenario`] — phase-scripted network regimes (Stable/Burst/Worm…).
+//! * [`link`] — time-windowed directives (blackouts, brownouts, extra
+//!   loss) layered over a scenario to script one directed link.
 //! * [`event`] — a stable discrete-event queue for service simulations.
 //! * [`heartbeat`] — the paper's process model: `p` sends `m_i` at
 //!   `i · Δi` through a scripted network, optionally crashing.
@@ -28,6 +30,7 @@
 pub mod delay;
 pub mod event;
 pub mod heartbeat;
+pub mod link;
 pub mod loss;
 pub mod rng;
 pub mod scenario;
@@ -36,6 +39,7 @@ pub mod time;
 pub use delay::{DelayModel, DelaySpec};
 pub use event::EventQueue;
 pub use heartbeat::{HeartbeatOutcome, HeartbeatRun};
+pub use link::{LinkDirective, LinkEffect, LinkModel, LinkSpec};
 pub use loss::{LossModel, LossSpec};
 pub use rng::{DistSpec, SimRng};
 pub use scenario::{NetworkScenario, Phase, ScenarioNetwork, Transmission};

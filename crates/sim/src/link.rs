@@ -1,0 +1,322 @@
+//! Link-level scenario directives.
+//!
+//! A [`crate::scenario::NetworkScenario`] scripts regimes by *heartbeat
+//! count* — good for single-sender traces, but a cluster simulation
+//! needs to script the behaviour of a directed **link** (sender →
+//! monitor) in *time*: "this link blacks out from t=30s to t=45s",
+//! "that one browns out with +200ms delay and 30% loss for a minute".
+//! A [`LinkSpec`] is a base scenario plus an ordered list of
+//! time-windowed [`LinkDirective`]s layered on top.
+//!
+//! Asymmetric behaviour falls out of directionality: each simulated
+//! link owns its own `LinkSpec`, so partitioning A→B while leaving B→A
+//! clean is just two different specs. Correlated burst loss scripts as
+//! a Gilbert–Elliott base plus `Lossy` windows; a slow-node brownout is
+//! `ExtraDelay` + `Lossy` over the same window.
+//!
+//! Like [`crate::loss::ScriptedLoss`], the base scenario's models are
+//! advanced for **every** transmission — even ones a `Blackout`
+//! directive then discards — so adding or removing directives never
+//! shifts the base random stream relative to an unscripted run.
+
+use crate::rng::SimRng;
+use crate::scenario::{NetworkScenario, ScenarioNetwork, Transmission};
+use crate::time::{Nanos, Span};
+use serde::{Deserialize, Serialize};
+
+/// What a [`LinkDirective`] does to transmissions inside its window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LinkEffect {
+    /// Drop every message (a hard partition of this direction).
+    Blackout,
+    /// Add a constant delay on top of whatever the base model drew
+    /// (a congested or distant path).
+    ExtraDelay {
+        /// Added one-way delay in nanoseconds.
+        nanos: u64,
+    },
+    /// Drop messages with an extra independent probability, on top of
+    /// the base loss model (a brownout's flaky half).
+    Lossy {
+        /// Additional independent loss probability.
+        p: f64,
+    },
+}
+
+/// One time-windowed effect on a link: `effect` applies to every
+/// message sent in `[start, end)` (nanoseconds, half-open — the same
+/// convention as [`crate::loss::LossSpec::Scripted`] windows).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkDirective {
+    /// Window start (inclusive), in nanoseconds of send time.
+    pub start: u64,
+    /// Window end (exclusive), in nanoseconds of send time.
+    pub end: u64,
+    /// The effect applied inside the window.
+    pub effect: LinkEffect,
+}
+
+impl LinkDirective {
+    /// Whether the window covers a message sent at `t`.
+    pub fn covers(&self, t: Nanos) -> bool {
+        t.0 >= self.start && t.0 < self.end
+    }
+}
+
+/// Serializable description of one directed link: a base
+/// [`NetworkScenario`] plus layered time-windowed directives.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Baseline behaviour (phase-scripted delay and loss).
+    pub scenario: NetworkScenario,
+    /// Time-windowed effects layered over the baseline, applied in
+    /// order for every covered message.
+    pub directives: Vec<LinkDirective>,
+}
+
+impl LinkSpec {
+    /// A link with baseline behaviour only.
+    pub fn clean(scenario: NetworkScenario) -> Self {
+        LinkSpec {
+            scenario,
+            directives: Vec::new(),
+        }
+    }
+
+    /// Adds a directive window (builder-style).
+    pub fn with(mut self, start: Span, end: Span, effect: LinkEffect) -> Self {
+        assert!(start.0 < end.0, "directive window must be non-empty");
+        if let LinkEffect::Lossy { p } = effect {
+            assert!((0.0..=1.0).contains(&p), "loss must be a probability");
+        }
+        self.directives.push(LinkDirective {
+            start: start.0,
+            end: end.0,
+            effect,
+        });
+        self
+    }
+
+    /// Instantiates the live model.
+    pub fn instantiate(&self) -> LinkModel {
+        LinkModel {
+            network: self.scenario.instantiate(),
+            directives: self.directives.clone(),
+        }
+    }
+}
+
+/// A [`LinkSpec`] with live base-model state.
+pub struct LinkModel {
+    network: ScenarioNetwork,
+    directives: Vec<LinkDirective>,
+}
+
+impl LinkModel {
+    /// Transmits the next message over this link (sent at `send_time`);
+    /// messages must be offered in send order, one call per message.
+    ///
+    /// The base scenario always draws first (keeping its random stream
+    /// aligned with an unscripted run), then every directive covering
+    /// `send_time` applies in list order: a `Blackout` loses the
+    /// message outright, a `Lossy` window flips one extra coin, and
+    /// `ExtraDelay` stretches whatever delay survives.
+    pub fn transmit(&mut self, rng: &mut SimRng, send_time: Nanos) -> Transmission {
+        let base = self.network.transmit(rng, send_time);
+        let mut delay = match base {
+            Transmission::Lost => None,
+            Transmission::Delivered { delay } => Some(delay),
+        };
+        for directive in &self.directives {
+            if !directive.covers(send_time) {
+                continue;
+            }
+            match directive.effect {
+                LinkEffect::Blackout => delay = None,
+                LinkEffect::Lossy { p } => {
+                    // Drawn even for already-lost messages so that the
+                    // base loss pattern does not shift this window's
+                    // coin sequence.
+                    if rng.chance(p) {
+                        delay = None;
+                    }
+                }
+                LinkEffect::ExtraDelay { nanos } => {
+                    delay = delay.map(|d| Span(d.0.saturating_add(nanos)));
+                }
+            }
+        }
+        match delay {
+            Some(delay) => Transmission::Delivered { delay },
+            None => Transmission::Lost,
+        }
+    }
+
+    /// Messages transmitted so far.
+    pub fn transmitted(&self) -> u64 {
+        self.network.transmitted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::DelaySpec;
+    use crate::loss::LossSpec;
+
+    fn base() -> NetworkScenario {
+        NetworkScenario::uniform(
+            "clean",
+            1_000,
+            DelaySpec::Constant { nanos: 1_000_000 },
+            LossSpec::None,
+        )
+    }
+
+    #[test]
+    fn blackout_window_partitions_the_link() {
+        let spec = LinkSpec::clean(base()).with(
+            Span::from_secs(10),
+            Span::from_secs(20),
+            LinkEffect::Blackout,
+        );
+        let mut link = spec.instantiate();
+        let mut rng = SimRng::seed_from_u64(1);
+        assert!(matches!(
+            link.transmit(&mut rng, Nanos::from_secs(9)),
+            Transmission::Delivered { .. }
+        ));
+        assert_eq!(
+            link.transmit(&mut rng, Nanos::from_secs(10)),
+            Transmission::Lost
+        );
+        assert_eq!(
+            link.transmit(&mut rng, Nanos::from_secs(19)),
+            Transmission::Lost
+        );
+        assert!(matches!(
+            link.transmit(&mut rng, Nanos::from_secs(20)),
+            Transmission::Delivered { .. }
+        ));
+    }
+
+    #[test]
+    fn extra_delay_stretches_deliveries_inside_the_window() {
+        let spec = LinkSpec::clean(base()).with(
+            Span::from_secs(5),
+            Span::from_secs(6),
+            LinkEffect::ExtraDelay { nanos: 200_000_000 },
+        );
+        let mut link = spec.instantiate();
+        let mut rng = SimRng::seed_from_u64(2);
+        assert_eq!(
+            link.transmit(&mut rng, Nanos::from_secs(4)),
+            Transmission::Delivered {
+                delay: Span::from_millis(1)
+            }
+        );
+        assert_eq!(
+            link.transmit(&mut rng, Nanos::from_secs(5)),
+            Transmission::Delivered {
+                delay: Span::from_millis(201)
+            }
+        );
+    }
+
+    #[test]
+    fn lossy_window_raises_the_loss_rate() {
+        let spec = LinkSpec::clean(base()).with(
+            Span::ZERO,
+            Span::from_secs(1_000_000),
+            LinkEffect::Lossy { p: 0.5 },
+        );
+        let mut link = spec.instantiate();
+        let mut rng = SimRng::seed_from_u64(3);
+        let n = 10_000;
+        let lost = (0..n)
+            .filter(|i| link.transmit(&mut rng, Nanos::from_millis(*i)) == Transmission::Lost)
+            .count();
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.5).abs() < 0.03, "rate {rate}");
+    }
+
+    /// Directives must not shift the base random stream: outside every
+    /// window, a scripted link behaves bit-identically to a clean one.
+    #[test]
+    fn directives_leave_the_base_stream_unshifted() {
+        let stochastic = NetworkScenario::uniform(
+            "wan",
+            1_000,
+            DelaySpec::Ar1LogNormal {
+                mean_secs: 0.02,
+                std_dev_secs: 0.01,
+                rho: 0.9,
+                floor_nanos: 1_000_000,
+            },
+            LossSpec::Bernoulli { p: 0.05 },
+        );
+        let scripted = LinkSpec::clean(stochastic.clone()).with(
+            Span::from_secs(10),
+            Span::from_secs(20),
+            LinkEffect::Blackout,
+        );
+        let clean = LinkSpec::clean(stochastic);
+        let mut a = scripted.instantiate();
+        let mut b = clean.instantiate();
+        let mut rng_a = SimRng::seed_from_u64(9);
+        let mut rng_b = SimRng::seed_from_u64(9);
+        for i in 0..300u64 {
+            let t = Nanos::from_millis(i * 100);
+            let ta = a.transmit(&mut rng_a, t);
+            let tb = b.transmit(&mut rng_b, t);
+            if t >= Nanos::from_secs(10) && t < Nanos::from_secs(20) {
+                assert_eq!(ta, Transmission::Lost);
+            } else {
+                assert_eq!(ta, tb, "diverged at t={t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn brownout_composes_delay_and_loss() {
+        let spec = LinkSpec::clean(base())
+            .with(
+                Span::from_secs(1),
+                Span::from_secs(2),
+                LinkEffect::ExtraDelay { nanos: 100_000_000 },
+            )
+            .with(
+                Span::from_secs(1),
+                Span::from_secs(2),
+                LinkEffect::Lossy { p: 0.0 },
+            );
+        let mut link = spec.instantiate();
+        let mut rng = SimRng::seed_from_u64(4);
+        assert_eq!(
+            link.transmit(&mut rng, Nanos::from_millis(1_500)),
+            Transmission::Delivered {
+                delay: Span::from_millis(101)
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_empty_windows_and_bad_probabilities() {
+        assert!(std::panic::catch_unwind(|| {
+            LinkSpec::clean(base()).with(
+                Span::from_secs(2),
+                Span::from_secs(2),
+                LinkEffect::Blackout,
+            )
+        })
+        .is_err());
+        assert!(std::panic::catch_unwind(|| {
+            LinkSpec::clean(base()).with(
+                Span::ZERO,
+                Span::from_secs(1),
+                LinkEffect::Lossy { p: 1.5 },
+            )
+        })
+        .is_err());
+    }
+}

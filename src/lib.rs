@@ -14,6 +14,9 @@
 //! * [`net`] — a live UDP heartbeat transport.
 //! * [`obs`] — live observability: lock-free metrics, online QoS
 //!   tracking against contracted bounds, Prometheus exposition.
+//! * [`cluster`] — a deterministic virtual-time cluster simulator that
+//!   drives the real [`net`] runtime through a scripted scenario
+//!   library (crashes, partitions, brownouts, clock skew, churn).
 //!
 //! ## Quickstart
 //!
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use twofd_cluster as cluster;
 pub use twofd_core as core;
 pub use twofd_net as net;
 pub use twofd_obs as obs;

@@ -1,0 +1,72 @@
+//! End-to-end cluster simulation: the scripted scenario library runs
+//! the real sharded monitor runtime in virtual time, every scenario's
+//! report must land inside its declared QoS envelope, and every run
+//! must replay bit-identically from its seed.
+
+use twofd::cluster::{library, Scale, Scenario};
+
+const SEED: u64 = 0x2FD0_51ED;
+
+fn by_name(name: &str) -> Scenario {
+    library(Scale::Quick)
+        .into_iter()
+        .find(|s| s.name() == name)
+        .expect("scenario in library")
+}
+
+#[test]
+fn every_scenario_lands_in_its_envelope() {
+    for scenario in library(Scale::Quick) {
+        match scenario.run_checked(SEED) {
+            Ok(report) => {
+                assert!(
+                    report.deliveries > 0,
+                    "{}: no heartbeats delivered",
+                    scenario.name()
+                );
+            }
+            Err(violations) => panic!(
+                "scenario {} violated its envelope:\n  {}",
+                scenario.name(),
+                violations.join("\n  ")
+            ),
+        }
+    }
+}
+
+#[test]
+fn same_seed_replays_bit_identically() {
+    // `crash` exercises both arrival ingestion and sweep-driven
+    // expiries, so its timeline, final outputs and QoS metrics all
+    // depend on the stochastic link draws.
+    let scenario = by_name("crash");
+    let a = scenario.run(42);
+    let b = scenario.run(42);
+    assert_eq!(a, b, "same seed must reproduce the identical report");
+    assert_eq!(a.digest(), b.digest());
+    assert!(a.transitions() > 0, "crash scenario must produce events");
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let scenario = by_name("crash");
+    let a = scenario.run(1);
+    let b = scenario.run(2);
+    assert_ne!(
+        a.digest(),
+        b.digest(),
+        "stochastic link delays must make distinct seeds observable"
+    );
+}
+
+#[test]
+fn qos_metrics_replay_exactly() {
+    // QosMetrics are f64-valued estimates; determinism means exact
+    // bit-equality, not approximate agreement.
+    let scenario = by_name("steady_state");
+    let a = scenario.run(7);
+    let b = scenario.run(7);
+    for (ma, mb) in a.monitors.iter().zip(&b.monitors) {
+        assert_eq!(ma.qos, mb.qos);
+    }
+}

@@ -1,0 +1,85 @@
+//! End-to-end over the in-memory transport seam: the same fleet
+//! monitor and heartbeat sender that run over UDP, threaded through a
+//! `sim_channel` pair instead — no sockets, no kernel, identical
+//! behavior contract (trust, crash detection, skewed sender clocks).
+
+use std::sync::Arc;
+use std::thread::sleep;
+use std::time::{Duration, Instant};
+use twofd::core::{DetectorConfig, DetectorSpec, FdOutput};
+use twofd::net::{
+    sim_channel, FleetMonitor, HeartbeatSender, MonotonicClock, ShardConfig, SkewedClock,
+};
+use twofd::sim::Span;
+
+fn wait_for(mut cond: impl FnMut() -> bool, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+fn config(interval: Span, margin: Span) -> ShardConfig {
+    ShardConfig {
+        detector: DetectorConfig::new(
+            DetectorSpec::TwoWindow { n1: 1, n2: 100 },
+            interval,
+            margin.as_secs_f64(),
+        )
+        .into(),
+        ..ShardConfig::default()
+    }
+}
+
+#[test]
+fn fleet_runs_over_the_in_memory_transport() {
+    let interval = Span::from_millis(10);
+    let (sim_tx, sim_rx) = sim_channel(4096);
+    let monitor = FleetMonitor::spawn_with_transport(
+        config(interval, Span::from_millis(50)),
+        sim_rx,
+        Arc::new(MonotonicClock::new()),
+    )
+    .expect("spawn over sim transport");
+
+    // Two senders share the monitor's inbox through cloned handles; one
+    // of them runs on a deliberately skewed clock (20% fast, offset by
+    // an hour) — receiver-side timestamps must not care.
+    let sender_a =
+        HeartbeatSender::spawn_on(7, interval, sim_tx.clone(), Arc::new(MonotonicClock::new()))
+            .expect("spawn sender");
+    let skewed = SkewedClock::new(
+        Arc::new(MonotonicClock::new()),
+        Span::from_secs(3600),
+        200_000, // +20% fast
+    );
+    let sender_b = HeartbeatSender::spawn_on(9, interval, sim_tx, Arc::new(skewed))
+        .expect("spawn skewed sender");
+
+    assert!(
+        wait_for(
+            || monitor.output(7) == Some(FdOutput::Trust)
+                && monitor.output(9) == Some(FdOutput::Trust),
+            Duration::from_secs(3)
+        ),
+        "trust never established over sim transport"
+    );
+    assert!(monitor.received() > 0);
+
+    // Crash the skewed sender: its stream must be suspected while the
+    // healthy one keeps being trusted.
+    sender_b.crash();
+    assert!(
+        wait_for(
+            || monitor.output(9) == Some(FdOutput::Suspect),
+            Duration::from_secs(3)
+        ),
+        "crash not detected over sim transport"
+    );
+    assert_eq!(monitor.output(7), Some(FdOutput::Trust));
+    drop(sender_a);
+}

@@ -12,21 +12,24 @@
 //!    `unsafe` tokens appear only in `crates/net/src/intake.rs` (the
 //!    single libc-facing module).
 //! 3. **Wall-clock ban.** `Instant::now()` / `SystemTime::now()` are
-//!    forbidden in `crates/net/src` (outside `clock.rs`) and
-//!    `crates/core/src` production code: per-heartbeat hot paths must
-//!    route through the shard clock so time is injectable and cheap,
-//!    and the core detector/wheel/slab layer is a pure function of the
-//!    timestamps it is handed — a hidden wall-clock read there would
-//!    break replay determinism and the wheel/heap differential oracle.
+//!    forbidden in `crates/net/src` (outside `clock.rs`),
+//!    `crates/core/src`, and `crates/cluster/src` production code:
+//!    per-heartbeat hot paths must route through the shard clock so
+//!    time is injectable and cheap, the core detector/wheel/slab layer
+//!    is a pure function of the timestamps it is handed, and the
+//!    cluster simulator exists to run on a virtual timeline — a hidden
+//!    wall-clock read in any of them would break replay determinism.
 //!    A justified exception is marked `// xtask:allow(wall_clock)` on
 //!    the same or preceding line.
 //! 4. **Atomic-ordering allowlist.** `Acquire`, `Release` and `AcqRel`
 //!    are free. `Ordering::Relaxed` requires an `ordering:`
 //!    justification comment within the preceding 12 lines.
-//!    `Ordering::SeqCst` is allowed only in `crates/net/src/clock.rs`
-//!    (the monotonic watermark). Scope: production code under `src/`
-//!    directories, excluding `crates/check` (the model checker
-//!    implements the orderings) and `crates/bench`.
+//!    `Ordering::SeqCst` is banned outright — the last use (the clock
+//!    watermark) was demoted to Acquire/Release and the demotion is
+//!    model-checked in `crates/check/tests/clock_model.rs`. Scope:
+//!    production code under `src/` directories, excluding
+//!    `crates/check` (the model checker implements the orderings) and
+//!    `crates/bench`.
 //!
 //! Lines past the first `#[cfg(test)]` in a file are treated as test
 //! code and exempt from rules 3 and 4.
@@ -150,8 +153,7 @@ fn analyze(root: &Path) -> Vec<Finding> {
             && !rel.starts_with("crates/check/")
             && !rel.starts_with("crates/bench/");
         if in_ordering_scope {
-            let allow_seqcst = rel == "crates/net/src/clock.rs";
-            for (line, message) in ordering_findings(&lines, allow_seqcst) {
+            for (line, message) in ordering_findings(&lines) {
                 findings.push(Finding {
                     file: rel.clone(),
                     line,
@@ -184,11 +186,13 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
 }
 
 /// Rule 3 scope: net production code (minus the clock module, which
-/// exists to do the wall-clock read once) and the whole core crate
-/// (detectors, wheel, slab — pure functions of their timestamps).
+/// exists to do the wall-clock read once), the whole core crate
+/// (detectors, wheel, slab — pure functions of their timestamps), and
+/// the cluster simulator (virtual time only, by definition).
 fn in_wall_clock_scope(rel: &str) -> bool {
     (rel.starts_with("crates/net/src/") && rel != "crates/net/src/clock.rs")
         || rel.starts_with("crates/core/src/")
+        || rel.starts_with("crates/cluster/src/")
 }
 
 /// Crate roots that must carry the unsafe_code attribute.
@@ -333,19 +337,19 @@ fn has_ordering_marker(lines: &[&str]) -> bool {
     })
 }
 
-/// Rule 4: `Relaxed` needs a nearby `ordering:` comment; `SeqCst` only
-/// where `allow_seqcst` (clock.rs).
-fn ordering_findings(lines: &[&str], allow_seqcst: bool) -> Vec<(usize, String)> {
+/// Rule 4: `Relaxed` needs a nearby `ordering:` comment; `SeqCst` is
+/// banned (the clock watermark demotion removed the last use).
+fn ordering_findings(lines: &[&str]) -> Vec<(usize, String)> {
     let prod = production_prefix(lines);
     let mut out = Vec::new();
     for (idx, line) in prod.iter().enumerate() {
         let code = code_part(line);
-        if code.contains("Ordering::SeqCst") && !allow_seqcst {
+        if code.contains("Ordering::SeqCst") {
             out.push((
                 idx + 1,
-                "`Ordering::SeqCst` outside crates/net/src/clock.rs \
-                 (use Acquire/Release, or justify moving it into the \
-                 clock module)"
+                "`Ordering::SeqCst` in production code (use \
+                 Acquire/Release; the clock-watermark demotion is \
+                 model-checked in crates/check/tests/clock_model.rs)"
                     .into(),
             ));
         }
@@ -430,7 +434,7 @@ mod tests {
     #[test]
     fn relaxed_without_justification_is_flagged() {
         let src = lines("fn f(a: &AtomicU64) {\n    a.load(Ordering::Relaxed);\n}\n");
-        let got = ordering_findings(&src, false);
+        let got = ordering_findings(&src);
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].0, 2);
     }
@@ -441,7 +445,7 @@ mod tests {
             "fn f(a: &AtomicU64) {\n    // ordering: Relaxed — single-cell stat counter.\n    \
              a.load(Ordering::Relaxed);\n}\n",
         );
-        assert!(ordering_findings(&src, false).is_empty());
+        assert!(ordering_findings(&src).is_empty());
     }
 
     #[test]
@@ -453,10 +457,9 @@ mod tests {
     }
 
     #[test]
-    fn seqcst_is_flagged_outside_clock() {
+    fn seqcst_is_flagged_everywhere() {
         let src = lines("fn f(a: &AtomicU64) {\n    a.load(Ordering::SeqCst);\n}\n");
-        assert_eq!(ordering_findings(&src, false).len(), 1);
-        assert!(ordering_findings(&src, true).is_empty());
+        assert_eq!(ordering_findings(&src).len(), 1);
     }
 
     #[test]
@@ -465,14 +468,16 @@ mod tests {
             "fn f(a: &AtomicU64) {\n    a.store(1, Ordering::Release);\n    \
              a.load(Ordering::Acquire);\n    a.fetch_add(1, Ordering::AcqRel);\n}\n",
         );
-        assert!(ordering_findings(&src, false).is_empty());
+        assert!(ordering_findings(&src).is_empty());
     }
 
     #[test]
-    fn wall_clock_scope_covers_net_and_core() {
+    fn wall_clock_scope_covers_net_core_and_cluster() {
         assert!(in_wall_clock_scope("crates/net/src/shard.rs"));
         assert!(in_wall_clock_scope("crates/core/src/wheel.rs"));
         assert!(in_wall_clock_scope("crates/core/src/multi.rs"));
+        assert!(in_wall_clock_scope("crates/cluster/src/sim.rs"));
+        assert!(in_wall_clock_scope("crates/cluster/src/scenarios.rs"));
         assert!(!in_wall_clock_scope("crates/net/src/clock.rs"));
         assert!(!in_wall_clock_scope(
             "crates/bench/benches/shard_throughput.rs"
