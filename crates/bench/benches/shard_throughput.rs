@@ -50,7 +50,7 @@ use twofd_core::{
     TwoWindowFd,
 };
 use twofd_net::{
-    FleetMonitor, Heartbeat, IntakeMode, ManualClock, ObsOptions, ShardConfig, ShardRuntime,
+    FleetMonitor, Heartbeat, IntakeMode, Job, ManualClock, ObsOptions, ShardConfig, ShardRuntime,
     TimeSource, WIRE_SIZE,
 };
 use twofd_obs::{QosPlan, QosTrackerConfig};
@@ -253,6 +253,10 @@ fn sharded(
         })
     });
 
+    // Widen to wire jobs (incarnation 0 — crash-stop traffic) outside
+    // the timed section.
+    let jobs4: Vec<Job> = jobs.iter().map(|&(s, q, at)| (s, q, at, 0)).collect();
+
     let t0 = Instant::now();
     if batch <= 1 {
         for &(stream, seq, at) in jobs {
@@ -262,7 +266,7 @@ fn sharded(
             rt.ingest(stream, seq, at);
         }
     } else {
-        for chunk in jobs.chunks(batch) {
+        for chunk in jobs4.chunks(batch) {
             if clock_mode == ClockMode::Live {
                 clock.advance_to(chunk.last().unwrap().2);
             }
@@ -645,6 +649,7 @@ fn udp_blast(total: u64, streams: u64, mode: IntakeMode) -> (f64, f64) {
                 stream,
                 seq,
                 sent_at: Nanos(sent),
+                incarnation: 0,
             };
             hb.encode_into(slot);
             stream = (stream + 1) % streams;

@@ -29,4 +29,6 @@ pub mod sim;
 
 pub use node::NodeClock;
 pub use scenarios::{library, Envelope, Scale, Scenario, StreamEnvelope};
-pub use sim::{run, ClusterConfig, MonitorReport, MonitorSpec, ScenarioReport, SenderSpec};
+pub use sim::{
+    run, ClusterConfig, FederationPlan, MonitorReport, MonitorSpec, ScenarioReport, SenderSpec,
+};

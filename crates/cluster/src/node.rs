@@ -104,7 +104,7 @@ mod tests {
         let c = NodeClock::new(Nanos::from_secs(10), Span::from_secs(1000), 500);
         // 100s of global time → 100.05s of local time.
         let local = c.local(Nanos::from_secs(110));
-        assert_eq!(local, Nanos(1000_000_000_000 + 100_050_000_000));
+        assert_eq!(local, Nanos(1_000_000_000_000 + 100_050_000_000));
         // Before the node starts, the clock reads its origin.
         assert_eq!(c.local(Nanos::from_secs(5)), Nanos::from_secs(1000));
     }

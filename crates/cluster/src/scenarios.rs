@@ -16,6 +16,8 @@
 //! | `skewed_clocks`      | offset + drifting clocks on every node           |
 //! | `mass_churn`         | staggered joins, half the fleet leaves           |
 //! | `brownout`           | one slow, lossy node flapping for a window       |
+//! | `crash_recovery`     | reboots with bumped incarnations → `Recovered`   |
+//! | `monitor_failover`   | a federated monitor dies; its peer adopts        |
 //!
 //! Every scenario uses stochastic link delay, so different seeds yield
 //! different arrival instants (and thus different timelines) while any
@@ -23,9 +25,9 @@
 //! `tests/cluster_scenarios.rs` checks both directions.
 
 use crate::node::NodeClock;
-use crate::sim::{run, ClusterConfig, MonitorSpec, ScenarioReport, SenderSpec};
-use twofd_core::{DetectorConfig, DetectorSpec, FdOutput, QosSpec};
-use twofd_obs::QosTrackerConfig;
+use crate::sim::{run, ClusterConfig, FederationPlan, MonitorSpec, ScenarioReport, SenderSpec};
+use twofd_core::{DetectorConfig, DetectorSpec, FdOutput, QosSpec, TransitionKind};
+use twofd_obs::{QosOrigin, QosTrackerConfig};
 use twofd_sim::link::{LinkEffect, LinkSpec};
 use twofd_sim::loss::LossSpec;
 use twofd_sim::rng::DistSpec;
@@ -66,6 +68,11 @@ pub struct StreamEnvelope {
     pub min_suspicions: u64,
     /// Maximum Suspect transitions each stream may show.
     pub max_suspicions: u64,
+    /// Minimum `Recovered` transitions (incarnation-bump re-trusts)
+    /// each stream must show.
+    pub min_recoveries: u64,
+    /// Maximum `Recovered` transitions each stream may show.
+    pub max_recoveries: u64,
     /// If set, the end-of-run [`twofd_obs::QosVerdict::met`] each
     /// stream must report. Leave `None` where the verdict is not
     /// clear-cut.
@@ -119,6 +126,17 @@ impl Envelope {
                     violations.push(format!(
                         "monitor {} stream {stream}: {suspicions} suspicions outside [{}, {}]",
                         bound.monitor, bound.min_suspicions, bound.max_suspicions
+                    ));
+                }
+                let recoveries = monitor
+                    .timeline
+                    .iter()
+                    .filter(|e| e.key == stream && e.kind == TransitionKind::Recovered)
+                    .count() as u64;
+                if recoveries < bound.min_recoveries || recoveries > bound.max_recoveries {
+                    violations.push(format!(
+                        "monitor {} stream {stream}: {recoveries} recoveries outside [{}, {}]",
+                        bound.monitor, bound.min_recoveries, bound.max_recoveries
                     ));
                 }
                 if let Some(expected_met) = bound.qos_met {
@@ -192,6 +210,18 @@ fn qos() -> QosTrackerConfig {
         spec: Some(QosSpec::new(2.0, 20.0, 2.0)),
         interval: INTERVAL,
         window: Span::MAX,
+        origin: QosOrigin::Nominal,
+    }
+}
+
+/// The same contract with the auto-anchored detection-time origin:
+/// scenarios whose senders don't share the monitor's `j·Δi` send axis
+/// (clock offsets, staggered joins, incarnation restarts) get full
+/// verdicts instead of transitions-only assertions.
+fn qos_auto() -> QosTrackerConfig {
+    QosTrackerConfig {
+        origin: QosOrigin::Auto,
+        ..qos()
     }
 }
 
@@ -220,6 +250,7 @@ fn fleet(n: usize, link: impl Fn(u64) -> LinkSpec) -> Vec<SenderSpec> {
             stream,
             clock: NodeClock::aligned(),
             stop: None,
+            restart: None,
             links: vec![link(stream)],
         })
         .collect()
@@ -234,6 +265,7 @@ fn base_config(name: &str, duration: Span, senders: Vec<SenderSpec>) -> ClusterC
         qos: Some(qos()),
         monitors: vec![MonitorSpec::default()],
         senders,
+        federation: None,
     }
 }
 
@@ -260,6 +292,8 @@ pub fn steady_state(scale: Scale) -> Scenario {
                 final_output: FdOutput::Trust,
                 min_suspicions: 0,
                 max_suspicions: 0,
+                min_recoveries: 0,
+                max_recoveries: 0,
                 qos_met: Some(true),
             }],
         },
@@ -294,6 +328,8 @@ pub fn crash(scale: Scale) -> Scenario {
                     final_output: FdOutput::Suspect,
                     min_suspicions: 1,
                     max_suspicions: 1,
+                    min_recoveries: 0,
+                    max_recoveries: 0,
                     qos_met: None,
                 },
                 StreamEnvelope {
@@ -302,6 +338,8 @@ pub fn crash(scale: Scale) -> Scenario {
                     final_output: FdOutput::Trust,
                     min_suspicions: 0,
                     max_suspicions: 0,
+                    min_recoveries: 0,
+                    max_recoveries: 0,
                     qos_met: Some(true),
                 },
             ],
@@ -346,6 +384,8 @@ pub fn partition_and_heal(scale: Scale) -> Scenario {
                     final_output: FdOutput::Trust,
                     min_suspicions: 1,
                     max_suspicions: 2,
+                    min_recoveries: 0,
+                    max_recoveries: 0,
                     qos_met: Some(false),
                 },
                 StreamEnvelope {
@@ -354,6 +394,8 @@ pub fn partition_and_heal(scale: Scale) -> Scenario {
                     final_output: FdOutput::Trust,
                     min_suspicions: 0,
                     max_suspicions: 0,
+                    min_recoveries: 0,
+                    max_recoveries: 0,
                     qos_met: Some(true),
                 },
             ],
@@ -381,6 +423,7 @@ pub fn asymmetric_link(scale: Scale) -> Scenario {
                 stream,
                 clock: NodeClock::aligned(),
                 stop: None,
+                restart: None,
                 links: vec![dark, LinkSpec::clean(wan(duration))],
             }
         })
@@ -397,6 +440,8 @@ pub fn asymmetric_link(scale: Scale) -> Scenario {
                     final_output: FdOutput::Suspect,
                     min_suspicions: 1,
                     max_suspicions: 1,
+                    min_recoveries: 0,
+                    max_recoveries: 0,
                     qos_met: None,
                 },
                 StreamEnvelope {
@@ -405,6 +450,8 @@ pub fn asymmetric_link(scale: Scale) -> Scenario {
                     final_output: FdOutput::Trust,
                     min_suspicions: 0,
                     max_suspicions: 0,
+                    min_recoveries: 0,
+                    max_recoveries: 0,
                     qos_met: Some(true),
                 },
                 StreamEnvelope {
@@ -413,6 +460,8 @@ pub fn asymmetric_link(scale: Scale) -> Scenario {
                     final_output: FdOutput::Trust,
                     min_suspicions: 0,
                     max_suspicions: 0,
+                    min_recoveries: 0,
+                    max_recoveries: 0,
                     qos_met: Some(true),
                 },
                 StreamEnvelope {
@@ -421,6 +470,8 @@ pub fn asymmetric_link(scale: Scale) -> Scenario {
                     final_output: FdOutput::Trust,
                     min_suspicions: 0,
                     max_suspicions: 0,
+                    min_recoveries: 0,
+                    max_recoveries: 0,
                     qos_met: Some(true),
                 },
             ],
@@ -433,10 +484,10 @@ pub fn asymmetric_link(scale: Scale) -> Scenario {
 /// runs 300 ppm fast, each sender starts from its own origin with up
 /// to ±500 ppm drift. Receiver-side timestamps make the detector
 /// skew-invariant, so the one scripted crash is still detected and
-/// nobody else is suspected. The QoS *verdict* is left unasserted:
-/// the tracker recovers nominal send instants as `j·Δi` on the
-/// receiver's own timeline, so its absolute detection-time axis (unlike
-/// the detector) absorbs the scripted clock offset.
+/// nobody else is suspected. The tracker's auto-anchored origin
+/// ([`QosOrigin::Auto`]) absorbs the scripted offsets the way the
+/// detector does, so the healthy streams' full QoS verdict is asserted
+/// met (DESIGN.md §15.5's former transitions-only caveat).
 pub fn skewed_clocks(scale: Scale) -> Scenario {
     let duration = Span::from_secs(35);
     let n = scale.pick(12, 24);
@@ -451,9 +502,11 @@ pub fn skewed_clocks(scale: Scale) -> Scenario {
     }
     senders[0].stop = Some(Nanos::from_secs(15));
     let mut config = base_config("skewed_clocks", duration, senders);
+    config.qos = Some(qos_auto());
     config.monitors = vec![MonitorSpec {
         clock: NodeClock::new(Nanos::ZERO, Span::from_secs(3600), 300),
         n_shards: 4,
+        kill: None,
     }];
     let healthy: Vec<u64> = (1..n as u64).collect();
     Scenario {
@@ -465,6 +518,8 @@ pub fn skewed_clocks(scale: Scale) -> Scenario {
                     final_output: FdOutput::Suspect,
                     min_suspicions: 1,
                     max_suspicions: 1,
+                    min_recoveries: 0,
+                    max_recoveries: 0,
                     qos_met: None,
                 },
                 StreamEnvelope {
@@ -473,7 +528,9 @@ pub fn skewed_clocks(scale: Scale) -> Scenario {
                     final_output: FdOutput::Trust,
                     min_suspicions: 0,
                     max_suspicions: 0,
-                    qos_met: None,
+                    min_recoveries: 0,
+                    max_recoveries: 0,
+                    qos_met: Some(true),
                 },
             ],
         },
@@ -484,10 +541,11 @@ pub fn skewed_clocks(scale: Scale) -> Scenario {
 /// The whole fleet joins staggered across the first 10 s; the odd half
 /// leaves at t=22 s. Leavers must end suspected exactly once (their
 /// departure), stayers must never be suspected — churn, at `Full`
-/// scale, with thousands of streams against the real runtime. QoS
-/// verdicts are unasserted for the same reason as [`skewed_clocks`]:
-/// a staggered join shifts the sender's origin away from the `j·Δi`
-/// nominal-send axis the tracker judges detection time against.
+/// scale, with thousands of streams against the real runtime. The
+/// auto-anchored origin pins each stream's detection-time axis to its
+/// own (staggered) join, so stayers carry a full met verdict; leavers
+/// stay unasserted — their open end-of-run suspicion is justified, but
+/// the tracker cannot know that without a later incarnation bump.
 pub fn mass_churn(scale: Scale) -> Scenario {
     let duration = Span::from_secs(45);
     let n = scale.pick(64, 2048);
@@ -499,7 +557,8 @@ pub fn mass_churn(scale: Scale) -> Scenario {
             s.stop = Some(Nanos::from_secs(22));
         }
     }
-    let config = base_config("mass_churn", duration, senders);
+    let mut config = base_config("mass_churn", duration, senders);
+    config.qos = Some(qos_auto());
     let (leavers, stayers): (Vec<u64>, Vec<u64>) =
         all_streams(&config).into_iter().partition(|s| s % 2 == 1);
     Scenario {
@@ -511,6 +570,8 @@ pub fn mass_churn(scale: Scale) -> Scenario {
                     final_output: FdOutput::Suspect,
                     min_suspicions: 1,
                     max_suspicions: 1,
+                    min_recoveries: 0,
+                    max_recoveries: 0,
                     qos_met: None,
                 },
                 StreamEnvelope {
@@ -519,7 +580,9 @@ pub fn mass_churn(scale: Scale) -> Scenario {
                     final_output: FdOutput::Trust,
                     min_suspicions: 0,
                     max_suspicions: 0,
-                    qos_met: None,
+                    min_recoveries: 0,
+                    max_recoveries: 0,
+                    qos_met: Some(true),
                 },
             ],
         },
@@ -568,6 +631,8 @@ pub fn brownout(scale: Scale) -> Scenario {
                     final_output: FdOutput::Trust,
                     min_suspicions: 2,
                     max_suspicions: 200,
+                    min_recoveries: 0,
+                    max_recoveries: 0,
                     qos_met: Some(false),
                 },
                 StreamEnvelope {
@@ -576,7 +641,158 @@ pub fn brownout(scale: Scale) -> Scenario {
                     final_output: FdOutput::Trust,
                     min_suspicions: 0,
                     max_suspicions: 0,
+                    min_recoveries: 0,
+                    max_recoveries: 0,
                     qos_met: Some(true),
+                },
+            ],
+        },
+        config,
+    }
+}
+
+/// Every fourth sender crashes at t=12 s and reboots at t=16 s with a
+/// bumped incarnation. The monitor must suspect each exactly once (the
+/// justified crash suspicion), re-trust it through exactly one
+/// `Recovered` transition when the higher incarnation's heartbeats
+/// arrive, and — because a justified suspicion closed by a recovery is
+/// *not* a mistake, and the auto-anchored origin re-anchors on the
+/// restart's sequence reset — still report the full QoS contract met.
+pub fn crash_recovery(scale: Scale) -> Scenario {
+    let duration = Span::from_secs(30);
+    let n = scale.pick(12, 24);
+    let mut senders = fleet(n, |_| LinkSpec::clean(wan(duration)));
+    let restarted: Vec<u64> = (0..n as u64).filter(|s| s.is_multiple_of(4)).collect();
+    for s in &mut senders {
+        if restarted.contains(&s.stream) {
+            s.stop = Some(Nanos::from_secs(12));
+            s.restart = Some(Nanos::from_secs(16));
+        }
+    }
+    let mut config = base_config("crash_recovery", duration, senders);
+    config.qos = Some(qos_auto());
+    let steady: Vec<u64> = all_streams(&config)
+        .into_iter()
+        .filter(|s| !restarted.contains(s))
+        .collect();
+    Scenario {
+        envelope: Envelope {
+            streams: vec![
+                StreamEnvelope {
+                    monitor: 0,
+                    streams: restarted,
+                    final_output: FdOutput::Trust,
+                    min_suspicions: 1,
+                    max_suspicions: 1,
+                    min_recoveries: 1,
+                    max_recoveries: 1,
+                    qos_met: Some(true),
+                },
+                StreamEnvelope {
+                    monitor: 0,
+                    streams: steady,
+                    final_output: FdOutput::Trust,
+                    min_suspicions: 0,
+                    max_suspicions: 0,
+                    min_recoveries: 0,
+                    max_recoveries: 0,
+                    qos_met: Some(true),
+                },
+            ],
+        },
+        config,
+    }
+}
+
+/// Two federated monitors; the whole fleet is homed to monitor 0 (its
+/// links to monitor 1 are dark) and one stream restarts mid-run with a
+/// bumped incarnation. Monitor 0 is killed at t=19.95 s. Monitor 1 —
+/// which has never received a heartbeat — must detect the dead peer
+/// through its digest silence, adopt its relayed view (incarnations
+/// included), and hold every stream in Trust through the failover gap
+/// until the fleet re-homes to it at t=20.3 s: continuous detection
+/// across a monitor crash, with zero suspicions on the survivor.
+pub fn monitor_failover(scale: Scale) -> Scenario {
+    let duration = Span::from_secs(30);
+    let n = scale.pick(6, 12);
+    let kill = Nanos(19_950_000_000);
+    let rehome = Span(20_300_000_000);
+    let senders = (0..n as u64)
+        .map(|stream| SenderSpec {
+            stream,
+            clock: NodeClock::aligned(),
+            // Stream 0 exercises crash-recovery under federation: its
+            // bumped incarnation must survive the digest relay.
+            stop: (stream == 0).then(|| Nanos::from_secs(8)),
+            restart: (stream == 0).then(|| Nanos::from_secs(10)),
+            links: vec![
+                LinkSpec::clean(wan(duration)),
+                // Homed to monitor 0 until the kill; service discovery
+                // re-points the fleet at the survivor shortly after.
+                LinkSpec::clean(wan(duration)).with(Span::ZERO, rehome, LinkEffect::Blackout),
+            ],
+        })
+        .collect();
+    let mut config = base_config("monitor_failover", duration, senders);
+    // A wider margin keeps the adopted horizons alive across the
+    // detect-and-adopt window (kill → peer-detector expiry → re-home).
+    config.detector =
+        DetectorConfig::new(DetectorSpec::TwoWindow { n1: 1, n2: 1000 }, INTERVAL, 1.0);
+    config.qos = Some(qos_auto());
+    config.monitors = vec![
+        MonitorSpec {
+            kill: Some(kill),
+            ..MonitorSpec::default()
+        },
+        MonitorSpec::default(),
+    ];
+    config.federation = Some(FederationPlan {
+        digest_interval: Span::from_millis(200),
+        relay_delay: Span::from_millis(1),
+        peer_detector: DetectorConfig::new(
+            DetectorSpec::Chen { window: 1 },
+            Span::from_millis(200),
+            0.15,
+        ),
+    });
+    let all = all_streams(&config);
+    let steady: Vec<u64> = all.iter().copied().filter(|&s| s != 0).collect();
+    Scenario {
+        envelope: Envelope {
+            streams: vec![
+                // The killed monitor's frozen report: everything it saw
+                // up to the kill, including the one crash-recovery.
+                StreamEnvelope {
+                    monitor: 0,
+                    streams: vec![0],
+                    final_output: FdOutput::Trust,
+                    min_suspicions: 1,
+                    max_suspicions: 1,
+                    min_recoveries: 1,
+                    max_recoveries: 1,
+                    qos_met: Some(true),
+                },
+                StreamEnvelope {
+                    monitor: 0,
+                    streams: steady.clone(),
+                    final_output: FdOutput::Trust,
+                    min_suspicions: 0,
+                    max_suspicions: 0,
+                    min_recoveries: 0,
+                    max_recoveries: 0,
+                    qos_met: Some(true),
+                },
+                // The survivor: adoption bridges the gap, so no stream
+                // is ever suspected and all end trusted.
+                StreamEnvelope {
+                    monitor: 1,
+                    streams: all,
+                    final_output: FdOutput::Trust,
+                    min_suspicions: 0,
+                    max_suspicions: 0,
+                    min_recoveries: 0,
+                    max_recoveries: 0,
+                    qos_met: None,
                 },
             ],
         },
@@ -594,5 +810,7 @@ pub fn library(scale: Scale) -> Vec<Scenario> {
         skewed_clocks(scale),
         mass_churn(scale),
         brownout(scale),
+        crash_recovery(scale),
+        monitor_failover(scale),
     ]
 }

@@ -36,10 +36,11 @@ use crate::node::NodeClock;
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
-use twofd_core::{DetectorConfig, FdOutput, QosMetrics};
+use twofd_core::{DetectorConfig, FdOutput, QosMetrics, TransitionKind};
+use twofd_federation::{Federation, FederationConfig, LivenessDigest};
 use twofd_net::clock::{ManualClock, TimeSource};
 use twofd_net::shard::{FleetEvent, Job, ObsOptions, ShardConfig, ShardRuntime};
-use twofd_obs::{QosPlan, QosTrackerConfig, QosVerdict};
+use twofd_obs::{QosPlan, QosTrackerConfig, QosVerdict, Registry};
 use twofd_sim::link::LinkSpec;
 use twofd_sim::rng::SimRng;
 use twofd_sim::time::{Nanos, Span};
@@ -71,6 +72,10 @@ pub struct MonitorSpec {
     pub clock: NodeClock,
     /// Worker shards of this monitor's runtime.
     pub n_shards: usize,
+    /// Global instant this *monitor* crashes: it stops ingesting,
+    /// digesting and relaying, and its report freezes at the kill
+    /// (final outputs and QoS are read at the kill's local instant).
+    pub kill: Option<Nanos>,
 }
 
 impl Default for MonitorSpec {
@@ -78,6 +83,7 @@ impl Default for MonitorSpec {
         MonitorSpec {
             clock: NodeClock::aligned(),
             n_shards: 4,
+            kill: None,
         }
     }
 }
@@ -94,9 +100,31 @@ pub struct SenderSpec {
     pub clock: NodeClock,
     /// Global instant the process crashes (no beat at or after this).
     pub stop: Option<Nanos>,
+    /// Global instant the crashed process reboots (requires `stop`, and
+    /// must be later). The restarted process bumps its incarnation,
+    /// restarts its sequence numbers from 1 and re-anchors its beat
+    /// cadence at the reboot — the crash-recovery model.
+    pub restart: Option<Nanos>,
     /// Directed links to each monitor, indexed like
     /// [`ClusterConfig::monitors`].
     pub links: Vec<LinkSpec>,
+}
+
+/// Federation tier of a simulated cluster: every monitor periodically
+/// digests its per-stream liveness view to every other monitor; digest
+/// arrivals drive per-peer detectors (monitors monitoring monitors),
+/// and a dead monitor's last view is adopted by each survivor so
+/// detection of its streams continues across the crash.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FederationPlan {
+    /// Digest cadence, on the global scheduler grid.
+    pub digest_interval: Span,
+    /// Fixed monitor-to-monitor relay delay (digests ride a dedicated
+    /// deterministic control channel, not the lossy heartbeat links).
+    pub relay_delay: Span,
+    /// Detector recipe for the per-peer digest detectors; its interval
+    /// should match `digest_interval`.
+    pub peer_detector: DetectorConfig,
 }
 
 /// A complete simulated cluster: the fleet, the monitors, the detector
@@ -118,6 +146,10 @@ pub struct ClusterConfig {
     pub monitors: Vec<MonitorSpec>,
     /// The fleet; every sender needs one link per monitor.
     pub senders: Vec<SenderSpec>,
+    /// Digest-relay federation between the monitors; `None` runs each
+    /// monitor standalone (exactly the pre-federation behaviour —
+    /// `tests/cluster_scenarios.rs` pins the equivalence).
+    pub federation: Option<FederationPlan>,
 }
 
 /// What one monitor observed over the run.
@@ -134,6 +166,9 @@ pub struct MonitorReport {
     pub qos: Vec<(u64, QosMetrics, QosVerdict)>,
     /// Heartbeats delivered to (and ingested by) this monitor.
     pub ingested: u64,
+    /// Streams this monitor adopted from dead peers' relayed digest
+    /// views (0 without a federation, or when no peer died).
+    pub adopted: u64,
     /// Transition events lost to channel overflow — nonzero means the
     /// timeline is untrustworthy, and envelopes assert it zero.
     pub events_dropped: u64,
@@ -180,7 +215,11 @@ impl ScenarioReport {
         for m in &self.monitors {
             for e in &m.timeline {
                 eat(&e.key.to_le_bytes());
-                eat(&[matches!(e.output, FdOutput::Suspect) as u8]);
+                eat(&[match e.kind {
+                    TransitionKind::Trust => 0u8,
+                    TransitionKind::Suspect => 1,
+                    TransitionKind::Recovered => 2,
+                }]);
                 eat(&e.at.0.to_le_bytes());
             }
             for &(stream, out) in &m.final_outputs {
@@ -205,22 +244,41 @@ impl ScenarioReport {
     }
 }
 
-/// A scheduler event: a sender's beat deadline, or a heartbeat landing
-/// at a monitor.
+/// A scheduler event: a sender's beat deadline or reboot, a heartbeat
+/// landing at a monitor, or the federation's digest cadence/relay.
 enum Ev {
     Beat {
+        sender: usize,
+    },
+    Restart {
         sender: usize,
     },
     Deliver {
         monitor: usize,
         stream: u64,
         seq: u64,
+        incarnation: u32,
+    },
+    /// A monitor's digest tick: build + relay its liveness digest, then
+    /// sweep its per-peer detectors and adopt dead peers' views.
+    Digest {
+        monitor: usize,
+    },
+    /// A relayed digest landing at a monitor.
+    RelayDigest {
+        monitor: usize,
+        digest: LivenessDigest,
     },
 }
 
 /// Live state of one sender during the run.
 struct SenderState {
     seq: u64,
+    /// Boot counter carried in every heartbeat (0 until a restart).
+    incarnation: u32,
+    /// Local instant the current boot's cadence is anchored at: beat
+    /// `i` of this boot is due at local `epoch + i·Δi`.
+    epoch_local: Nanos,
     /// One `(link model, private rng)` per monitor; a forked rng per
     /// link keeps each link's random stream independent, so adding a
     /// monitor (or more draws on one link) never perturbs another.
@@ -234,7 +292,9 @@ struct MonitorState {
     buffer: Vec<Job>,
     timeline: Vec<FleetEvent>,
     ingested: u64,
+    adopted: u64,
     flushes: usize,
+    fed: Option<Federation>,
 }
 
 impl MonitorState {
@@ -242,7 +302,7 @@ impl MonitorState {
     /// virtual clock to the last arrival (enqueue-before-advance), and
     /// drain whatever transitions the workers have published so far.
     fn flush_batch(&mut self) {
-        let Some(&(_, _, last_arrival)) = self.buffer.last() else {
+        let Some(&(_, _, last_arrival, _)) = self.buffer.last() else {
             return;
         };
         self.rt.ingest_batch(&self.buffer);
@@ -268,7 +328,11 @@ impl MonitorState {
         loop {
             self.timeline.extend(self.rt.events().try_iter());
             let stats = self.rt.stats();
-            let published: u64 = stats.shards.iter().map(|s| s.to_trust + s.to_suspect).sum();
+            let published: u64 = stats
+                .shards
+                .iter()
+                .map(|s| s.to_trust + s.to_suspect + s.to_recovered)
+                .sum();
             let collected = self.timeline.len() as u64 + stats.events_dropped;
             if collected == published && published == last_published {
                 stable += 1;
@@ -304,6 +368,20 @@ pub fn run(config: &ClusterConfig, seed: u64) -> ScenarioReport {
             "sender {} needs one link per monitor",
             s.stream
         );
+        if let Some(restart) = s.restart {
+            let stop = s.stop.expect("restart requires a stop instant");
+            assert!(
+                restart > stop,
+                "sender {} must restart after it stops",
+                s.stream
+            );
+        }
+    }
+    if let Some(plan) = &config.federation {
+        assert!(
+            !plan.digest_interval.is_zero(),
+            "digest interval must be positive"
+        );
     }
     {
         let mut ids: Vec<u64> = config.senders.iter().map(|s| s.stream).collect();
@@ -318,6 +396,8 @@ pub fn run(config: &ClusterConfig, seed: u64) -> ScenarioReport {
         .iter()
         .map(|s| SenderState {
             seq: 0,
+            incarnation: 0,
+            epoch_local: Nanos::ZERO,
             links: s
                 .links
                 .iter()
@@ -329,7 +409,8 @@ pub fn run(config: &ClusterConfig, seed: u64) -> ScenarioReport {
     let mut monitors: Vec<MonitorState> = config
         .monitors
         .iter()
-        .map(|m| {
+        .enumerate()
+        .map(|(idx, m)| {
             let clock = Arc::new(ManualClock::new());
             let rt = ShardRuntime::new(
                 ShardConfig {
@@ -351,13 +432,32 @@ pub fn run(config: &ClusterConfig, seed: u64) -> ScenarioReport {
             for s in &config.senders {
                 rt.register(s.stream);
             }
+            // A federated monitor watches every *other* monitor through
+            // its digests, at the plan's shared peer-detector recipe.
+            let fed = config.federation.as_ref().map(|plan| {
+                let mut f = Federation::new(
+                    FederationConfig {
+                        local: idx as u64,
+                        digest_interval: plan.digest_interval,
+                    },
+                    &Registry::new(),
+                );
+                for peer in 0..config.monitors.len() {
+                    if peer != idx {
+                        f.register_peer(peer as u64, &plan.peer_detector);
+                    }
+                }
+                f
+            });
             MonitorState {
                 rt,
                 clock,
                 buffer: Vec::with_capacity(FLUSH_BATCH),
                 timeline: Vec::new(),
                 ingested: 0,
+                adopted: 0,
                 flushes: 0,
+                fed,
             }
         })
         .collect();
@@ -368,6 +468,19 @@ pub fn run(config: &ClusterConfig, seed: u64) -> ScenarioReport {
         let first = s.clock.global_at(Nanos(config.interval.0));
         if first < horizon && s.stop.is_none_or(|stop| first < stop) {
             queue.schedule(first, Ev::Beat { sender: i });
+        }
+        if let Some(restart) = s.restart {
+            if restart < horizon {
+                queue.schedule(restart, Ev::Restart { sender: i });
+            }
+        }
+    }
+    if let Some(plan) = &config.federation {
+        for m in 0..config.monitors.len() {
+            let first = Nanos::ZERO + plan.digest_interval;
+            if first < horizon {
+                queue.schedule(first, Ev::Digest { monitor: m });
+            }
         }
     }
 
@@ -392,29 +505,124 @@ pub fn run(config: &ClusterConfig, seed: u64) -> ScenarioReport {
                                     monitor: m,
                                     stream: spec.stream,
                                     seq: state.seq,
+                                    incarnation: state.incarnation,
                                 },
                             );
                         }
                     }
                 }
-                let next_local = Nanos(config.interval.0.saturating_mul(state.seq + 1));
+                let next_local = Nanos(
+                    state
+                        .epoch_local
+                        .0
+                        .saturating_add(config.interval.0.saturating_mul(state.seq + 1)),
+                );
                 let next = spec.clock.global_at(next_local);
-                if next < horizon && spec.stop.is_none_or(|stop| next < stop) {
+                // `stop` only fells the original boot; the scripted
+                // restart (which is later) starts a fresh cadence.
+                let stopped = state.incarnation == 0 && spec.stop.is_some_and(|stop| next >= stop);
+                if next < horizon && !stopped {
                     queue.schedule(next, Ev::Beat { sender });
+                }
+            }
+            Ev::Restart { sender } => {
+                let spec = &config.senders[sender];
+                let state = &mut senders[sender];
+                state.incarnation += 1;
+                state.seq = 0;
+                state.epoch_local = spec.clock.local(t);
+                let first = spec
+                    .clock
+                    .global_at(Nanos(state.epoch_local.0.saturating_add(config.interval.0)));
+                if first < horizon {
+                    queue.schedule(first, Ev::Beat { sender });
                 }
             }
             Ev::Deliver {
                 monitor,
                 stream,
                 seq,
+                incarnation,
             } => {
                 deliveries += 1;
+                if config.monitors[monitor].kill.is_some_and(|k| t >= k) {
+                    continue; // the monitor is dead; the datagram is lost
+                }
                 let local = config.monitors[monitor].clock.local(t);
                 let state = &mut monitors[monitor];
-                state.buffer.push((stream, seq, local));
+                state.buffer.push((stream, seq, local, incarnation));
                 if state.buffer.len() >= FLUSH_BATCH {
                     state.flush_batch();
                 }
+            }
+            Ev::Digest { monitor } => {
+                let spec = &config.monitors[monitor];
+                if spec.kill.is_some_and(|k| t >= k) {
+                    continue; // dead monitors neither digest nor adopt
+                }
+                let plan = config
+                    .federation
+                    .as_ref()
+                    .expect("digest tick implies a plan");
+                let local_now = spec.clock.local(t);
+                let state = &mut monitors[monitor];
+                // The digest summarizes the runtime's view *now*: ingest
+                // everything that has arrived, wait for the workers
+                // (deterministic — the job set is fixed by the schedule),
+                // and advance the virtual clock to the tick.
+                state.flush_batch();
+                state.rt.flush();
+                state.clock.advance_to(local_now);
+                let fed = state.fed.as_mut().expect("federated monitor");
+                if fed.digest_due(local_now) {
+                    let digest = fed.build_digest(&state.rt.statuses(), local_now);
+                    let arrive = t + plan.relay_delay;
+                    if arrive < horizon {
+                        for peer in 0..config.monitors.len() {
+                            if peer != monitor {
+                                queue.schedule(
+                                    arrive,
+                                    Ev::RelayDigest {
+                                        monitor: peer,
+                                        digest: digest.clone(),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+                // Sweep the per-peer detectors; a newly dead peer's last
+                // view is adopted, rebased from the origin's clock onto
+                // this monitor's through the global timeline.
+                for adoption in fed.sweep(local_now) {
+                    let origin = config.monitors[adoption.peer as usize].clock;
+                    for e in &adoption.streams {
+                        let global_until = origin.global_at(e.trust_until);
+                        let local_until = spec.clock.local(global_until);
+                        if state.rt.adopt(e.stream, e.incarnation, local_until) {
+                            state.adopted += 1;
+                        }
+                    }
+                }
+                state.timeline.extend(state.rt.events().try_iter());
+                let next = t + plan.digest_interval;
+                if next < horizon {
+                    queue.schedule(next, Ev::Digest { monitor });
+                }
+            }
+            Ev::RelayDigest { monitor, digest } => {
+                let spec = &config.monitors[monitor];
+                if spec.kill.is_some_and(|k| t >= k) {
+                    continue;
+                }
+                let local = spec.clock.local(t);
+                let state = &mut monitors[monitor];
+                let fed = state.fed.as_mut().expect("relay implies a plan");
+                // The wire round-trip keeps the simulator honest about
+                // the digest codec: what a peer adopts is exactly what
+                // the format can carry.
+                let decoded = LivenessDigest::decode(&digest.encode()).expect("digest round-trips");
+                fed.on_digest(&decoded, local);
             }
         }
     }
@@ -425,7 +633,10 @@ pub fn run(config: &ClusterConfig, seed: u64) -> ScenarioReport {
     for (m, mut state) in monitors.into_iter().enumerate() {
         state.flush_batch();
         state.rt.flush();
-        let end_local = config.monitors[m].clock.local(horizon);
+        // A killed monitor's report freezes at the kill: its clock never
+        // passes that instant, so outputs/QoS are read as of the crash.
+        let end_global = config.monitors[m].kill.map_or(horizon, |k| k.min(horizon));
+        let end_local = config.monitors[m].clock.local(end_global);
         state.clock.advance_to(end_local);
         state.rt.sweep_now();
         state.settle();
@@ -459,6 +670,7 @@ pub fn run(config: &ClusterConfig, seed: u64) -> ScenarioReport {
             final_outputs,
             qos,
             ingested: state.ingested,
+            adopted: state.adopted,
             events_dropped: state.rt.events_dropped(),
         });
     }

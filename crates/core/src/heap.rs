@@ -28,7 +28,7 @@
 //! status queries; it is for tests and small sets, not the fleet path.
 
 use crate::detector::{Decision, FailureDetector, FdOutput};
-use crate::multi::{DetectorBuilder, ProcessStatus, StreamTransition};
+use crate::multi::{DetectorBuilder, ProcessStatus, StreamTransition, TransitionKind};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::hash::Hash;
@@ -112,22 +112,22 @@ where
             if let Some(p) = prev {
                 if p.trust_until < arrival {
                     entry.last_published = FdOutput::Suspect;
-                    events.push(StreamTransition {
-                        key: key.clone(),
-                        output: FdOutput::Suspect,
-                        at: p.trust_until,
-                    });
+                    events.push(StreamTransition::new(
+                        key.clone(),
+                        TransitionKind::Suspect,
+                        p.trust_until,
+                    ));
                 }
             }
         }
 
         if decision.trust_until > arrival && entry.last_published == FdOutput::Suspect {
             entry.last_published = FdOutput::Trust;
-            events.push(StreamTransition {
-                key: key.clone(),
-                output: FdOutput::Trust,
-                at: arrival,
-            });
+            events.push(StreamTransition::new(
+                key.clone(),
+                TransitionKind::Trust,
+                arrival,
+            ));
         }
         // Unconditional: even a shrink-case horizon (trust_until <=
         // arrival) is queued, so the live-entry multiset matches the
@@ -157,11 +157,7 @@ where
             }
             if entry.last_published == FdOutput::Trust {
                 entry.last_published = FdOutput::Suspect;
-                events.push(StreamTransition {
-                    key,
-                    output: FdOutput::Suspect,
-                    at: t,
-                });
+                events.push(StreamTransition::new(key, TransitionKind::Suspect, t));
             }
         }
     }
@@ -199,6 +195,9 @@ where
                 output: e.fd.output_at(t),
                 last_seq: e.fd.last_seq(),
                 trust_until: e.fd.current_decision().map(|d| d.trust_until),
+                // The heap oracle is the crash-stop reference; it never
+                // sees an incarnation.
+                incarnation: 0,
             })
             .collect()
     }
@@ -287,11 +286,11 @@ mod tests {
         s.sweep(trust_until + Span(1), &mut events);
         assert_eq!(
             events,
-            vec![StreamTransition {
-                key: "a",
-                output: FdOutput::Suspect,
-                at: trust_until
-            }]
+            vec![StreamTransition::new(
+                "a",
+                TransitionKind::Suspect,
+                trust_until
+            )]
         );
     }
 }

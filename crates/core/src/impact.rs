@@ -1,0 +1,122 @@
+//! The per-process member detector of the Impact FD.
+//!
+//! The Impact FD (Rossetto, Geyer, Arantes & Sens — see PAPERS.md) is a
+//! *set-valued* failure detector: each monitored process carries an
+//! **impact factor** expressing how much its loss degrades the system,
+//! and the group-level output is the sum of the factors of the
+//! currently-trusted members, compared against an acceptance threshold.
+//! The group aggregation lives in `twofd-federation`, where the
+//! federated view of several monitors is available; what belongs here is
+//! the per-process building block that feeds it.
+//!
+//! [`ImpactFd`] is that building block: a deliberately simple
+//! constant-timeout detector (`trust_until = arrival + Δi + Δto`) in the
+//! style the Impact FD paper assumes for its per-member `trusted` sets.
+//! It rides the same [`FailureDetector`] trait as the paper's five
+//! algorithms, so it slots into [`crate::suite::AnyDetector`], the
+//! sharded runtime, and the replay engine unchanged — the impact factor
+//! is structural metadata carried alongside, exposed via
+//! [`ImpactFd::factor`] for the group aggregator to read.
+
+use crate::detector::{Decision, FailureDetector, FreshnessState};
+use twofd_sim::time::{Nanos, Span};
+
+/// Per-process member detector of the Impact FD: constant timeout plus
+/// an impact factor consumed by the group-level aggregation.
+#[derive(Debug, Clone)]
+pub struct ImpactFd {
+    state: FreshnessState,
+    /// Fixed freshness horizon after each heartbeat: Δi + Δto.
+    horizon: Span,
+    /// The process's impact factor (structural, not a tuning knob).
+    factor: usize,
+}
+
+impl ImpactFd {
+    /// Builds a member detector with the given impact factor, heartbeat
+    /// interval Δi and safety margin Δto.
+    pub fn new(factor: usize, interval: Span, margin: Span) -> Self {
+        ImpactFd {
+            state: FreshnessState::default(),
+            horizon: Span(interval.0.saturating_add(margin.0)),
+            factor,
+        }
+    }
+
+    /// The process's impact factor — how much weight this member
+    /// contributes to the group's trust sum while trusted.
+    pub fn factor(&self) -> usize {
+        self.factor
+    }
+
+    /// The fixed freshness horizon (Δi + Δto) applied after each fresh
+    /// heartbeat.
+    pub fn horizon(&self) -> Span {
+        self.horizon
+    }
+}
+
+impl FailureDetector for ImpactFd {
+    fn name(&self) -> String {
+        format!("impact({})", self.factor)
+    }
+
+    fn on_heartbeat(&mut self, seq: u64, arrival: Nanos) -> Option<Decision> {
+        if !self.state.accept(seq) {
+            return None;
+        }
+        let d = Decision {
+            trust_until: Nanos(arrival.0.saturating_add(self.horizon.0)),
+        };
+        self.state.decision = Some(d);
+        Some(d)
+    }
+
+    fn current_decision(&self) -> Option<Decision> {
+        self.state.decision
+    }
+
+    fn last_seq(&self) -> Option<u64> {
+        self.state.last_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::FdOutput;
+
+    const DI: Span = Span(100_000_000);
+
+    #[test]
+    fn trusts_for_interval_plus_margin() {
+        let mut fd = ImpactFd::new(3, DI, Span::from_millis(50));
+        let d = fd.on_heartbeat(1, Nanos(1_000)).unwrap();
+        assert_eq!(d.trust_until, Nanos(1_000 + DI.0 + 50_000_000));
+        assert_eq!(fd.output_at(Nanos(d.trust_until.0 - 1)), FdOutput::Trust);
+        assert_eq!(fd.output_at(d.trust_until), FdOutput::Suspect);
+    }
+
+    #[test]
+    fn stale_sequence_numbers_are_ignored() {
+        let mut fd = ImpactFd::new(1, DI, Span::ZERO);
+        assert!(fd.on_heartbeat(5, Nanos(1_000)).is_some());
+        assert!(fd.on_heartbeat(5, Nanos(2_000)).is_none());
+        assert!(fd.on_heartbeat(4, Nanos(3_000)).is_none());
+        assert_eq!(fd.last_seq(), Some(5));
+    }
+
+    #[test]
+    fn name_carries_the_impact_factor() {
+        let fd = ImpactFd::new(7, DI, Span::ZERO);
+        assert_eq!(fd.name(), "impact(7)");
+        assert_eq!(fd.factor(), 7);
+    }
+
+    #[test]
+    fn suspect_before_any_heartbeat() {
+        let fd = ImpactFd::new(2, DI, Span::ZERO);
+        assert_eq!(fd.output_at(Nanos(10_000_000_000)), FdOutput::Suspect);
+        assert!(fd.current_decision().is_none());
+    }
+}

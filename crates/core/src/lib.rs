@@ -40,6 +40,7 @@ pub mod detector;
 pub mod ed;
 pub mod estimator;
 pub mod heap;
+pub mod impact;
 pub mod math;
 pub mod metrics;
 pub mod multi;
@@ -61,8 +62,11 @@ pub use detector::{Decision, FailureDetector, FdOutput};
 pub use ed::{EdConfig, EdFd};
 pub use estimator::ChenEstimator;
 pub use heap::HeapProcessSet;
+pub use impact::ImpactFd;
 pub use metrics::{mistakes_by_segment, Mistake, QosMetrics};
-pub use multi::{DetectorBuilder, ProcessSet, ProcessStatus, SharedFactory, StreamTransition};
+pub use multi::{
+    DetectorBuilder, ProcessSet, ProcessStatus, SharedFactory, StreamTransition, TransitionKind,
+};
 pub use netest::NetworkEstimator;
 pub use phi::{PhiAccrualFd, PhiConfig};
 pub use qos::{configure, recurrence_lower_bound, ConfigError, FdConfig, NetworkBehavior, QosSpec};

@@ -114,16 +114,58 @@ impl<K> DetectorBuilder<K> for DetectorConfig {
     }
 }
 
-/// A published Trust/Suspect output change of one monitored process.
+/// The three-state classification of a published transition under the
+/// crash-recovery model: plain Trust/Suspect flips, plus `Recovered` —
+/// a Trust whose heartbeat carried a *higher incarnation* than the
+/// stream's previous boot (the process provably crashed and restarted,
+/// so any suspicion in between was correct detection, not a mistake).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransitionKind {
+    /// Output flipped to `Trust` within the same incarnation.
+    Trust,
+    /// Output flipped to `Suspect`.
+    Suspect,
+    /// Output is `Trust`, but for a *new incarnation* of the process.
+    Recovered,
+}
+
+impl TransitionKind {
+    /// The plain two-state output this transition leaves in force
+    /// (`Recovered` is a `Trust`).
+    pub fn output(self) -> FdOutput {
+        match self {
+            TransitionKind::Suspect => FdOutput::Suspect,
+            TransitionKind::Trust | TransitionKind::Recovered => FdOutput::Trust,
+        }
+    }
+}
+
+/// A published Trust/Suspect/Recovered output change of one monitored
+/// process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StreamTransition<K> {
     /// The process whose output changed.
     pub key: K,
     /// The output in force *from* [`StreamTransition::at`].
     pub output: FdOutput,
-    /// Exact instant the output changed (arrival time for T, the
+    /// Exact instant the output changed (arrival time for T/R, the
     /// decision's `trust_until` for S).
     pub at: Nanos,
+    /// Three-state classification; `output` is always `kind.output()`.
+    pub kind: TransitionKind,
+}
+
+impl<K> StreamTransition<K> {
+    /// A transition of `kind` at `at`, with the matching two-state
+    /// output.
+    pub fn new(key: K, kind: TransitionKind, at: Nanos) -> Self {
+        StreamTransition {
+            key,
+            output: kind.output(),
+            at,
+            kind,
+        }
+    }
 }
 
 /// A snapshot of one monitored process's state.
@@ -133,10 +175,13 @@ pub struct ProcessStatus<K> {
     pub key: K,
     /// Current output.
     pub output: FdOutput,
-    /// Largest heartbeat sequence number seen.
+    /// Largest heartbeat sequence number seen (in the current
+    /// incarnation).
     pub last_seq: Option<u64>,
     /// The instant suspicion will start if no further heartbeat arrives.
     pub trust_until: Option<Nanos>,
+    /// The process's current incarnation (0 for crash-stop traffic).
+    pub incarnation: u32,
 }
 
 /// A bank of per-process failure detectors over dense stream slots.
@@ -202,14 +247,18 @@ where
         self.on_heartbeat_with_events(key, seq, arrival, &mut scratch)
     }
 
-    /// Feeds a heartbeat and appends any resulting output transitions to
-    /// `events`, stamped with exact transition times:
+    /// Feeds a crash-stop heartbeat (incarnation 0) and appends any
+    /// resulting output transitions to `events`, stamped with exact
+    /// transition times:
     ///
     /// * if the previous trust horizon expired strictly before this
     ///   arrival and the expiry was not yet published (no sweep ran), the
     ///   missed S-transition is synthesized at the old `trust_until`;
     /// * if the heartbeat restores trust, a T-transition is stamped at
     ///   its arrival time.
+    ///
+    /// This is [`ProcessSet::on_heartbeat_incarnated`] pinned to
+    /// incarnation 0 — bit-identical to the pre-federation behaviour.
     pub fn on_heartbeat_with_events(
         &mut self,
         key: K,
@@ -217,10 +266,65 @@ where
         arrival: Nanos,
         events: &mut Vec<StreamTransition<K>>,
     ) -> Option<Decision> {
+        self.on_heartbeat_incarnated(key, 0, seq, arrival, events)
+    }
+
+    /// Feeds an incarnation-aware heartbeat. Relative to the stream's
+    /// current incarnation:
+    ///
+    /// * a **lower** incarnation is stale — a delayed frame from a dead
+    ///   boot — and is dropped (`None`), like a stale sequence number;
+    /// * an **equal** incarnation follows the crash-stop path above;
+    /// * a **higher** incarnation resets the stream: the old detector's
+    ///   sampled history describes a dead boot, so it is rebuilt fresh,
+    ///   the sequence axis restarts, and the heartbeat publishes a
+    ///   [`TransitionKind::Recovered`] transition at its arrival. If the
+    ///   old boot's horizon had already expired unpublished, the missed
+    ///   S-transition is synthesized first (at the old horizon), so the
+    ///   stream's suspicion interval stays exact.
+    pub fn on_heartbeat_incarnated(
+        &mut self,
+        key: K,
+        incarnation: u32,
+        seq: u64,
+        arrival: Nanos,
+        events: &mut Vec<StreamTransition<K>>,
+    ) -> Option<Decision> {
         let builder = &self.builder;
         let slot = self.slab.intern_with(key, |k| builder.build(k));
+        let recovered = {
+            let hot = self.slab.hot(slot);
+            if incarnation < hot.incarnation() {
+                return None;
+            }
+            incarnation > hot.incarnation()
+        };
+        if recovered {
+            // The previous boot is provably dead. If its horizon expired
+            // before this arrival and no sweep published it, synthesize
+            // the missed S-transition exactly as a same-incarnation
+            // heartbeat would; if it was still trusted, the stream goes
+            // Trust→Trust across the boot boundary and only the
+            // Recovered event marks it.
+            let (hot, _, key) = self.slab.apply(slot);
+            if hot.published_trust() {
+                if let Some(p) = hot.trust_until() {
+                    if p < arrival {
+                        hot.set_published(false);
+                        events.push(StreamTransition::new(
+                            key.clone(),
+                            TransitionKind::Suspect,
+                            p,
+                        ));
+                    }
+                }
+            }
+            let builder = &self.builder;
+            self.slab.reset_detector(slot, |k| builder.build(k));
+        }
         let (hot, fd, key) = self.slab.apply(slot);
-        let prev = fd.current_decision();
+        hot.set_incarnation(incarnation);
+        let prev = hot.trust_until();
         let decision = fd.on_heartbeat(seq, arrival)?;
         if let Some(s) = fd.last_seq() {
             hot.set_seq(s);
@@ -231,24 +335,32 @@ where
         // sweep noticed: publish it now, stamped at the expiry instant.
         if hot.published_trust() {
             if let Some(p) = prev {
-                if p.trust_until < arrival {
+                if p < arrival {
                     hot.set_published(false);
-                    events.push(StreamTransition {
-                        key: key.clone(),
-                        output: FdOutput::Suspect,
-                        at: p.trust_until,
-                    });
+                    events.push(StreamTransition::new(
+                        key.clone(),
+                        TransitionKind::Suspect,
+                        p,
+                    ));
                 }
             }
         }
 
-        if decision.trust_until > arrival && !hot.published_trust() {
+        if decision.trust_until > arrival && (recovered || !hot.published_trust()) {
+            let was_published = hot.published_trust();
             hot.set_published(true);
-            events.push(StreamTransition {
-                key: key.clone(),
-                output: FdOutput::Trust,
-                at: arrival,
-            });
+            // A recovered boot publishes `Recovered` whether the old
+            // boot was trusted (Trust→Trust across the boundary) or
+            // suspected (the restart ends the suspicion) — unless the
+            // suspicion never existed to begin with.
+            let kind = if recovered {
+                TransitionKind::Recovered
+            } else {
+                TransitionKind::Trust
+            };
+            if !was_published || recovered {
+                events.push(StreamTransition::new(key.clone(), kind, arrival));
+            }
         }
         // A trust_until at or before the arrival means the heartbeat
         // arrived past its own freshness point — the detector stays
@@ -259,6 +371,53 @@ where
         self.wheel.insert(slot, gen, decision.trust_until);
 
         Some(decision)
+    }
+
+    /// Adopts a stream from a peer monitor's relayed digest view: seeds
+    /// the stream's hot state with the peer's last known incarnation and
+    /// trust horizon, *without* fabricating detector history. Detection
+    /// then continues locally: the seeded horizon is scheduled on the
+    /// wheel, so if no real heartbeat arrives the stream S-transitions
+    /// at exactly the adopted horizon; if heartbeats do arrive, the
+    /// fresh local detector takes over seamlessly.
+    ///
+    /// Local state that is at least as fresh wins: the adoption is
+    /// skipped (returns `false`) if the stream already has a horizon at
+    /// or past the adopted one, a higher incarnation, or the adopted
+    /// horizon is already in the past at `now` (nothing to seed — the
+    /// stream is suspect either way).
+    pub fn adopt(
+        &mut self,
+        key: K,
+        incarnation: u32,
+        trust_until: Nanos,
+        now: Nanos,
+        events: &mut Vec<StreamTransition<K>>,
+    ) -> bool {
+        let builder = &self.builder;
+        let slot = self.slab.intern_with(key, |k| builder.build(k));
+        let (hot, _, key) = self.slab.apply(slot);
+        if hot.incarnation() > incarnation || trust_until <= now {
+            return false;
+        }
+        if let Some(local) = hot.trust_until() {
+            if local >= trust_until {
+                return false;
+            }
+        }
+        hot.set_incarnation(incarnation);
+        hot.set_decision(trust_until);
+        if !hot.published_trust() {
+            hot.set_published(true);
+            events.push(StreamTransition::new(
+                key.clone(),
+                TransitionKind::Trust,
+                now,
+            ));
+        }
+        let gen = hot.gen();
+        self.wheel.insert(slot, gen, trust_until);
+        true
     }
 
     /// Publishes the S-transition of every stream whose trust horizon
@@ -275,11 +434,11 @@ where
         due.sort_unstable_by_key(|e| (e.deadline, e.slot));
         for e in &due {
             if let Some(key) = self.slab.publish_expiry(e.slot, e.gen, e.deadline) {
-                events.push(StreamTransition {
-                    key: key.clone(),
-                    output: FdOutput::Suspect,
-                    at: e.deadline,
-                });
+                events.push(StreamTransition::new(
+                    key.clone(),
+                    TransitionKind::Suspect,
+                    e.deadline,
+                ));
             }
         }
         self.due = due;
@@ -314,6 +473,7 @@ where
                 output: hot.output_at(t),
                 last_seq: hot.last_seq(),
                 trust_until: hot.trust_until(),
+                incarnation: hot.incarnation(),
             });
         });
         out
@@ -502,11 +662,7 @@ mod tests {
         s.on_heartbeat_with_events("a", 1, hb(1), &mut events);
         assert_eq!(
             events,
-            vec![StreamTransition {
-                key: "a",
-                output: FdOutput::Trust,
-                at: hb(1)
-            }]
+            vec![StreamTransition::new("a", TransitionKind::Trust, hb(1))]
         );
         // The next fresh heartbeat keeps trusting: no further event.
         events.clear();
@@ -529,11 +685,11 @@ mod tests {
         s.sweep(trust_until + Span(1), &mut events);
         assert_eq!(
             events,
-            vec![StreamTransition {
-                key: "a",
-                output: FdOutput::Suspect,
-                at: trust_until
-            }]
+            vec![StreamTransition::new(
+                "a",
+                TransitionKind::Suspect,
+                trust_until
+            )]
         );
         // Idempotent: the expiry is published once.
         events.clear();
@@ -555,14 +711,154 @@ mod tests {
         assert_eq!(events.len(), 2, "{events:?}");
         assert_eq!(
             events[0],
-            StreamTransition {
-                key: "a",
-                output: FdOutput::Suspect,
-                at: trust_until
-            }
+            StreamTransition::new("a", TransitionKind::Suspect, trust_until)
         );
         assert_eq!(events[1].output, FdOutput::Trust);
+        assert_eq!(events[1].kind, TransitionKind::Trust);
         assert_eq!(events[1].at, late);
+    }
+
+    /// Crash-recovery: a bumped incarnation with a reset sequence axis
+    /// must not be treated as stale; it rebuilds the detector and
+    /// publishes a `Recovered` transition at its arrival.
+    #[test]
+    fn higher_incarnation_recovers_a_suspected_stream() {
+        let mut s = set();
+        let mut events = Vec::new();
+        for seq in 1..=5 {
+            s.on_heartbeat_incarnated("a", 0, seq, hb(seq), &mut events);
+        }
+        let trust_until = s.statuses(hb(5))[0].trust_until.unwrap();
+        events.clear();
+        s.sweep(trust_until + Span(1), &mut events);
+        assert_eq!(events.len(), 1, "crashed: {events:?}");
+        assert_eq!(events[0].kind, TransitionKind::Suspect);
+        events.clear();
+
+        // The restarted boot's first heartbeat: incarnation 1, seq 1 —
+        // stale by sequence number, fresh by incarnation.
+        let restart = trust_until + Span::from_secs(2);
+        let d = s
+            .on_heartbeat_incarnated("a", 1, 1, restart, &mut events)
+            .expect("restart heartbeat must be fresh");
+        assert!(d.trust_until > restart);
+        assert_eq!(
+            events,
+            vec![StreamTransition::new(
+                "a",
+                TransitionKind::Recovered,
+                restart
+            )]
+        );
+        assert_eq!(s.output(&"a", restart + Span(1)), Some(FdOutput::Trust));
+        assert_eq!(s.statuses(restart + Span(1))[0].incarnation, 1);
+        assert_eq!(s.statuses(restart + Span(1))[0].last_seq, Some(1));
+    }
+
+    /// A restart while the old boot is still trusted synthesizes no
+    /// suspicion: the stream goes Trust→Trust across the boot boundary
+    /// with only the `Recovered` event marking it.
+    #[test]
+    fn fast_restart_recovers_without_suspicion() {
+        let mut s = set();
+        let mut events = Vec::new();
+        s.on_heartbeat_incarnated("a", 0, 7, hb(1), &mut events);
+        events.clear();
+        let quick = hb(1) + Span::from_millis(5); // still inside the horizon
+        s.on_heartbeat_incarnated("a", 1, 1, quick, &mut events);
+        assert_eq!(
+            events,
+            vec![StreamTransition::new("a", TransitionKind::Recovered, quick)]
+        );
+        // The missed-expiry variant: the old horizon expired unpublished
+        // before the restart — the S must be synthesized at the exact old
+        // horizon, then the recovery published at the restart arrival.
+        let mut s2 = set();
+        events.clear();
+        s2.on_heartbeat_incarnated("b", 0, 3, hb(1), &mut events);
+        let old_horizon = s2.statuses(hb(1))[0].trust_until.unwrap();
+        events.clear();
+        let late = old_horizon + Span::from_secs(1);
+        s2.on_heartbeat_incarnated("b", 2, 1, late, &mut events);
+        assert_eq!(
+            events,
+            vec![
+                StreamTransition::new("b", TransitionKind::Suspect, old_horizon),
+                StreamTransition::new("b", TransitionKind::Recovered, late),
+            ]
+        );
+    }
+
+    /// Frames from a dead boot (lower incarnation) are dropped exactly
+    /// like stale sequence numbers.
+    #[test]
+    fn lower_incarnation_frames_are_stale() {
+        let mut s = set();
+        let mut events = Vec::new();
+        s.on_heartbeat_incarnated("a", 2, 1, hb(1), &mut events);
+        assert!(s
+            .on_heartbeat_incarnated("a", 1, 99, hb(2), &mut events)
+            .is_none());
+        assert!(s
+            .on_heartbeat_incarnated("a", 0, 100, hb(2), &mut events)
+            .is_none());
+        assert_eq!(s.statuses(hb(2))[0].incarnation, 2);
+        // Same incarnation, fresh seq: accepted.
+        assert!(s
+            .on_heartbeat_incarnated("a", 2, 2, hb(2), &mut events)
+            .is_some());
+    }
+
+    /// Adoption seeds a relayed horizon so detection continues across a
+    /// monitor crash: the adopted stream is trusted until the relayed
+    /// horizon, and S-transitions at exactly that instant if no real
+    /// heartbeat arrives.
+    #[test]
+    fn adopted_streams_expire_at_the_relayed_horizon() {
+        let mut s = set();
+        let mut events = Vec::new();
+        let now = hb(1);
+        let horizon = now + Span::from_millis(700);
+        assert!(s.adopt("x", 3, horizon, now, &mut events));
+        assert_eq!(
+            events,
+            vec![StreamTransition::new("x", TransitionKind::Trust, now)]
+        );
+        assert_eq!(s.output(&"x", now + Span(1)), Some(FdOutput::Trust));
+        assert_eq!(s.statuses(now)[0].incarnation, 3);
+        events.clear();
+        s.sweep(horizon + Span(1), &mut events);
+        assert_eq!(
+            events,
+            vec![StreamTransition::new("x", TransitionKind::Suspect, horizon)]
+        );
+    }
+
+    /// Fresher local state wins over a relayed view: adoption must not
+    /// clobber a stream the local monitor already tracks further ahead,
+    /// nor resurrect one whose relayed horizon is already past.
+    #[test]
+    fn adoption_defers_to_fresher_local_state() {
+        let mut s = set();
+        let mut events = Vec::new();
+        s.on_heartbeat_with_events("a", 1, hb(1), &mut events);
+        let local = s.statuses(hb(1))[0].trust_until.unwrap();
+        events.clear();
+        assert!(!s.adopt("a", 0, local - Span(1), hb(1), &mut events));
+        assert!(events.is_empty());
+        // Expired relayed horizon: nothing to seed.
+        assert!(!s.adopt("gone", 1, hb(1), hb(1) + Span(1), &mut events));
+        assert!(events.is_empty());
+        // Real heartbeats take over from an adopted seed seamlessly.
+        assert!(s.adopt("x", 1, hb(3), hb(2), &mut events));
+        events.clear();
+        assert!(s
+            .on_heartbeat_incarnated("x", 1, 5, hb(2) + Span::from_millis(1), &mut events)
+            .is_some());
+        assert!(
+            events.is_empty(),
+            "already trusted; no new transition: {events:?}"
+        );
     }
 
     #[test]

@@ -47,8 +47,15 @@ const HAS_SEQ: u8 = 1 << 2;
 /// Slot flag: the last published transition was `Trust`.
 const PUBLISHED_TRUST: u8 = 1 << 3;
 
+/// How far the generation counter is shifted inside the packed
+/// `gen_flags` word (the low byte holds the status flags).
+const GEN_SHIFT: u32 = 8;
+
 /// The hot per-stream state: everything scans and expiry checks read,
 /// packed into 24 bytes so a cache line holds more than two streams.
+/// The generation counter and the status flags share one `u32` (flags
+/// in the low byte, a 24-bit generation above them) to make room for
+/// the crash-recovery incarnation without growing the slot.
 #[derive(Debug, Clone, Copy)]
 pub struct HotSlot {
     /// Mirror of the current decision's `trust_until` (valid iff
@@ -57,47 +64,69 @@ pub struct HotSlot {
     /// Mirror of the detector's largest seen sequence number (valid iff
     /// `HAS_SEQ`).
     last_seq: u64,
-    /// Bumped every time the slot is vacated; guards recycled slots
-    /// against stale external references.
-    gen: u32,
-    /// `OCCUPIED | HAS_DECISION | HAS_SEQ | PUBLISHED_TRUST` bits.
-    flags: u8,
+    /// Low byte: `OCCUPIED | HAS_DECISION | HAS_SEQ | PUBLISHED_TRUST`.
+    /// High 24 bits: generation, bumped (wrapping) every time the slot
+    /// is vacated; guards recycled slots against stale references.
+    gen_flags: u32,
+    /// The stream's current incarnation (boot counter). A heartbeat
+    /// with a higher incarnation resets the stream — see
+    /// [`crate::ProcessSet::on_heartbeat_incarnated`].
+    incarnation: u32,
 }
 
 impl HotSlot {
     const VACANT: HotSlot = HotSlot {
         trust_until: Nanos::ZERO,
         last_seq: 0,
-        gen: 0,
-        flags: 0,
+        gen_flags: 0,
+        incarnation: 0,
     };
+
+    fn flags(&self) -> u8 {
+        (self.gen_flags & 0xFF) as u8
+    }
+
+    fn set_flags(&mut self, flags: u8) {
+        self.gen_flags = (self.gen_flags & !0xFF) | u32::from(flags);
+    }
 
     /// Whether the slot currently holds a stream.
     pub fn occupied(&self) -> bool {
-        self.flags & OCCUPIED != 0
+        self.flags() & OCCUPIED != 0
     }
 
-    /// The slot's current generation.
+    /// The slot's current generation (24-bit, wrapping).
     pub fn gen(&self) -> u32 {
-        self.gen
+        self.gen_flags >> GEN_SHIFT
+    }
+
+    /// The stream's current incarnation (0 until a heartbeat carries a
+    /// higher one).
+    pub fn incarnation(&self) -> u32 {
+        self.incarnation
+    }
+
+    /// Records the stream's incarnation.
+    pub fn set_incarnation(&mut self, incarnation: u32) {
+        self.incarnation = incarnation;
     }
 
     /// The stream's current trust horizon, if any fresh heartbeat was
     /// processed.
     pub fn trust_until(&self) -> Option<Nanos> {
-        (self.flags & HAS_DECISION != 0).then_some(self.trust_until)
+        (self.flags() & HAS_DECISION != 0).then_some(self.trust_until)
     }
 
     /// Largest heartbeat sequence number seen, if any.
     pub fn last_seq(&self) -> Option<u64> {
-        (self.flags & HAS_SEQ != 0).then_some(self.last_seq)
+        (self.flags() & HAS_SEQ != 0).then_some(self.last_seq)
     }
 
     /// The stream's output at `t` — identical to the detector suite's
     /// default [`crate::FailureDetector::output_at`], computed from hot
     /// state alone.
     pub fn output_at(&self, t: Nanos) -> FdOutput {
-        if self.flags & HAS_DECISION != 0 && t < self.trust_until {
+        if self.flags() & HAS_DECISION != 0 && t < self.trust_until {
             FdOutput::Trust
         } else {
             FdOutput::Suspect
@@ -106,28 +135,39 @@ impl HotSlot {
 
     /// Whether the last published transition for this stream was `Trust`.
     pub fn published_trust(&self) -> bool {
-        self.flags & PUBLISHED_TRUST != 0
+        self.flags() & PUBLISHED_TRUST != 0
     }
 
     /// Records the last published transition.
     pub fn set_published(&mut self, trust: bool) {
-        if trust {
-            self.flags |= PUBLISHED_TRUST;
+        let flags = if trust {
+            self.flags() | PUBLISHED_TRUST
         } else {
-            self.flags &= !PUBLISHED_TRUST;
-        }
+            self.flags() & !PUBLISHED_TRUST
+        };
+        self.set_flags(flags);
     }
 
     /// Mirrors a fresh decision's trust horizon.
     pub fn set_decision(&mut self, trust_until: Nanos) {
         self.trust_until = trust_until;
-        self.flags |= HAS_DECISION;
+        self.set_flags(self.flags() | HAS_DECISION);
     }
 
     /// Mirrors the detector's last-seen sequence number.
     pub fn set_seq(&mut self, seq: u64) {
         self.last_seq = seq;
-        self.flags |= HAS_SEQ;
+        self.set_flags(self.flags() | HAS_SEQ);
+    }
+
+    /// Clears the decision/sequence mirrors (and the incarnation-free
+    /// published bit is left untouched) when a higher incarnation
+    /// resets the stream's detector: the fresh detector has seen no
+    /// heartbeat yet, so neither mirror is meaningful.
+    pub fn reset_stream_state(&mut self) {
+        self.trust_until = Nanos::ZERO;
+        self.last_seq = 0;
+        self.set_flags(self.flags() & !(HAS_DECISION | HAS_SEQ));
     }
 }
 
@@ -198,8 +238,9 @@ where
         let slot = match self.free.pop() {
             Some(slot) => {
                 let i = slot as usize;
-                // `gen` was already bumped when the slot was vacated.
-                self.hot[i].flags = OCCUPIED;
+                // The generation was already bumped when the slot was
+                // vacated.
+                self.hot[i].set_flags(OCCUPIED);
                 self.keys[i] = Some(key.clone());
                 self.detectors[i] = Some(fd);
                 slot
@@ -207,7 +248,7 @@ where
             None => {
                 let slot = u32::try_from(self.hot.len()).expect("more than u32::MAX streams");
                 let mut h = HotSlot::VACANT;
-                h.flags = OCCUPIED;
+                h.set_flags(OCCUPIED);
                 self.hot.push(h);
                 self.keys.push(Some(key.clone()));
                 self.detectors.push(Some(fd));
@@ -229,12 +270,25 @@ where
         self.detectors[i] = None;
         let h = &mut self.hot[i];
         *h = HotSlot {
-            gen: h.gen.wrapping_add(1),
+            gen_flags: h.gen().wrapping_add(1) << GEN_SHIFT,
             ..HotSlot::VACANT
         };
         self.free.push(slot);
         self.live -= 1;
         Some(slot)
+    }
+
+    /// Replaces the detector of an occupied `slot` with a freshly built
+    /// one and clears the slot's decision/sequence mirrors — the
+    /// crash-recovery reset: a higher incarnation means the old
+    /// detector's sampled history describes a dead boot. The slot, its
+    /// key, its generation and its published state are all preserved
+    /// (the *stream* did not churn; its process restarted).
+    pub fn reset_detector(&mut self, slot: u32, build: impl FnOnce(&K) -> D) {
+        let i = slot as usize;
+        let key = self.keys[i].as_ref().expect("reset on vacant slot");
+        self.detectors[i] = Some(build(key));
+        self.hot[i].reset_stream_state();
     }
 
     /// The hot state of `slot` (must be in bounds).
@@ -258,7 +312,7 @@ where
     /// the timing wheel's liveness predicate.
     pub fn entry_is_live(&self, slot: u32, gen: u32, deadline: Nanos) -> bool {
         match self.hot.get(slot as usize) {
-            Some(h) => h.occupied() && h.gen == gen && h.trust_until() == Some(deadline),
+            Some(h) => h.occupied() && h.gen() == gen && h.trust_until() == Some(deadline),
             None => false,
         }
     }
@@ -376,6 +430,53 @@ mod tests {
         // Live: publishes exactly once.
         assert_eq!(s.publish_expiry(slot, gen, Nanos(1000)), Some(&7));
         assert_eq!(s.publish_expiry(slot, gen, Nanos(1000)), None);
+    }
+
+    #[test]
+    fn reset_detector_clears_mirrors_but_keeps_slot_identity() {
+        let mut s = slab();
+        let slot = s.intern_with(9, |_| "old");
+        let gen = s.hot(slot).gen();
+        {
+            let (h, _, _) = s.apply(slot);
+            h.set_decision(Nanos(800));
+            h.set_seq(42);
+            h.set_published(true);
+            h.set_incarnation(0);
+        }
+        s.reset_detector(slot, |_| "new");
+        let h = *s.hot(slot);
+        assert!(h.occupied());
+        assert_eq!(h.gen(), gen, "reset is not churn: generation kept");
+        assert_eq!(h.trust_until(), None);
+        assert_eq!(h.last_seq(), None);
+        assert!(
+            h.published_trust(),
+            "published state survives the reset so the Suspect synthesis stays exact"
+        );
+        let (_, fd, _) = s.apply(slot);
+        assert_eq!(*fd, "new");
+    }
+
+    #[test]
+    fn incarnation_and_generation_do_not_alias() {
+        let mut s = slab();
+        let slot = s.intern_with(1, |_| "x");
+        {
+            let (h, _, _) = s.apply(slot);
+            h.set_incarnation(7);
+        }
+        let g0 = s.hot(slot).gen();
+        assert_eq!(s.hot(slot).incarnation(), 7);
+        s.remove(&1);
+        let again = s.intern_with(1, |_| "x");
+        assert_eq!(again, slot);
+        assert_eq!(s.hot(slot).gen(), g0 + 1);
+        assert_eq!(
+            s.hot(slot).incarnation(),
+            0,
+            "a recycled slot starts at incarnation 0"
+        );
     }
 
     #[test]

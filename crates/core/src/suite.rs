@@ -31,6 +31,7 @@ use crate::bertier::BertierFd;
 use crate::chen::ChenFd;
 use crate::detector::{Decision, FailureDetector, FdOutput};
 use crate::ed::EdFd;
+use crate::impact::ImpactFd;
 use crate::phi::PhiAccrualFd;
 use crate::twofd::{MultiWindowFd, TwoWindowFd};
 use serde::{Deserialize, Serialize};
@@ -73,6 +74,13 @@ pub enum DetectorSpec {
         /// All window sizes.
         windows: Vec<usize>,
     },
+    /// The Impact FD's per-process member detector: constant timeout
+    /// `Δi + Δto`, carrying the process's impact factor for the
+    /// federation tier's set-valued group aggregation.
+    Impact {
+        /// The process's impact factor (structural, not swept).
+        factor: usize,
+    },
 }
 
 impl Default for DetectorSpec {
@@ -107,7 +115,8 @@ impl DetectorSpec {
         match self {
             DetectorSpec::Chen { .. }
             | DetectorSpec::TwoWindow { .. }
-            | DetectorSpec::MultiWindow { .. } => "Δto (s)",
+            | DetectorSpec::MultiWindow { .. }
+            | DetectorSpec::Impact { .. } => "Δto (s)",
             DetectorSpec::Phi { .. } => "Φ",
             DetectorSpec::Ed { .. } => "κ",
             DetectorSpec::Bertier { .. } => "(none)",
@@ -126,6 +135,7 @@ impl DetectorSpec {
                 let s: Vec<String> = windows.iter().map(|w| w.to_string()).collect();
                 format!("mw-fd({})", s.join(","))
             }
+            DetectorSpec::Impact { factor } => format!("impact({factor})"),
         }
     }
 
@@ -153,6 +163,9 @@ impl DetectorSpec {
             }
             DetectorSpec::MultiWindow { windows } => {
                 AnyDetector::MultiWindow(MultiWindowFd::new(windows, interval, margin))
+            }
+            DetectorSpec::Impact { factor } => {
+                AnyDetector::Impact(ImpactFd::new(*factor, interval, margin))
             }
         }
     }
@@ -238,6 +251,7 @@ impl FromStr for DetectorSpec {
                     Ok(DetectorSpec::MultiWindow { windows })
                 }
             }
+            "impact" => arity(1).map(|()| DetectorSpec::Impact { factor: windows[0] }),
             other => Err(err(format!("unknown algorithm {other:?}"))),
         }
     }
@@ -326,6 +340,8 @@ pub enum AnyDetector {
     TwoWindow(TwoWindowFd),
     /// The generalized multi-window FD.
     MultiWindow(MultiWindowFd),
+    /// The Impact FD's per-process member detector.
+    Impact(ImpactFd),
 }
 
 /// Dispatches a method call to the concrete algorithm.
@@ -338,6 +354,7 @@ macro_rules! any_dispatch {
             AnyDetector::Ed($fd) => $body,
             AnyDetector::TwoWindow($fd) => $body,
             AnyDetector::MultiWindow($fd) => $body,
+            AnyDetector::Impact($fd) => $body,
         }
     };
 }
@@ -470,6 +487,7 @@ mod tests {
         all.push(DetectorSpec::MultiWindow {
             windows: vec![1, 30, 1000],
         });
+        all.push(DetectorSpec::Impact { factor: 4 });
         for spec in all {
             let text = spec.to_string();
             assert_eq!(text, spec.label());
@@ -489,9 +507,24 @@ mod tests {
             "warp(3)",
             "phi(-1)",
             "ed(1",
+            "impact()",
+            "impact(1,2)",
         ] {
             assert!(bad.parse::<DetectorSpec>().is_err(), "{bad:?} parsed");
         }
+    }
+
+    #[test]
+    fn impact_spec_builds_the_member_detector() {
+        let spec = DetectorSpec::Impact { factor: 5 };
+        let mut fd = spec.build_any(DI, 0.05);
+        assert_eq!(fd.name(), "impact(5)");
+        assert_eq!(spec.label(), "impact(5)");
+        assert_eq!(spec.tuning_label(), "Δto (s)");
+        assert!(spec.has_tuning());
+        // Constant timeout: trust for Δi + Δto past the arrival.
+        let d = fd.on_heartbeat(1, Nanos(DI.0)).unwrap();
+        assert_eq!(d.trust_until, Nanos(2 * DI.0 + 50_000_000));
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Impact-FD group aggregation: set-valued trust over the federated view.
+//!
+//! The Impact FD (Rossetto et al.) generalizes the binary
+//! trust/suspect output to a *group* verdict: every member process
+//! carries an **impact factor** expressing how much its liveness
+//! matters, and the group is accepted while the summed factors of the
+//! currently trusted members stay at or above a threshold. The
+//! per-member timeout detectors are ordinary [`FailureDetector`](twofd_core::FailureDetector)s
+//! ([`ImpactFd`](twofd_core::ImpactFd), built through
+//! `DetectorSpec::Impact` and dispatched inline like every other
+//! algorithm in the suite); this module adds only the pure aggregation
+//! step, so it works equally over a local runtime's statuses or over
+//! the federated view a monitor assembles from adopted digests.
+
+use std::collections::BTreeMap;
+use twofd_core::{FdOutput, ProcessStatus};
+
+/// A group's membership, impact factors and acceptance threshold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImpactGroup {
+    factors: BTreeMap<u64, usize>,
+    threshold: usize,
+}
+
+/// One set-valued assessment of an [`ImpactGroup`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImpactAssessment {
+    /// The members currently trusted, in id order.
+    pub trusted: Vec<u64>,
+    /// Sum of the trusted members' impact factors.
+    pub trust_level: usize,
+    /// Whether the trust level meets the group's threshold.
+    pub accepted: bool,
+}
+
+impl ImpactGroup {
+    /// Creates a group with the given acceptance threshold.
+    pub fn new(threshold: usize) -> Self {
+        ImpactGroup {
+            factors: BTreeMap::new(),
+            threshold,
+        }
+    }
+
+    /// Adds (or re-weights) a member stream with its impact factor.
+    pub fn member(mut self, stream: u64, factor: usize) -> Self {
+        self.factors.insert(stream, factor);
+        self
+    }
+
+    /// The group's acceptance threshold.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// The member streams, in id order.
+    pub fn members(&self) -> Vec<u64> {
+        self.factors.keys().copied().collect()
+    }
+
+    /// Sum of every member's impact factor (the trust level of a fully
+    /// healthy group).
+    pub fn max_trust_level(&self) -> usize {
+        self.factors.values().sum()
+    }
+
+    /// Assesses the group over a status snapshot — the local runtime's
+    /// or the federated view after adoption. A member absent from
+    /// `statuses` counts as untrusted (no detector has ever seen it),
+    /// and statuses for non-member streams are ignored.
+    pub fn assess(&self, statuses: &[ProcessStatus<u64>]) -> ImpactAssessment {
+        let mut trusted = Vec::new();
+        let mut trust_level = 0usize;
+        for (&stream, &factor) in &self.factors {
+            let alive = statuses
+                .iter()
+                .any(|s| s.key == stream && s.output == FdOutput::Trust);
+            if alive {
+                trusted.push(stream);
+                trust_level += factor;
+            }
+        }
+        ImpactAssessment {
+            trusted,
+            trust_level,
+            accepted: trust_level >= self.threshold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twofd_sim::time::Nanos;
+
+    fn status(key: u64, trusted: bool) -> ProcessStatus<u64> {
+        ProcessStatus {
+            key,
+            output: if trusted {
+                FdOutput::Trust
+            } else {
+                FdOutput::Suspect
+            },
+            last_seq: Some(1),
+            trust_until: trusted.then_some(Nanos(1)),
+            incarnation: 0,
+        }
+    }
+
+    fn replicated_service() -> ImpactGroup {
+        // Two heavyweight replicas and two light witnesses; the service
+        // survives as long as one replica plus anything else is up.
+        ImpactGroup::new(5)
+            .member(1, 4)
+            .member(2, 4)
+            .member(3, 1)
+            .member(4, 1)
+    }
+
+    #[test]
+    fn healthy_group_is_accepted_at_full_trust_level() {
+        let g = replicated_service();
+        let a = g.assess(&[
+            status(1, true),
+            status(2, true),
+            status(3, true),
+            status(4, true),
+        ]);
+        assert_eq!(a.trusted, vec![1, 2, 3, 4]);
+        assert_eq!(a.trust_level, g.max_trust_level());
+        assert!(a.accepted);
+    }
+
+    #[test]
+    fn acceptance_follows_the_summed_factors_not_the_count() {
+        let g = replicated_service();
+        // One replica and one witness: 4 + 1 = 5 meets the threshold.
+        let a = g.assess(&[status(1, true), status(3, true), status(2, false)]);
+        assert_eq!(a.trusted, vec![1, 3]);
+        assert!(a.accepted);
+        // Both witnesses alone: 1 + 1 = 2 does not, despite two members.
+        let b = g.assess(&[status(3, true), status(4, true)]);
+        assert_eq!(b.trust_level, 2);
+        assert!(!b.accepted);
+    }
+
+    #[test]
+    fn absent_members_count_as_untrusted() {
+        let g = replicated_service();
+        let a = g.assess(&[status(1, true)]);
+        assert_eq!(a.trusted, vec![1]);
+        assert_eq!(a.trust_level, 4);
+        assert!(!a.accepted);
+    }
+
+    #[test]
+    fn non_member_statuses_are_ignored() {
+        let g = ImpactGroup::new(1).member(1, 1);
+        let a = g.assess(&[status(99, true)]);
+        assert!(a.trusted.is_empty());
+        assert!(!a.accepted);
+    }
+}

@@ -338,7 +338,7 @@ fn ingest_loop<T: Transport>(
         jobs.clear();
         for i in 0..n {
             match Heartbeat::decode(transport.datagram(i)) {
-                Ok(hb) => jobs.push((hb.stream, hb.seq, arrival)),
+                Ok(hb) => jobs.push((hb.stream, hb.seq, arrival, hb.incarnation)),
                 Err(_) => rejected.inc(),
             }
         }

@@ -1,6 +1,6 @@
 //! Batch UDP intake: `recvmmsg(2)` on Linux, single-`recv` elsewhere.
 //!
-//! The live ingest path is syscall-bound: one 32-byte heartbeat per
+//! The live ingest path is syscall-bound: one 40-byte heartbeat per
 //! `recv(2)` means one kernel crossing per datagram. `recvmmsg(2)`
 //! amortizes that crossing across up to [`BATCH`] datagrams — with
 //! `MSG_WAITFORONE` it blocks until at least one datagram is available

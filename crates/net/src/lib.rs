@@ -3,7 +3,9 @@
 //! The paper's experiments exchange heartbeats over UDP/IP; this crate
 //! provides that substrate for the live examples and end-to-end tests:
 //!
-//! * [`wire`] — the 32-byte heartbeat datagram format.
+//! * [`wire`] — the versioned heartbeat datagram format (40 bytes in
+//!   v2, carrying the sender's incarnation; 32-byte v1 frames still
+//!   decode).
 //! * [`clock`] — monotonic per-process clocks (deliberately
 //!   unsynchronized between sender and monitor, as in the paper).
 //! * [`sender`] — the monitored process `p`: a periodic emitter thread
@@ -53,4 +55,4 @@ pub use transport::{
     sim_channel, SenderTransport, SimSender, SimTransport, Transport, UdpDatagramTransport,
     UdpSenderTransport, UdpTransport,
 };
-pub use wire::{Heartbeat, WireError, WIRE_SIZE};
+pub use wire::{Heartbeat, WireError, WIRE_SIZE, WIRE_SIZE_V1};

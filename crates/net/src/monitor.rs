@@ -328,6 +328,7 @@ mod tests {
                 stream: 1,
                 seq,
                 sent_at: clock.now(),
+                incarnation: 0,
             };
             sock.send_to(&hb.encode(), m.local_addr()).unwrap();
             thread::sleep(Duration::from_millis(10));
@@ -349,6 +350,7 @@ mod tests {
                 stream: 1,
                 seq,
                 sent_at: clock.now(),
+                incarnation: 0,
             };
             sock.send_to(&hb.encode(), m.local_addr()).unwrap();
             thread::sleep(Duration::from_millis(10));
@@ -409,6 +411,7 @@ mod tests {
                 stream: 1,
                 seq,
                 sent_at: clock.now(),
+                incarnation: 0,
             };
             sock.send_to(&hb.encode(), m.local_addr()).unwrap();
             thread::sleep(Duration::from_millis(5));
@@ -437,6 +440,7 @@ mod tests {
                 stream: 1,
                 seq,
                 sent_at: clock.now(),
+                incarnation: 0,
             };
             sock.send_to(&hb.encode(), m.local_addr()).unwrap();
             thread::sleep(Duration::from_millis(10));

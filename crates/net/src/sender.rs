@@ -144,10 +144,15 @@ impl HeartbeatSender {
                         // network loss, which is the point.
                         continue;
                     }
+                    // The live sender is a crash-stop process: a crash()
+                    // is final, so it never sends a second incarnation.
+                    // Restart scripting (incarnation bumps) lives in the
+                    // cluster simulator's sender model.
                     let hb = Heartbeat {
                         stream,
                         seq,
                         sent_at: clock.now(),
+                        incarnation: 0,
                     };
                     hb.encode_into(&mut buf);
                     // Send errors (e.g. monitor socket gone) are treated
@@ -243,6 +248,13 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), seqs.len(), "duplicate seqs in {seqs:?}");
         assert!(*sorted.last().unwrap() >= 5);
+        // The counter increments after the send syscall, so the receiver
+        // can observe the 5th datagram a beat before `sent()` reflects
+        // it; wait out that window instead of asserting instantly.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while sender.sent() < 5 && std::time::Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(1));
+        }
         assert!(sender.sent() >= 5);
     }
 

@@ -82,7 +82,7 @@ use std::thread::{self, JoinHandle};
 use std::time::Duration;
 use twofd_core::{
     AnyDetector, Decision, DetectorBuilder, DetectorConfig, FdOutput, ProcessSet, ProcessStatus,
-    QosMetrics, StreamTransition,
+    QosMetrics, StreamTransition, TransitionKind,
 };
 use twofd_obs::{
     qos::judge, Counter, GaugeVec, Histogram, QosPlan, QosTracker, QosVerdict, Registry,
@@ -217,9 +217,11 @@ impl Default for ShardConfig {
     }
 }
 
-/// One heartbeat routed to a shard: `(stream, seq, arrival)`. This is
-/// the element type of [`ShardRuntime::ingest_batch`] slices.
-pub type Job = (u64, u64, Nanos);
+/// One heartbeat routed to a shard: `(stream, seq, arrival,
+/// incarnation)`. This is the element type of
+/// [`ShardRuntime::ingest_batch`] slices. Crash-stop senders (and v1
+/// wire frames) carry incarnation 0.
+pub type Job = (u64, u64, Nanos, u32);
 
 /// Largest number of heartbeats a worker applies under one lock
 /// acquisition. Batching amortizes locking; the cap keeps queries from
@@ -321,7 +323,7 @@ impl HotObs {
 
     fn on_transition(&mut self, event: &FleetEvent) {
         if let Some(tracker) = &mut self.stream(event.key).tracker {
-            tracker.on_transition(event.output, event.at);
+            tracker.on_transition_kind(event.kind, event.at);
         }
     }
 }
@@ -340,6 +342,9 @@ struct ShardShared {
     to_trust: Counter,
     /// Trust→Suspect transitions published.
     to_suspect: Counter,
+    /// Recovered transitions published (restart with a bumped
+    /// incarnation re-trusted the stream).
+    to_recovered: Counter,
     /// Wall-clock duration of each expiry sweep.
     sweep_hist: Histogram,
     /// Heartbeats whose hot-obs update (jitter/QoS tracker) has landed.
@@ -387,6 +392,8 @@ pub struct ShardStats {
     pub to_trust: u64,
     /// Trust→Suspect transitions published so far.
     pub to_suspect: u64,
+    /// Recovered transitions published so far (incarnation bumps).
+    pub to_recovered: u64,
 }
 
 /// Observability snapshot of the whole runtime.
@@ -434,9 +441,17 @@ impl RuntimeStats {
         self.shards.iter().map(|s| s.suspect).sum()
     }
 
-    /// Total transitions published (both directions).
+    /// Total transitions published (all directions).
     pub fn transitions(&self) -> u64 {
-        self.shards.iter().map(|s| s.to_trust + s.to_suspect).sum()
+        self.shards
+            .iter()
+            .map(|s| s.to_trust + s.to_suspect + s.to_recovered)
+            .sum()
+    }
+
+    /// Total Recovered transitions published, fleet-wide.
+    pub fn recovered(&self) -> u64 {
+        self.shards.iter().map(|s| s.to_recovered).sum()
     }
 }
 
@@ -649,6 +664,7 @@ impl ShardRuntime {
                     stale: stale_vec.with(&[&label]),
                     to_trust: transitions_vec.with(&[&label, "to_trust"]),
                     to_suspect: transitions_vec.with(&[&label, "to_suspect"]),
+                    to_recovered: transitions_vec.with(&[&label, "to_recovered"]),
                     sweep_hist: sweep_vec.with(&[&label]),
                     obs_applied: AtomicU64::new(0),
                     hot,
@@ -747,18 +763,27 @@ impl ShardRuntime {
         self.inner.shard_of(stream)
     }
 
-    /// Routes one decoded, timestamped heartbeat to its shard. Never
-    /// blocks: a full shard queue evicts its oldest heartbeat and counts
-    /// the drop.
+    /// Routes one decoded, timestamped heartbeat to its shard with
+    /// crash-stop semantics (incarnation 0). Never blocks: a full shard
+    /// queue evicts its oldest heartbeat and counts the drop.
     pub fn ingest(&self, stream: u64, seq: u64, arrival: Nanos) {
+        self.ingest_incarnated(stream, seq, arrival, 0);
+    }
+
+    /// Routes one decoded, timestamped heartbeat carrying the sender's
+    /// boot counter. A higher incarnation than the stream's current one
+    /// resets its detector (the sequence-number restart is a new boot,
+    /// not stale traffic) and publishes a `Recovered` transition; a
+    /// lower one is dropped as stale. Never blocks.
+    pub fn ingest_incarnated(&self, stream: u64, seq: u64, arrival: Nanos, incarnation: u32) {
         let shard = self.shard_of(stream);
         shard.shared.received.inc();
-        match shard
-            .tx
-            .as_ref()
-            .expect("runtime is live")
-            .force_send((stream, seq, arrival))
-        {
+        match shard.tx.as_ref().expect("runtime is live").force_send((
+            stream,
+            seq,
+            arrival,
+            incarnation,
+        )) {
             Ok(Some(_displaced)) => {
                 shard.shared.dropped.inc();
             }
@@ -775,8 +800,9 @@ impl ShardRuntime {
     /// and everything the enqueue displaces — whether evicted from the
     /// queue or shed from an over-capacity batch — is counted dropped.
     ///
-    /// Feeding the same `(stream, seq, arrival)` jobs through
-    /// [`ShardRuntime::ingest`] one at a time produces the identical
+    /// Feeding the same `(stream, seq, arrival, incarnation)` jobs
+    /// through [`ShardRuntime::ingest_incarnated`] one at a time
+    /// produces the identical
     /// transition timeline; batching is invisible to detector semantics
     /// (`tests/shard_equivalence.rs` enforces this differentially).
     pub fn ingest_batch(&self, jobs: &[Job]) {
@@ -789,7 +815,7 @@ impl ShardRuntime {
         // chunk) scans of a tiny array beat allocating per-shard
         // vectors on the ingest hot path.
         for chunk in jobs.chunks(GROUP_BATCH) {
-            let mut group = [(0u64, 0u64, Nanos(0)); GROUP_BATCH];
+            let mut group = [(0u64, 0u64, Nanos(0), 0u32); GROUP_BATCH];
             for (i, shard) in self.inner.shards.iter().enumerate() {
                 let mut len = 0;
                 for &job in chunk {
@@ -848,6 +874,47 @@ impl ShardRuntime {
             hot.lock().streams.remove(&stream);
         }
         existed
+    }
+
+    /// Adopts a stream from a relayed liveness digest: seeds (or
+    /// refreshes) the stream's trust horizon and incarnation from a
+    /// peer monitor's view, so detection continues across a monitor
+    /// crash without waiting for the next direct heartbeat. Returns
+    /// whether the relayed view was applied — fresher local state
+    /// (a higher incarnation, a later local horizon, or an already
+    /// expired relayed horizon) wins and the call is a no-op.
+    ///
+    /// Synchronous: any resulting Trust transition is published through
+    /// [`ShardRuntime::events`] before the call returns, and the
+    /// adopted horizon expires through the ordinary sweep path.
+    pub fn adopt(&self, stream: u64, incarnation: u32, trust_until: Nanos) -> bool {
+        let now = self.inner.clock.now();
+        let shard = self.shard_of(stream);
+        let mut events: Vec<FleetEvent> = Vec::new();
+        // Lock order: `set` strictly before `hot` (never held together).
+        let applied =
+            shard
+                .shared
+                .set
+                .lock()
+                .adopt(stream, incarnation, trust_until, now, &mut events);
+        if !events.is_empty() {
+            if let Some(hot) = &shard.shared.hot {
+                let mut hot = hot.lock();
+                if hot.qos.is_some() {
+                    for event in &events {
+                        hot.on_transition(event);
+                    }
+                }
+            }
+            publish(
+                &shard.shared,
+                &self.inner.events_tx,
+                &self.inner.events_dropped,
+                &mut events,
+            );
+        }
+        applied
     }
 
     /// Current output for one stream (`None` if never seen/registered).
@@ -952,6 +1019,7 @@ impl ShardRuntime {
                     suspect,
                     to_trust: s.shared.to_trust.get(),
                     to_suspect: s.shared.to_suspect.get(),
+                    to_recovered: s.shared.to_recovered.get(),
                 }
             })
             .collect();
@@ -1139,7 +1207,7 @@ fn shard_worker(
         if let Some(hot) = &shared.hot {
             if !scratch.is_empty() || (track_transitions && !events.is_empty()) {
                 let mut hot = hot.lock();
-                for ((stream, seq, arrival), decision) in scratch.drain(..) {
+                for ((stream, seq, arrival, _incarnation), decision) in scratch.drain(..) {
                     hot.on_heartbeat(stream, seq, arrival, decision);
                 }
                 if track_transitions {
@@ -1200,10 +1268,10 @@ fn shard_worker(
 fn apply(
     set: &mut ProcessSet<u64, DetectorPlan>,
     shared: &ShardShared,
-    (stream, seq, arrival): Job,
+    (stream, seq, arrival, incarnation): Job,
     events: &mut Vec<FleetEvent>,
 ) -> Option<Decision> {
-    let decision = set.on_heartbeat_with_events(stream, seq, arrival, events);
+    let decision = set.on_heartbeat_incarnated(stream, incarnation, seq, arrival, events);
     if decision.is_none() {
         shared.stale.inc();
     }
@@ -1218,9 +1286,10 @@ fn publish(
     events: &mut Vec<FleetEvent>,
 ) {
     for event in events.drain(..) {
-        match event.output {
-            FdOutput::Trust => shared.to_trust.inc(),
-            FdOutput::Suspect => shared.to_suspect.inc(),
+        match event.kind {
+            TransitionKind::Trust => shared.to_trust.inc(),
+            TransitionKind::Suspect => shared.to_suspect.inc(),
+            TransitionKind::Recovered => shared.to_recovered.inc(),
         };
         if let Err(TrySendError::Full(_)) = events_tx.try_send(event) {
             events_dropped.inc();
@@ -1482,7 +1551,7 @@ mod tests {
     fn per_stream_plans_pick_recipes_by_stream() {
         use twofd_core::FailureDetector;
         let plan = DetectorPlan::PerStream(Arc::new(|stream: &u64| {
-            let spec = if *stream % 2 == 0 {
+            let spec = if (*stream).is_multiple_of(2) {
                 DetectorSpec::Chen { window: 10 }
             } else {
                 DetectorSpec::default()
@@ -1526,6 +1595,81 @@ mod tests {
         let registry = rt.registry().clone();
         drop(rt);
         let _ = registry.render();
+    }
+
+    /// Crash-recovery through the sharded runtime: a suspected stream
+    /// that returns with a bumped incarnation (and a reset sequence
+    /// counter) is re-trusted via a `Recovered` transition, counted
+    /// under its own metric direction.
+    #[test]
+    fn bumped_incarnation_recovers_a_suspected_stream() {
+        let (rt, clock) = runtime_with_manual_clock(1);
+        clock.advance_to(hb(1));
+        rt.ingest_incarnated(3, 1, hb(1), 0);
+        rt.flush();
+        let horizon = rt.statuses()[0].trust_until.unwrap();
+        clock.advance_to(horizon + Span::from_secs(1));
+        rt.sweep_now();
+        assert_eq!(rt.output(3), Some(FdOutput::Suspect));
+        // The restarted boot resets seq to 1 — stale under incarnation
+        // 0, fresh under incarnation 1.
+        let restart = horizon + Span::from_secs(2);
+        clock.advance_to(restart);
+        rt.ingest_incarnated(3, 1, restart, 1);
+        rt.flush();
+        assert_eq!(rt.output(3), Some(FdOutput::Trust));
+        let events: Vec<FleetEvent> = rt.events().try_iter().collect();
+        let kinds: Vec<TransitionKind> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TransitionKind::Trust,
+                TransitionKind::Suspect,
+                TransitionKind::Recovered
+            ],
+            "{events:?}"
+        );
+        assert_eq!(events[2].at, restart);
+        let stats = rt.stats();
+        assert_eq!(stats.recovered(), 1);
+        assert_eq!(stats.transitions(), 3);
+        // A frame from the dead incarnation is stale, not applied.
+        rt.ingest_incarnated(3, 50, restart + Span::from_millis(1), 0);
+        rt.flush();
+        assert_eq!(rt.stats().stale(), 1);
+        let text = rt.registry().render();
+        assert!(
+            text.contains(
+                "twofd_shard_transitions_total{shard=\"0\",direction=\"to_recovered\"} 1"
+            ),
+            "{text}"
+        );
+    }
+
+    /// Digest adoption: a never-seen stream seeded from a peer's view
+    /// is trusted until the relayed horizon, then suspected by the
+    /// ordinary sweep — detection continues without a direct heartbeat.
+    #[test]
+    fn adopted_stream_expires_through_the_sweep_path() {
+        let (rt, clock) = runtime_with_manual_clock(2);
+        clock.advance_to(Nanos(1_000));
+        let horizon = Nanos(500_000_000);
+        assert!(rt.adopt(6, 2, horizon));
+        // Synchronous: the Trust is already published.
+        let events: Vec<FleetEvent> = rt.events().try_iter().collect();
+        assert_eq!(events.len(), 1, "{events:?}");
+        assert_eq!(events[0].kind, TransitionKind::Trust);
+        assert_eq!(rt.output(6), Some(FdOutput::Trust));
+        // Stale relayed views lose to the adopted state.
+        assert!(!rt.adopt(6, 1, horizon + Span::from_secs(5)));
+        assert!(!rt.adopt(6, 2, horizon - Span::from_millis(1)));
+        clock.advance_to(horizon + Span::from_millis(1));
+        rt.sweep_now();
+        let events: Vec<FleetEvent> = rt.events().try_iter().collect();
+        assert_eq!(events.len(), 1, "{events:?}");
+        assert_eq!(events[0].kind, TransitionKind::Suspect);
+        assert_eq!(events[0].at, horizon);
+        assert_eq!(rt.output(6), Some(FdOutput::Suspect));
     }
 
     #[test]

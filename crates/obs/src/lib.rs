@@ -68,5 +68,7 @@ pub mod sync {
 
 pub use http::MetricsServer;
 pub use metric::{Counter, Gauge, Histogram};
-pub use qos::{QosAxis, QosPlan, QosTracker, QosTrackerConfig, QosVerdict, StreamConfigFn};
+pub use qos::{
+    QosAxis, QosOrigin, QosPlan, QosTracker, QosTrackerConfig, QosVerdict, StreamConfigFn,
+};
 pub use registry::{CounterVec, GaugeVec, HistogramVec, Registry};

@@ -34,8 +34,31 @@
 
 use std::collections::VecDeque;
 use std::sync::Arc;
-use twofd_core::{Decision, FdOutput, Mistake, QosMetrics, QosSpec};
+use twofd_core::{Decision, FdOutput, Mistake, QosMetrics, QosSpec, TransitionKind};
 use twofd_sim::time::{Nanos, Span};
+
+/// How the tracker recovers a heartbeat's send instant `σ(j)` from its
+/// sequence number — the anchor every detection-time sample subtracts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QosOrigin {
+    /// `σ(j) = j·Δi` on the monitor's own clock: the trace builders'
+    /// convention, and what the offline replay pipeline assumes. Exact
+    /// when senders are born at the monitor's time zero with no clock
+    /// offset — every differential test against `twofd_core::replay`
+    /// uses this.
+    #[default]
+    Nominal,
+    /// Chen-style estimated origin: anchor on the *fastest observed*
+    /// message by tracking `min(arrival − j·Δi)` over the stream's
+    /// fresh heartbeats and using `σ(j) = j·Δi + that offset`. Robust
+    /// to sender clock offsets and staggered joins (the offset absorbs
+    /// both, plus the minimum network delay — the same bias Chen's EA
+    /// estimator carries), so full QoS verdicts hold under skewed
+    /// clocks and mid-run churn where `Nominal` inflates `T_D` by the
+    /// stream's entire birth time. The offset resets on an incarnation
+    /// restart, whose sequence numbers restart with it.
+    Auto,
+}
 
 /// Configuration for one stream's [`QosTracker`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,6 +74,8 @@ pub struct QosTrackerConfig {
     /// `[now − window, now]`; use [`Span::MAX`] for a whole-trace
     /// (cumulative) window.
     pub window: Span,
+    /// How send instants are anchored (see [`QosOrigin`]).
+    pub origin: QosOrigin,
 }
 
 impl QosTrackerConfig {
@@ -60,6 +85,7 @@ impl QosTrackerConfig {
             spec: None,
             interval,
             window: Span::MAX,
+            origin: QosOrigin::Nominal,
         }
     }
 }
@@ -182,6 +208,14 @@ pub struct QosTracker {
     /// The most recent freshness decision, used to synthesize the
     /// not-yet-swept mistake tail at evaluation time.
     last_decision: Option<Decision>,
+    /// Largest sequence number seen fresh — a fresh heartbeat at or
+    /// below it is an incarnation restart, which re-anchors the
+    /// [`QosOrigin::Auto`] offset.
+    last_seq: Option<u64>,
+    /// Running `min(arrival − j·Δi)` in nanos ([`QosOrigin::Auto`]
+    /// only); signed because a fast sender clock puts arrivals before
+    /// the nominal schedule.
+    origin_offset: Option<i128>,
     fresh: u64,
 }
 
@@ -196,6 +230,8 @@ impl QosTracker {
             open_since: None,
             ever_trusted: false,
             last_decision: None,
+            last_seq: None,
+            origin_offset: None,
             fresh: 0,
         }
     }
@@ -212,13 +248,35 @@ impl QosTracker {
             self.first_arrival = Some(arrival);
         }
         let Some(d) = decision else { return };
+        // A *fresh* decision at or below the largest seen sequence
+        // number means the detector's freshness state was reset — an
+        // incarnation restart. The new boot's sequence numbers anchor a
+        // new origin.
+        if self.last_seq.is_some_and(|l| seq <= l) {
+            self.origin_offset = None;
+        }
+        self.last_seq = Some(seq);
         self.fresh += 1;
         self.last_decision = Some(d);
-        // Worst-case detection time sample: trust_until − σ(seq), with
-        // σ(seq) = seq·Δi the nominal send instant (the trace builders'
-        // convention, and the replay pipeline's).
-        let send = Nanos(seq.saturating_mul(self.config.interval.0));
-        let worst = d.trust_until.saturating_since(send).as_secs_f64();
+        // Worst-case detection time sample: trust_until − σ(seq). Under
+        // `Nominal`, σ(seq) = seq·Δi (the trace builders' convention,
+        // and the replay pipeline's — kept byte-exact for the
+        // differential tests). Under `Auto`, the nominal instant is
+        // shifted by the fastest-message offset (see [`QosOrigin`]).
+        let nominal = seq.saturating_mul(self.config.interval.0);
+        let worst = match self.config.origin {
+            QosOrigin::Nominal => d.trust_until.saturating_since(Nanos(nominal)).as_secs_f64(),
+            QosOrigin::Auto => {
+                let delta = i128::from(arrival.0) - i128::from(nominal);
+                let offset = match self.origin_offset {
+                    Some(o) => o.min(delta),
+                    None => delta,
+                };
+                self.origin_offset = Some(offset);
+                let send = i128::from(nominal) + offset;
+                (i128::from(d.trust_until.0) - send).max(0) as f64 / 1e9
+            }
+        };
         self.td_samples.push_back((arrival, worst));
         // Replay convention: if the very first heartbeat arrives with
         // its freshness point already in the past, the stream is
@@ -231,21 +289,46 @@ impl QosTracker {
         }
     }
 
-    /// Records one published Trust/Suspect transition.
+    /// Records one published Trust/Suspect transition with crash-stop
+    /// semantics (a restoring Trust closes any open suspicion as a
+    /// mistake). Kind-aware callers should use
+    /// [`QosTracker::on_transition_kind`], which additionally
+    /// understands `Recovered`.
     pub fn on_transition(&mut self, output: FdOutput, at: Nanos) {
-        match output {
-            FdOutput::Suspect => {
+        self.on_transition_kind(
+            match output {
+                FdOutput::Trust => TransitionKind::Trust,
+                FdOutput::Suspect => TransitionKind::Suspect,
+            },
+            at,
+        );
+    }
+
+    /// Records one published transition, crash-recovery aware: a
+    /// `Recovered` transition (restart with a bumped incarnation)
+    /// closes any open suspicion *without* counting it as a mistake —
+    /// the restart proves the crash was real, so the detector was
+    /// right to suspect (Reis & Vieira's accounting; a plain `Trust`
+    /// close still records the span as a false suspicion).
+    pub fn on_transition_kind(&mut self, kind: TransitionKind, at: Nanos) {
+        match kind {
+            TransitionKind::Suspect => {
                 if self.open_since.is_none() {
                     self.open_since = Some(at);
                 }
             }
-            FdOutput::Trust => {
+            TransitionKind::Trust => {
                 self.ever_trusted = true;
                 if let Some(start) = self.open_since.take() {
                     if start < at {
                         self.closed.push_back((start, at));
                     }
                 }
+            }
+            TransitionKind::Recovered => {
+                self.ever_trusted = true;
+                // Justified suspicion: discard the open span entirely.
+                self.open_since = None;
             }
         }
     }
@@ -425,6 +508,7 @@ mod tests {
             spec: None,
             interval: Span(SEC),
             window: Span(10 * SEC),
+            origin: QosOrigin::Nominal,
         });
         t.on_heartbeat(0, Nanos(0), decision(Nanos(2 * SEC)));
         t.on_transition(FdOutput::Trust, Nanos(0));
@@ -446,6 +530,7 @@ mod tests {
             spec: Some(spec),
             interval: Span(SEC),
             window: Span::MAX,
+            origin: QosOrigin::Nominal,
         });
         // Worst TD = 2 s ⇒ avg TD = 1.5 s > 0.5 s bound. One 1 s
         // mistake in 4 s ⇒ rate 0.25 > 1/100, duration 1 s > 0.1 s.
@@ -472,11 +557,81 @@ mod tests {
     }
 
     #[test]
+    fn recovered_closes_suspicion_without_a_mistake() {
+        let mut t = QosTracker::new(QosTrackerConfig::cumulative(Span(SEC)));
+        t.on_heartbeat(1, Nanos(SEC), decision(Nanos(3 * SEC)));
+        t.on_transition_kind(TransitionKind::Trust, Nanos(SEC));
+        // The process crashes; the sweeper fires S at the horizon…
+        t.on_transition_kind(TransitionKind::Suspect, Nanos(3 * SEC));
+        // …and a restarted incarnation re-trusts 2 s later. The
+        // suspicion was *correct*, so it must not count as a mistake.
+        t.on_heartbeat(1, Nanos(5 * SEC), decision(Nanos(7 * SEC)));
+        t.on_transition_kind(TransitionKind::Recovered, Nanos(5 * SEC));
+        let m = t.metrics_at(Nanos(6 * SEC));
+        assert_eq!(m.mistakes, 0);
+        assert!((m.query_accuracy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auto_origin_absorbs_clock_offset() {
+        // Sender clock 100 s ahead of nominal: every arrival lands at
+        // j·Δi + 100 s + delay. Nominal anchoring would report a T_D of
+        // ~100 s; the auto origin anchors on the fastest message.
+        let offset = 100 * SEC;
+        let cfg = QosTrackerConfig {
+            origin: QosOrigin::Auto,
+            ..QosTrackerConfig::cumulative(Span(SEC))
+        };
+        let mut auto_t = QosTracker::new(cfg);
+        let mut nominal = QosTracker::new(QosTrackerConfig::cumulative(Span(SEC)));
+        for seq in 1..=10u64 {
+            let arrival = Nanos(seq * SEC + offset + SEC / 10);
+            let d = decision(Nanos(arrival.0 + 3 * SEC / 2));
+            auto_t.on_heartbeat(seq, arrival, d);
+            nominal.on_heartbeat(seq, arrival, d);
+        }
+        let now = Nanos(11 * SEC + offset);
+        let with_auto = auto_t.metrics_at(now);
+        let with_nominal = nominal.metrics_at(now);
+        // worst per sample ≈ (arrival + 1.5 s) − (j·Δi + min offset) =
+        // 1.6 s once the offset is learned; the first sample pins it at
+        // exactly trust_until − arrival = 1.5 s.
+        assert!(with_auto.worst_detection_time < 2.0, "{with_auto:?}");
+        assert!(
+            with_nominal.worst_detection_time > 100.0,
+            "{with_nominal:?}"
+        );
+    }
+
+    #[test]
+    fn auto_origin_re_anchors_on_incarnation_restart() {
+        let cfg = QosTrackerConfig {
+            origin: QosOrigin::Auto,
+            ..QosTrackerConfig::cumulative(Span(SEC))
+        };
+        let mut t = QosTracker::new(cfg);
+        // First incarnation runs for 50 heartbeats…
+        for seq in 1..=50u64 {
+            let arrival = Nanos(seq * SEC + SEC / 10);
+            t.on_heartbeat(seq, arrival, decision(Nanos(arrival.0 + 3 * SEC / 2)));
+        }
+        // …then the restarted boot resets seq to 1 at t = 60 s. With
+        // the stale anchor, σ(1) ≈ 1 s and T_D would read ~60 s.
+        for seq in 1..=10u64 {
+            let arrival = Nanos((60 + seq) * SEC + SEC / 10);
+            t.on_heartbeat(seq, arrival, decision(Nanos(arrival.0 + 3 * SEC / 2)));
+        }
+        let m = t.metrics_at(Nanos(75 * SEC));
+        assert!(m.worst_detection_time < 2.0, "{m:?}");
+    }
+
+    #[test]
     fn plan_resolution() {
         let uniform = QosPlan::Uniform(QosTrackerConfig::cumulative(Span(SEC)));
         assert!(uniform.config_for(&7).is_some());
         let per = QosPlan::PerStream(Arc::new(|k: &u64| {
-            (*k % 2 == 0).then(|| QosTrackerConfig::cumulative(Span(SEC)))
+            (*k).is_multiple_of(2)
+                .then(|| QosTrackerConfig::cumulative(Span(SEC)))
         }));
         assert!(per.config_for(&4).is_some());
         assert!(per.config_for(&5).is_none());

@@ -10,15 +10,19 @@
 //!
 //! Asymmetric behaviour falls out of directionality: each simulated
 //! link owns its own `LinkSpec`, so partitioning A→B while leaving B→A
-//! clean is just two different specs. Correlated burst loss scripts as
-//! a Gilbert–Elliott base plus `Lossy` windows; a slow-node brownout is
-//! `ExtraDelay` + `Lossy` over the same window.
+//! clean is just two different specs. Correlated burst loss is a
+//! first-class directive: a `BurstLoss` window runs its own
+//! Gilbert–Elliott chain ([`crate::loss::GilbertElliottLoss`]) seeded
+//! from the scenario RNG, so losses cluster instead of falling
+//! independently; a slow-node brownout is `ExtraDelay` + `Lossy` over
+//! the same window.
 //!
 //! Like [`crate::loss::ScriptedLoss`], the base scenario's models are
 //! advanced for **every** transmission — even ones a `Blackout`
 //! directive then discards — so adding or removing directives never
 //! shifts the base random stream relative to an unscripted run.
 
+use crate::loss::{GilbertElliottLoss, LossModel};
 use crate::rng::SimRng;
 use crate::scenario::{NetworkScenario, ScenarioNetwork, Transmission};
 use crate::time::{Nanos, Span};
@@ -40,6 +44,22 @@ pub enum LinkEffect {
     Lossy {
         /// Additional independent loss probability.
         p: f64,
+    },
+    /// Drop messages through a two-state Gilbert–Elliott chain layered
+    /// on the base model: losses arrive in correlated bursts (mean
+    /// burst length `1/p_bg` messages) instead of independently — the
+    /// radio-link / congested-queue picture. The chain starts Good at
+    /// the window's first covered message and advances once per
+    /// message, drawing from the link's scenario RNG.
+    BurstLoss {
+        /// Good → Bad transition probability per message.
+        p_gb: f64,
+        /// Bad → Good transition probability per message.
+        p_bg: f64,
+        /// Loss probability while in the Good state.
+        loss_good: f64,
+        /// Loss probability while in the Bad state.
+        loss_bad: f64,
     },
 }
 
@@ -86,8 +106,20 @@ impl LinkSpec {
     /// Adds a directive window (builder-style).
     pub fn with(mut self, start: Span, end: Span, effect: LinkEffect) -> Self {
         assert!(start.0 < end.0, "directive window must be non-empty");
-        if let LinkEffect::Lossy { p } = effect {
-            assert!((0.0..=1.0).contains(&p), "loss must be a probability");
+        match effect {
+            LinkEffect::Lossy { p } => {
+                assert!((0.0..=1.0).contains(&p), "loss must be a probability");
+            }
+            LinkEffect::BurstLoss {
+                p_gb,
+                p_bg,
+                loss_good,
+                loss_bad,
+            } => {
+                // Constructing the chain runs its probability asserts.
+                let _ = GilbertElliottLoss::new(p_gb, p_bg, loss_good, loss_bad);
+            }
+            LinkEffect::Blackout | LinkEffect::ExtraDelay { .. } => {}
         }
         self.directives.push(LinkDirective {
             start: start.0,
@@ -99,9 +131,25 @@ impl LinkSpec {
 
     /// Instantiates the live model.
     pub fn instantiate(&self) -> LinkModel {
+        // Burst-loss directives carry Markov state; give each its own
+        // chain, parallel to the directive list.
+        let bursts = self
+            .directives
+            .iter()
+            .map(|d| match d.effect {
+                LinkEffect::BurstLoss {
+                    p_gb,
+                    p_bg,
+                    loss_good,
+                    loss_bad,
+                } => Some(GilbertElliottLoss::new(p_gb, p_bg, loss_good, loss_bad)),
+                _ => None,
+            })
+            .collect();
         LinkModel {
             network: self.scenario.instantiate(),
             directives: self.directives.clone(),
+            bursts,
         }
     }
 }
@@ -110,6 +158,9 @@ impl LinkSpec {
 pub struct LinkModel {
     network: ScenarioNetwork,
     directives: Vec<LinkDirective>,
+    /// Per-directive Gilbert–Elliott state, `Some` iff the directive at
+    /// the same index is a [`LinkEffect::BurstLoss`].
+    bursts: Vec<Option<GilbertElliottLoss>>,
 }
 
 impl LinkModel {
@@ -127,7 +178,7 @@ impl LinkModel {
             Transmission::Lost => None,
             Transmission::Delivered { delay } => Some(delay),
         };
-        for directive in &self.directives {
+        for (directive, burst) in self.directives.iter().zip(&mut self.bursts) {
             if !directive.covers(send_time) {
                 continue;
             }
@@ -138,6 +189,15 @@ impl LinkModel {
                     // base loss pattern does not shift this window's
                     // coin sequence.
                     if rng.chance(p) {
+                        delay = None;
+                    }
+                }
+                LinkEffect::BurstLoss { .. } => {
+                    // Same convention: the chain advances once per
+                    // covered message, lost or not, so the burst
+                    // pattern is independent of the base loss draws.
+                    let chain = burst.as_mut().expect("bursts parallels directives");
+                    if chain.is_lost(rng, send_time) {
                         delay = None;
                     }
                 }
@@ -300,6 +360,74 @@ mod tests {
         );
     }
 
+    /// Burst loss must hit the stationary Gilbert–Elliott rate *and*
+    /// cluster: mean loss-run length ≈ 1/p_bg, far above what an
+    /// independent `Lossy` window at the same rate produces.
+    #[test]
+    fn burst_loss_clusters_losses_at_the_stationary_rate() {
+        // p_bad = 0.05/(0.05+0.2) = 0.2 stationary loss; bursts of ~5.
+        let spec = LinkSpec::clean(base()).with(
+            Span::ZERO,
+            Span::from_secs(1_000_000),
+            LinkEffect::BurstLoss {
+                p_gb: 0.05,
+                p_bg: 0.2,
+                loss_good: 0.0,
+                loss_bad: 1.0,
+            },
+        );
+        let mut link = spec.instantiate();
+        let mut rng = SimRng::seed_from_u64(5);
+        let n: u64 = 50_000;
+        let outcomes: Vec<bool> = (0..n)
+            .map(|i| link.transmit(&mut rng, Nanos::from_millis(i)) == Transmission::Lost)
+            .collect();
+        let lost = outcomes.iter().filter(|&&l| l).count();
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.02, "stationary rate {rate}");
+
+        let mut runs = 0usize;
+        for i in 0..outcomes.len() {
+            if outcomes[i] && (i == 0 || !outcomes[i - 1]) {
+                runs += 1;
+            }
+        }
+        let mean_burst = lost as f64 / runs as f64;
+        assert!(
+            mean_burst > 3.0,
+            "losses must cluster (mean burst {mean_burst:.2}, independent would be ~1.25)"
+        );
+    }
+
+    /// Outside its window a burst-loss directive draws nothing, so the
+    /// base stream stays aligned with a clean link.
+    #[test]
+    fn burst_loss_window_leaves_the_outside_untouched() {
+        let scripted = LinkSpec::clean(base()).with(
+            Span::from_secs(10),
+            Span::from_secs(20),
+            LinkEffect::BurstLoss {
+                p_gb: 1.0,
+                p_bg: 0.0,
+                loss_good: 0.0,
+                loss_bad: 1.0,
+            },
+        );
+        let mut link = scripted.instantiate();
+        let mut rng = SimRng::seed_from_u64(6);
+        for i in 0..300u64 {
+            let t = Nanos::from_millis(i * 100);
+            let out = link.transmit(&mut rng, t);
+            if t >= Nanos::from_secs(10) && t < Nanos::from_secs(20) {
+                // p_gb=1 flips to Bad on the first covered message and
+                // p_bg=0 pins it there: the whole window is lost.
+                assert_eq!(out, Transmission::Lost, "t={t:?}");
+            } else {
+                assert!(matches!(out, Transmission::Delivered { .. }), "t={t:?}");
+            }
+        }
+    }
+
     #[test]
     fn rejects_empty_windows_and_bad_probabilities() {
         assert!(std::panic::catch_unwind(|| {
@@ -315,6 +443,19 @@ mod tests {
                 Span::ZERO,
                 Span::from_secs(1),
                 LinkEffect::Lossy { p: 1.5 },
+            )
+        })
+        .is_err());
+        assert!(std::panic::catch_unwind(|| {
+            LinkSpec::clean(base()).with(
+                Span::ZERO,
+                Span::from_secs(1),
+                LinkEffect::BurstLoss {
+                    p_gb: 0.1,
+                    p_bg: -0.1,
+                    loss_good: 0.0,
+                    loss_bad: 1.0,
+                },
             )
         })
         .is_err());

@@ -17,6 +17,10 @@
 //! * [`cluster`] — a deterministic virtual-time cluster simulator that
 //!   drives the real [`net`] runtime through a scripted scenario
 //!   library (crashes, partitions, brownouts, clock skew, churn).
+//! * [`federation`] — the monitor-of-monitors tier: liveness digests
+//!   relayed between monitors, crash-recovery semantics (incarnations,
+//!   `Recovered` transitions), stream adoption across monitor crashes
+//!   and the Impact FD's set-valued group aggregation.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +43,7 @@
 
 pub use twofd_cluster as cluster;
 pub use twofd_core as core;
+pub use twofd_federation as federation;
 pub use twofd_net as net;
 pub use twofd_obs as obs;
 pub use twofd_service as service;

@@ -3,7 +3,9 @@
 //! report must land inside its declared QoS envelope, and every run
 //! must replay bit-identically from its seed.
 
-use twofd::cluster::{library, Scale, Scenario};
+use twofd::cluster::{library, run, FederationPlan, Scale, Scenario};
+use twofd::core::{DetectorConfig, DetectorSpec};
+use twofd::sim::Span;
 
 const SEED: u64 = 0x2FD0_51ED;
 
@@ -57,6 +59,67 @@ fn different_seeds_diverge() {
         b.digest(),
         "stochastic link delays must make distinct seeds observable"
     );
+}
+
+#[test]
+fn federation_is_inert_for_crash_stop_traffic() {
+    // Turning the digest relay on over a plain crash-stop run (no
+    // restarts, every incarnation 0, no monitor deaths → no adoptions)
+    // must leave the observable report — timelines, final outputs, QoS
+    // bits — identical to the pre-federation runtime. The relay may
+    // only ever *add* behaviour when a monitor actually dies.
+    let base = by_name("asymmetric_link");
+    let plain = base.run(SEED);
+
+    let mut federated = base.config.clone();
+    federated.federation = Some(FederationPlan {
+        digest_interval: Span::from_millis(200),
+        relay_delay: Span::from_millis(1),
+        peer_detector: DetectorConfig::new(
+            DetectorSpec::Chen { window: 1 },
+            Span::from_millis(200),
+            0.15,
+        ),
+    });
+    let fed = run(&federated, SEED);
+
+    assert_eq!(
+        plain.digest(),
+        fed.digest(),
+        "digest relay changed a crash-stop timeline"
+    );
+    assert_eq!(plain.monitors, fed.monitors);
+    assert_eq!(
+        fed.monitors.iter().map(|m| m.adopted).sum::<u64>(),
+        0,
+        "nothing to adopt while every monitor lives"
+    );
+    // The relay itself did run: digest + relay events are scheduler
+    // work on top of the identical heartbeat traffic.
+    assert!(fed.sim_events > plain.sim_events);
+}
+
+#[test]
+fn monitor_failover_adopts_and_replays_bit_identically() {
+    // The federation tentpole, end to end: monitor 0 dies mid-run, the
+    // survivor adopts its relayed digest view (bumped incarnation
+    // included) and holds every stream trusted across the gap — and the
+    // whole failover replays bit-identically from its seed.
+    let scenario = by_name("monitor_failover");
+    let a = scenario.run(SEED);
+    let b = scenario.run(SEED);
+    assert_eq!(a, b);
+    assert_eq!(a.digest(), b.digest());
+
+    assert_eq!(a.monitors[0].adopted, 0, "the dead monitor adopts nothing");
+    assert_eq!(
+        a.monitors[1].adopted as usize,
+        scenario.config.senders.len(),
+        "the survivor adopts every relayed stream"
+    );
+    for m in &a.monitors {
+        assert_eq!(m.events_dropped, 0);
+    }
 }
 
 #[test]

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use std::sync::Arc;
-use twofd::net::{Heartbeat, Job, ManualClock, ShardConfig, ShardRuntime, WIRE_SIZE};
+use twofd::net::{Heartbeat, Job, ManualClock, ShardConfig, ShardRuntime, WIRE_SIZE, WIRE_SIZE_V1};
 use twofd::prelude::*;
 use twofd::trace::{decode_binary, decode_csv, encode_binary};
 
@@ -37,6 +37,50 @@ proptest! {
         }
     }
 
+    /// Both wire versions round-trip for arbitrary field values, and a
+    /// v1 frame — which cannot carry an incarnation — always decodes to
+    /// incarnation 0 (crash-stop semantics).
+    #[test]
+    fn versioned_wire_frames_round_trip(
+        stream in any::<u64>(),
+        seq in any::<u64>(),
+        at in any::<u64>(),
+        incarnation in any::<u32>(),
+    ) {
+        let hb = Heartbeat { stream, seq, sent_at: Nanos(at), incarnation };
+        prop_assert_eq!(Heartbeat::decode(&hb.encode()).unwrap(), hb);
+        prop_assert_eq!(
+            Heartbeat::decode(&hb.encode_v1()).unwrap(),
+            Heartbeat { incarnation: 0, ..hb }
+        );
+    }
+
+    /// A v2 frame truncated anywhere — including inside the incarnation
+    /// field `[32, 40)`, where a sloppy decoder might zero-fill — is
+    /// rejected without panicking; garbage stuffed into the incarnation
+    /// bytes still decodes (any u32 is a legal incarnation) and
+    /// round-trips rather than being reinterpreted.
+    #[test]
+    fn truncated_or_garbage_incarnation_is_handled(
+        stream in any::<u64>(),
+        seq in any::<u64>(),
+        cut in 0usize..WIRE_SIZE,
+        junk in any::<u32>(),
+    ) {
+        let hb = Heartbeat { stream, seq, sent_at: Nanos(7), incarnation: 1 };
+        let full = hb.encode();
+        prop_assert!(Heartbeat::decode(&full[..cut]).is_err(), "cut at {}", cut);
+        // Even the exact v1 length is no excuse: the version field says
+        // v2, so the missing incarnation must not be zero-filled.
+        prop_assert!(Heartbeat::decode(&full[..WIRE_SIZE_V1]).is_err());
+
+        let mut garbled = full.to_vec();
+        garbled[32..36].copy_from_slice(&junk.to_le_bytes());
+        let decoded = Heartbeat::decode(&garbled).unwrap();
+        prop_assert_eq!(decoded.incarnation, junk);
+        prop_assert_eq!(Heartbeat::decode(&decoded.encode()).unwrap(), decoded);
+    }
+
     /// The full intake path is total and exactly accounted: an
     /// arbitrary mix of valid, truncated, oversized and garbage
     /// datagrams — rebatched arbitrarily through a deliberately tiny
@@ -48,24 +92,33 @@ proptest! {
     #[test]
     fn intake_batches_reconcile_exactly(
         // One tuple per datagram. The leading integer selects the shape
-        // (the vendored proptest has no `prop_oneof`): 0 = valid,
-        // 1 = truncated, 2 = valid prefix + trailing junk, 3 = garbage.
+        // (the vendored proptest has no `prop_oneof`): 0 = valid v2,
+        // 1 = valid v1 (mixed-version fleet), 2 = truncated,
+        // 3 = valid prefix + trailing junk, 4 = garbage.
         specs in prop::collection::vec(
-            (0u8..4, 0u64..8, 1u64..1_000_000, 0usize..64),
+            (0u8..5, 0u64..8, 1u64..1_000_000, 0usize..64),
             1..120,
         ),
         batch in 1usize..200,
     ) {
         let mut datagrams: Vec<Vec<u8>> = Vec::with_capacity(specs.len());
         for &(kind, stream, seq, size) in &specs {
-            let hb = Heartbeat { stream, seq, sent_at: Nanos(seq) };
+            let hb = Heartbeat {
+                stream,
+                seq,
+                sent_at: Nanos(seq),
+                incarnation: (seq % 3) as u32,
+            };
             match kind {
                 0 => datagrams.push(hb.encode().to_vec()),
-                // Truncated: always shorter than WIRE_SIZE, never valid.
-                1 => datagrams.push(hb.encode()[..size % WIRE_SIZE].to_vec()),
-                2 => {
-                    // Oversized: decoders read a 32-byte prefix and must
-                    // ignore trailing bytes.
+                1 => datagrams.push(hb.encode_v1().to_vec()),
+                // Truncated: shorter than WIRE_SIZE, never valid —
+                // lengths in [WIRE_SIZE_V1, WIRE_SIZE) claim a v2 frame
+                // whose incarnation field is cut off.
+                2 => datagrams.push(hb.encode()[..size % WIRE_SIZE].to_vec()),
+                3 => {
+                    // Oversized: decoders read a per-version prefix and
+                    // must ignore trailing bytes.
                     let mut d = hb.encode().to_vec();
                     d.resize(WIRE_SIZE + size, 0xA5);
                     datagrams.push(d);
@@ -84,7 +137,7 @@ proptest! {
             .filter_map(|(i, d)| {
                 Heartbeat::decode(d)
                     .ok()
-                    .map(|hb| (hb.stream, hb.seq, Nanos(1 + i as u64)))
+                    .map(|hb| (hb.stream, hb.seq, Nanos(1 + i as u64), hb.incarnation))
             })
             .collect();
 

@@ -157,6 +157,7 @@ fn idle_workers_park_until_their_next_freshness_point() {
             stream: 9,
             seq,
             sent_at: Nanos(seq * interval.0),
+            incarnation: 0,
         };
         sock.send(&hb.encode()).expect("send heartbeat");
     }

@@ -112,7 +112,7 @@ fn batched_overload_reconciles_received_as_applied_plus_dropped() {
         batch.clear();
         for _ in 0..320 {
             seq += 1;
-            batch.push((seq % 128, seq, Nanos(seq)));
+            batch.push((seq % 128, seq, Nanos(seq), 0));
         }
         rt.ingest_batch(&batch);
     }

@@ -213,7 +213,7 @@ fn batched_ingest_matches_per_heartbeat_ingest_event_for_event() {
             size_ix += 1;
             let batch: Vec<Job> = schedule[cursor..cursor + len]
                 .iter()
-                .map(|&(at, stream, seq)| (stream, seq, at))
+                .map(|&(at, stream, seq)| (stream, seq, at, 0))
                 .collect();
             cursor += len;
             rt_b.ingest_batch(&batch);

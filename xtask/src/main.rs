@@ -13,7 +13,8 @@
 //!    single libc-facing module).
 //! 3. **Wall-clock ban.** `Instant::now()` / `SystemTime::now()` are
 //!    forbidden in `crates/net/src` (outside `clock.rs`),
-//!    `crates/core/src`, and `crates/cluster/src` production code:
+//!    `crates/core/src`, `crates/cluster/src`, and
+//!    `crates/federation/src` production code:
 //!    per-heartbeat hot paths must route through the shard clock so
 //!    time is injectable and cheap, the core detector/wheel/slab layer
 //!    is a pure function of the timestamps it is handed, and the
@@ -187,12 +188,15 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
 
 /// Rule 3 scope: net production code (minus the clock module, which
 /// exists to do the wall-clock read once), the whole core crate
-/// (detectors, wheel, slab — pure functions of their timestamps), and
-/// the cluster simulator (virtual time only, by definition).
+/// (detectors, wheel, slab — pure functions of their timestamps), the
+/// cluster simulator (virtual time only, by definition), and the
+/// federation tier (clock-free by design — explicit `now` parameters
+/// keep the digest/adoption protocol replayable).
 fn in_wall_clock_scope(rel: &str) -> bool {
     (rel.starts_with("crates/net/src/") && rel != "crates/net/src/clock.rs")
         || rel.starts_with("crates/core/src/")
         || rel.starts_with("crates/cluster/src/")
+        || rel.starts_with("crates/federation/src/")
 }
 
 /// Crate roots that must carry the unsafe_code attribute.
@@ -478,6 +482,8 @@ mod tests {
         assert!(in_wall_clock_scope("crates/core/src/multi.rs"));
         assert!(in_wall_clock_scope("crates/cluster/src/sim.rs"));
         assert!(in_wall_clock_scope("crates/cluster/src/scenarios.rs"));
+        assert!(in_wall_clock_scope("crates/federation/src/relay.rs"));
+        assert!(in_wall_clock_scope("crates/federation/src/digest.rs"));
         assert!(!in_wall_clock_scope("crates/net/src/clock.rs"));
         assert!(!in_wall_clock_scope(
             "crates/bench/benches/shard_throughput.rs"
