@@ -193,6 +193,11 @@ where
     K: Eq + Hash + Clone,
 {
     /// An empty slab.
+    //
+    // hotpath:allow(alloc) — construction path: `new` runs once per
+    // shard at startup, never per heartbeat. `Vec::new` here is the
+    // deliberate empty state; growth is amortised by `register`, which
+    // is control-plane, not the apply/sweep path.
     pub fn new() -> Self {
         StreamSlab {
             index: HashMap::new(),
@@ -246,6 +251,11 @@ where
                 slot
             }
             None => {
+                // hotpath:allow(panic) — unreachable by capacity math:
+                // 2^32 slots would need >170 GiB of hot+cold state per
+                // shard, far past the 1M-streams-per-shard design
+                // ceiling; and `register` is control-plane, not the
+                // per-heartbeat apply path.
                 let slot = u32::try_from(self.hot.len()).expect("more than u32::MAX streams");
                 let mut h = HotSlot::VACANT;
                 h.set_flags(OCCUPIED);
@@ -286,6 +296,10 @@ where
     /// (the *stream* did not churn; its process restarted).
     pub fn reset_detector(&mut self, slot: u32, build: impl FnOnce(&K) -> D) {
         let i = slot as usize;
+        // hotpath:allow(panic) — invariant, not input: callers resolve
+        // `slot` through the live `index` map immediately before this
+        // call, so a vacant slot here means slab corruption; crashing
+        // loudly beats silently resetting someone else's stream.
         let key = self.keys[i].as_ref().expect("reset on vacant slot");
         self.detectors[i] = Some(build(key));
         self.hot[i].reset_stream_state();
@@ -300,6 +314,11 @@ where
     /// detector and the interned key of an occupied `slot`.
     pub fn apply(&mut self, slot: u32) -> (&mut HotSlot, &mut D, &K) {
         let i = slot as usize;
+        // hotpath:allow(panic) — invariant, not input: the worker only
+        // calls `apply` for slots it resolved via the index or whose
+        // `(slot, gen)` reference passed `entry_is_current`, both of
+        // which imply OCCUPIED. A vacant slot here is slab corruption;
+        // fail-stop is the correct reaction (DESIGN.md §17).
         (
             &mut self.hot[i],
             self.detectors[i].as_mut().expect("apply on vacant slot"),

@@ -91,6 +91,10 @@ pub struct TimingWheel {
 
 impl TimingWheel {
     /// An empty wheel whose clock starts at `origin`.
+    //
+    // hotpath:allow(alloc) — construction path: one allocation burst
+    // per shard at startup (the bucket grid); the insert/expire paths
+    // reuse these vectors and never allocate beyond amortised growth.
     pub fn new(origin: Nanos) -> Self {
         TimingWheel {
             now_tick: origin.0 >> TICK_SHIFT,

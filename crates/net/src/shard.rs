@@ -676,6 +676,8 @@ impl ShardRuntime {
                     let clock = Arc::clone(&clock);
                     let sweep_interval = config.sweep_interval;
                     thread::Builder::new()
+                        // hotpath:allow(alloc) — startup path: one
+                        // thread-name string per shard, at spawn.
                         .name(format!("twofd-shard-{i}"))
                         .spawn(move || {
                             shard_worker(
@@ -687,6 +689,9 @@ impl ShardRuntime {
                                 sweep_interval,
                             )
                         })
+                        // hotpath:allow(panic) — startup path: failing
+                        // to spawn a worker means the runtime cannot
+                        // exist; fail-stop at construction is correct.
                         .expect("spawn shard worker")
                 };
                 Shard {
@@ -736,6 +741,9 @@ impl ShardRuntime {
                 let label = i.to_string();
                 let depth = shard.tx.as_ref().map(|tx| tx.len()).unwrap_or(0);
                 queue_depth.with(&[&label]).set(depth as f64);
+                // hotpath:allow(block) — scrape path, not the worker
+                // loop: runs at exporter cadence (seconds) and holds
+                // each per-shard lock only for an O(live) tally.
                 let (live, suspect) = shard.shared.set.lock().counts(now);
                 streams_gauge.with(&[&label, "live"]).set(live as f64);
                 streams_gauge.with(&[&label, "suspect"]).set(suspect as f64);
@@ -778,6 +786,9 @@ impl ShardRuntime {
     pub fn ingest_incarnated(&self, stream: u64, seq: u64, arrival: Nanos, incarnation: u32) {
         let shard = self.shard_of(stream);
         shard.shared.received.inc();
+        // hotpath:allow(panic) — invariant: `tx` is only taken in
+        // `Drop`, and `ingest` borrows `&self`, so the runtime is
+        // necessarily still alive here.
         match shard.tx.as_ref().expect("runtime is live").force_send((
             stream,
             seq,
@@ -840,6 +851,8 @@ impl ShardRuntime {
         shard.shared.received.add(group.len() as u64);
         // Err means the worker already shut down; the jobs are dropped on
         // the floor exactly like the seed's per-job `ingest`.
+        // hotpath:allow(panic) — same `tx` liveness invariant as
+        // `ingest_incarnated`: `tx` is taken only in `Drop`.
         if let Ok(evicted) = shard
             .tx
             .as_ref()
@@ -857,6 +870,8 @@ impl ShardRuntime {
     /// registering an already-known stream is a no-op (state, queued
     /// expiries and the stream-count gauges are unaffected).
     pub fn register(&self, stream: u64) {
+        // hotpath:allow(block) — control-plane admin op, not the worker
+        // loop: the per-shard mutex is held for one O(1) insert.
         self.shard_of(stream).shared.set.lock().register(stream);
     }
 
@@ -869,6 +884,9 @@ impl ShardRuntime {
     pub fn deregister(&self, stream: u64) -> bool {
         let shard = self.shard_of(stream);
         // Lock order: `set` strictly before `hot` (never held together).
+        // hotpath:allow(block) — control-plane admin op: two short
+        // per-shard critical sections (O(1) removals), off the
+        // heartbeat path.
         let existed = shard.shared.set.lock().deregister(&stream);
         if let Some(hot) = shard.shared.hot.as_ref() {
             hot.lock().streams.remove(&stream);
@@ -890,8 +908,14 @@ impl ShardRuntime {
     pub fn adopt(&self, stream: u64, incarnation: u32, trust_until: Nanos) -> bool {
         let now = self.inner.clock.now();
         let shard = self.shard_of(stream);
+        // hotpath:allow(alloc) — digest-relay control plane: `adopt`
+        // runs at relay cadence, not per heartbeat; one scratch vector
+        // per call is fine.
         let mut events: Vec<FleetEvent> = Vec::new();
         // Lock order: `set` strictly before `hot` (never held together).
+        // hotpath:allow(block) — digest-relay control plane: short
+        // per-shard critical sections, serialized with the worker by
+        // design (the shard mutex IS the serialization point).
         let applied =
             shard
                 .shared
@@ -920,12 +944,17 @@ impl ShardRuntime {
     /// Current output for one stream (`None` if never seen/registered).
     pub fn output(&self, stream: u64) -> Option<FdOutput> {
         let now = self.inner.clock.now();
+        // hotpath:allow(block) — caller-side query, not the worker
+        // loop: one O(1) lookup under the per-shard mutex.
         self.shard_of(stream).shared.set.lock().output(&stream, now)
     }
 
     /// Status snapshot of every monitored stream, across all shards.
     pub fn statuses(&self) -> Vec<ProcessStatus<u64>> {
         let now = self.inner.clock.now();
+        // hotpath:allow(block) — caller-side snapshot: locks shards one
+        // at a time for an O(live) copy; workers stall at most one
+        // shard's copy, never the fleet.
         self.inner
             .shards
             .iter()
@@ -936,6 +965,8 @@ impl ShardRuntime {
     /// Streams currently suspected, across all shards.
     pub fn suspected(&self) -> Vec<u64> {
         let now = self.inner.clock.now();
+        // hotpath:allow(block) — caller-side snapshot, same per-shard
+        // O(live) copy discipline as `statuses`.
         self.inner
             .shards
             .iter()
@@ -945,6 +976,8 @@ impl ShardRuntime {
 
     /// Number of streams currently monitored.
     pub fn len(&self) -> usize {
+        // hotpath:allow(block) — caller-side query: O(1) tally under
+        // each per-shard mutex, off the heartbeat path.
         self.inner
             .shards
             .iter()
@@ -954,6 +987,8 @@ impl ShardRuntime {
 
     /// True when no stream is monitored.
     pub fn is_empty(&self) -> bool {
+        // hotpath:allow(block) — caller-side query: O(1) check under
+        // each per-shard mutex, off the heartbeat path.
         self.inner
             .shards
             .iter()
@@ -975,6 +1010,8 @@ impl ShardRuntime {
     pub fn qos_metrics(&self, stream: u64) -> Option<QosMetrics> {
         let now = self.inner.clock.now();
         let shard = self.shard_of(stream);
+        // hotpath:allow(block) — observer query: one O(1) tracker
+        // lookup under the per-shard hot lock, off the worker loop.
         let mut hot = shard.shared.hot.as_ref()?.lock();
         let tracker = hot.streams.get_mut(&stream)?.tracker.as_mut()?;
         Some(tracker.metrics_at(now))
@@ -986,6 +1023,8 @@ impl ShardRuntime {
     pub fn qos_verdict(&self, stream: u64) -> Option<QosVerdict> {
         let now = self.inner.clock.now();
         let shard = self.shard_of(stream);
+        // hotpath:allow(block) — observer query, same O(1) hot-lock
+        // discipline as `qos_metrics`.
         let mut hot = shard.shared.hot.as_ref()?.lock();
         let tracker = hot.streams.get_mut(&stream)?.tracker.as_mut()?;
         Some(tracker.verdict_at(now))
@@ -1002,6 +1041,8 @@ impl ShardRuntime {
             .enumerate()
             .map(|(i, s)| {
                 let (streams, live, suspect, queue_depth) = {
+                    // hotpath:allow(block) — observability snapshot:
+                    // per-shard O(live) tally at caller cadence.
                     let set = s.shared.set.lock();
                     let (live, suspect) = set.counts(now);
                     let depth = s.tx.as_ref().map(|tx| tx.len()).unwrap_or(0);
@@ -1047,6 +1088,9 @@ impl ShardRuntime {
             if !behind {
                 return;
             }
+            // hotpath:allow(block) — `flush` is a barrier and blocks by
+            // contract (test/bench callers only); the 200 µs poll
+            // bounds each wait, and the worker loop never calls it.
             thread::sleep(Duration::from_micros(200));
         }
     }
@@ -1067,9 +1111,14 @@ impl ShardRuntime {
     /// on the shard lock — publishes nothing twice.
     pub fn sweep_now(&self) {
         let now = self.inner.clock.now();
+        // hotpath:allow(alloc) — deterministic-driver path, called at
+        // sweep cadence from tests/sims; one scratch vector per call.
         let mut events: Vec<FleetEvent> = Vec::new();
         for shard in &self.inner.shards {
             {
+                // hotpath:allow(block) — caller-side sweep: serializes
+                // with the worker on the shard mutex by design, holding
+                // it for exactly one sweep.
                 let mut set = shard.shared.set.lock();
                 // xtask:allow(wall_clock) — measures sweep duration for
                 // the sweep_hist metric; never feeds detector decisions.
@@ -1085,6 +1134,9 @@ impl ShardRuntime {
             }
             // Feed the QoS trackers outside the set lock, exactly like
             // the worker (lock order: `set` strictly before `hot`).
+            // hotpath:allow(block) — caller-side sweep continued: the
+            // hot lock is held per shard for the O(events) tracker
+            // update only.
             if let Some(hot) = &shard.shared.hot {
                 let mut hot = hot.lock();
                 if hot.qos.is_some() {
@@ -1134,6 +1186,9 @@ fn shard_worker(
     clock: Arc<dyn TimeSource>,
     sweep_interval: Duration,
 ) {
+    // hotpath:allow(alloc) — worker startup: the event and scratch
+    // vectors are allocated once per worker thread and reused (drained,
+    // never dropped) across every pass of the loop below.
     let mut events: Vec<FleetEvent> = Vec::new();
     // Heartbeats applied this pass, kept for the hot-obs update; only
     // populated when the extras are enabled.
@@ -1141,6 +1196,8 @@ fn shard_worker(
     let track = shared.hot.is_some();
     // Transitions only matter to the hot state when QoS trackers exist;
     // a jitter-only configuration skips the per-event map walk.
+    // hotpath:allow(block) — worker startup: one hot-lock peek at the
+    // configuration before the loop begins, never per pass.
     let track_transitions = shared
         .hot
         .as_ref()
@@ -1159,6 +1216,11 @@ fn shard_worker(
         let mut batch = 0usize;
         let next_expiry;
         {
+            // hotpath:allow(block) — this per-shard mutex IS the
+            // shard's designed serialization point: single-writer
+            // worker, uncontended except against short control-plane
+            // sections, held for at most MAX_BATCH applies + one sweep
+            // (parking_lot fast path is one CAS when uncontended).
             let mut set = shared.set.lock();
             if let Some(job) = pending.take() {
                 let decision = apply(&mut set, &shared, job, &mut events);
@@ -1206,6 +1268,10 @@ fn shard_worker(
         // exact mistake timeline.
         if let Some(hot) = &shared.hot {
             if !scratch.is_empty() || (track_transitions && !events.is_empty()) {
+                // hotpath:allow(block) — the worker's own hot lock,
+                // taken after releasing `set` (lock order: set ≺ hot),
+                // held for the O(batch) tracker update; contended only
+                // by scrape/query calls, which are short and rare.
                 let mut hot = hot.lock();
                 for ((stream, seq, arrival, _incarnation), decision) in scratch.drain(..) {
                     hot.on_heartbeat(stream, seq, arrival, decision);

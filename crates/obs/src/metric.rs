@@ -272,6 +272,13 @@ impl Histogram {
     /// / [`Histogram::sum_secs`] sees at least that many bucket and sum
     /// increments.
     pub fn count(&self) -> u64 {
+        // xtask:allow(one_sided) — the pairing Release store exists:
+        // `observe_ns` increments via `fetch_add(1, count_add_ordering())`,
+        // where the helper returns `Ordering::Release` (and the
+        // twofd_check build can deliberately weaken it). The static
+        // pass cannot attribute an ordering that flows through a
+        // helper fn; the pairing itself is model-checked in
+        // crates/check/tests/obs_model.rs.
         self.0.count.load(Ordering::Acquire)
     }
 

@@ -79,7 +79,7 @@ macro_rules! __proptest_tests {
                 let mut rng = $crate::test_runner::TestRng::for_test(concat!(
                     module_path!(), "::", stringify!($name)
                 ));
-                for case in 0..config.cases {
+                for case in 0..config.effective_cases() {
                     $crate::test_runner::CURRENT_CASE.with(|c| c.set(case));
                     $(let $arg = $crate::strategy::Strategy::generate(
                         &($strat), &mut rng

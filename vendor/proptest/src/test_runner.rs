@@ -16,6 +16,28 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// The case count after applying the `TWOFD_PROPTEST_CASES` cap —
+    /// the quick-mode knob (consistent with `TWOFD_BENCH_QUICK` /
+    /// `TWOFD_SIM_QUICK`) that lets slow interpreters (Miri,
+    /// ThreadSanitizer builds in CI) bound property-test wall time
+    /// without forking the test code. Unset or unparsable means no
+    /// cap; the cap never *raises* the configured count.
+    pub fn effective_cases(&self) -> u32 {
+        apply_case_cap(
+            self.cases,
+            std::env::var("TWOFD_PROPTEST_CASES").ok().as_deref(),
+        )
+    }
+}
+
+/// Pure body of [`ProptestConfig::effective_cases`]: `cap` is the raw
+/// `TWOFD_PROPTEST_CASES` value, if set.
+fn apply_case_cap(cases: u32, cap: Option<&str>) -> u32 {
+    match cap.and_then(|v| v.trim().parse::<u32>().ok()) {
+        Some(cap) => cases.min(cap.max(1)),
+        None => cases,
+    }
 }
 
 impl Default for ProptestConfig {
@@ -70,5 +92,20 @@ mod tests {
         }
         let mut c = TestRng::for_test("y");
         assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn case_cap_is_a_cap_not_a_floor() {
+        // (Tested through the pure helper: the env var is
+        // process-global and the harness is multi-threaded.)
+        assert_eq!(apply_case_cap(256, None), 256);
+        assert_eq!(apply_case_cap(256, Some("8")), 8);
+        assert_eq!(apply_case_cap(4, Some("8")), 4, "never raises");
+        assert_eq!(
+            apply_case_cap(256, Some("0")),
+            1,
+            "zero still runs one case"
+        );
+        assert_eq!(apply_case_cap(256, Some("lots")), 256, "garbage ignored");
     }
 }

@@ -1,0 +1,391 @@
+//! `analyze.toml` — declarative configuration for the lint engine.
+//!
+//! The scopes the lints enforce (which modules are hot paths, where
+//! wall-clock reads are banned, where `unsafe` may live) are *policy*,
+//! not code, so they live in a checked-in config file at the workspace
+//! root instead of being hard-wired into lint implementations. The
+//! file also carries the one unified justification-comment lookback
+//! window (the old driver searched 10 lines for `SAFETY:` but 12 for
+//! `ordering:` — a trap for contributors) and the suppression
+//! baseline: accepted findings listed with a written reason, so
+//! `cargo xtask analyze` can insist on **zero un-baselined findings**
+//! while a legacy debt item is being worked off.
+//!
+//! The parser handles the small TOML subset the file actually uses —
+//! `[section]` / `[[array-of-tables]]` headers, integers, quoted
+//! strings and arrays of quoted strings, `#` comments — and rejects
+//! everything else loudly. Dependency-free by the same rule as the
+//! rest of the workspace: the build environment has no crates.io.
+
+use std::fmt;
+use std::path::Path;
+
+/// One baselined (accepted, but still tracked) finding class.
+#[derive(Debug, Clone)]
+pub struct BaselineEntry {
+    /// Repo-relative file the findings live in.
+    pub file: String,
+    /// Lint name (`Lint::name`) being suppressed there.
+    pub lint: String,
+    /// Written justification — required; an unexplained suppression
+    /// defeats the point of the baseline.
+    pub reason: String,
+}
+
+/// Parsed `analyze.toml`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Lines searched *above* a site for a justification comment
+    /// (`SAFETY:`, `ordering:`, `xtask:allow(...)`, `hotpath:allow(...)`).
+    /// One value for every lint.
+    pub lookback: usize,
+    /// Top-level directories scanned for `.rs` files.
+    pub roots: Vec<String>,
+    /// Path prefixes excluded from the scan (lint-fixture corpora).
+    pub exclude: Vec<String>,
+    /// Wall-clock ban scope (dirs or files).
+    pub wall_clock: Vec<String>,
+    /// Files inside the wall-clock scope that *are* allowed to read the
+    /// wall clock (the clock module itself).
+    pub wall_clock_exempt: Vec<String>,
+    /// The only files allowed to contain `unsafe` tokens.
+    pub unsafe_allowed: Vec<String>,
+    /// Hot-path modules: panic-freedom and allocation discipline.
+    pub hot_path: Vec<String>,
+    /// Shard-worker/sweep scope: blocking calls banned.
+    pub blocking: Vec<String>,
+    /// Path prefixes exempt from the ordering + atomic-pairing lints.
+    pub ordering_exempt: Vec<String>,
+    /// Accepted findings (see [`BaselineEntry`]).
+    pub baseline: Vec<BaselineEntry>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            lookback: 12,
+            roots: vec![
+                "src".into(),
+                "tests".into(),
+                "crates".into(),
+                "vendor".into(),
+            ],
+            exclude: Vec::new(),
+            wall_clock: Vec::new(),
+            wall_clock_exempt: Vec::new(),
+            unsafe_allowed: Vec::new(),
+            hot_path: Vec::new(),
+            blocking: Vec::new(),
+            ordering_exempt: Vec::new(),
+            baseline: Vec::new(),
+        }
+    }
+}
+
+/// A config-load or parse error, with the line it happened on.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// 1-based line in `analyze.toml` (0 for file-level errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "analyze.toml: {}", self.message)
+        } else {
+            write!(f, "analyze.toml:{}: {}", self.line, self.message)
+        }
+    }
+}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ConfigError> {
+    Err(ConfigError {
+        line,
+        message: message.into(),
+    })
+}
+
+impl Config {
+    /// Loads and parses the config file at `path`.
+    pub fn load(path: &Path) -> Result<Config, ConfigError> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Config::parse(&text),
+            Err(e) => err(0, format!("unreadable ({e}) at {}", path.display())),
+        }
+    }
+
+    /// Parses the TOML subset described in the module docs.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        // The [[baseline]] entry currently being accumulated.
+        #[derive(Default)]
+        struct Pending {
+            at: usize,
+            file: Option<String>,
+            lint: Option<String>,
+            reason: Option<String>,
+        }
+        let mut section = String::new();
+        let mut entry: Option<Pending> = None;
+
+        macro_rules! flush_entry {
+            () => {
+                if let Some(p) = entry.take() {
+                    match (p.file, p.lint, p.reason) {
+                        (Some(file), Some(lint), Some(reason)) => {
+                            cfg.baseline.push(BaselineEntry { file, lint, reason });
+                        }
+                        _ => {
+                            return err(
+                                p.at,
+                                "[[baseline]] entry needs `file`, `lint` and `reason`",
+                            )
+                        }
+                    }
+                }
+            };
+        }
+
+        let raw_lines: Vec<&str> = text.lines().collect();
+        let mut idx = 0;
+        while idx < raw_lines.len() {
+            let lineno = idx + 1;
+            let mut joined;
+            let mut line = strip_comment(raw_lines[idx]).trim();
+            // Join a multi-line array: `key = [` … `]` possibly spread
+            // over several lines.
+            if line.contains('[') && line.contains('=') && !line.contains(']') {
+                joined = line.to_string();
+                loop {
+                    idx += 1;
+                    let Some(next) = raw_lines.get(idx) else {
+                        return err(lineno, "unterminated array");
+                    };
+                    joined.push(' ');
+                    joined.push_str(strip_comment(next).trim());
+                    if joined.contains(']') {
+                        break;
+                    }
+                }
+                line = &joined;
+            }
+            idx += 1;
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+                if header != "baseline" {
+                    return err(lineno, format!("unknown array-of-tables [[{header}]]"));
+                }
+                flush_entry!();
+                section = "baseline".into();
+                entry = Some(Pending {
+                    at: lineno,
+                    ..Pending::default()
+                });
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                flush_entry!();
+                match header {
+                    "engine" | "scopes" => section = header.into(),
+                    other => return err(lineno, format!("unknown section [{other}]")),
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return err(lineno, "expected `key = value`");
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match (section.as_str(), key) {
+                ("engine", "lookback") => {
+                    cfg.lookback = value
+                        .parse::<usize>()
+                        .map_err(|_| ConfigError {
+                            line: lineno,
+                            message: format!("lookback must be an integer, got `{value}`"),
+                        })?
+                        .max(1);
+                }
+                ("engine", "roots") => cfg.roots = parse_string_array(value, lineno)?,
+                ("engine", "exclude") => cfg.exclude = parse_string_array(value, lineno)?,
+                ("scopes", "wall_clock") => cfg.wall_clock = parse_string_array(value, lineno)?,
+                ("scopes", "wall_clock_exempt") => {
+                    cfg.wall_clock_exempt = parse_string_array(value, lineno)?
+                }
+                ("scopes", "unsafe_allowed") => {
+                    cfg.unsafe_allowed = parse_string_array(value, lineno)?
+                }
+                ("scopes", "hot_path") => cfg.hot_path = parse_string_array(value, lineno)?,
+                ("scopes", "blocking") => cfg.blocking = parse_string_array(value, lineno)?,
+                ("scopes", "ordering_exempt") => {
+                    cfg.ordering_exempt = parse_string_array(value, lineno)?
+                }
+                ("baseline", "file" | "lint" | "reason") => {
+                    let s = parse_string(value, lineno)?;
+                    let slot = entry
+                        .as_mut()
+                        .expect("in [[baseline]] section, an entry is open");
+                    match key {
+                        "file" => slot.file = Some(s),
+                        "lint" => slot.lint = Some(s),
+                        _ => slot.reason = Some(s),
+                    }
+                }
+                (sec, key) => {
+                    return err(lineno, format!("unknown key `{key}` in section [{sec}]"))
+                }
+            }
+        }
+        flush_entry!();
+        Ok(cfg)
+    }
+}
+
+/// Strips a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let b = line.as_bytes();
+    let mut in_str = false;
+    for (i, &c) in b.iter().enumerate() {
+        match c {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str, line: usize) -> Result<String, ConfigError> {
+    let v = value.trim();
+    v.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(|s| s.to_string())
+        .ok_or(ConfigError {
+            line,
+            message: format!("expected a quoted string, got `{v}`"),
+        })
+}
+
+fn parse_string_array(value: &str, line: usize) -> Result<Vec<String>, ConfigError> {
+    let v = value.trim();
+    let Some(inner) = v.strip_prefix('[').and_then(|s| s.strip_suffix(']')) else {
+        return err(line, format!("expected an array of strings, got `{v}`"));
+    };
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue; // trailing comma
+        }
+        out.push(parse_string(item, line)?);
+    }
+    Ok(out)
+}
+
+/// Whether `rel` falls under a scope `entry`: an exact match for file
+/// entries (`….rs`), a directory-prefix match otherwise.
+pub fn scope_matches(entry: &str, rel: &str) -> bool {
+    if entry.ends_with(".rs") {
+        rel == entry
+    } else {
+        rel.strip_prefix(entry)
+            .is_some_and(|rest| rest.starts_with('/'))
+    }
+}
+
+/// Whether `rel` falls under any entry of `scope`.
+pub fn in_scope(scope: &[String], rel: &str) -> bool {
+    scope.iter().any(|e| scope_matches(e, rel))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_shape() {
+        let cfg = Config::parse(
+            r#"
+# comment
+[engine]
+lookback = 7
+roots = ["src", "crates"]
+exclude = ["xtask/tests"] # trailing comment
+
+[scopes]
+wall_clock = ["crates/net/src", "crates/core/src"]
+wall_clock_exempt = ["crates/net/src/clock.rs"]
+unsafe_allowed = ["crates/net/src/intake.rs"]
+hot_path = ["crates/core/src/slab.rs"]
+blocking = ["crates/net/src/shard.rs"]
+ordering_exempt = ["crates/check", "crates/bench"]
+
+[[baseline]]
+file = "crates/foo/src/bar.rs"
+lint = "blocking-call"
+reason = "legacy sleep, tracked in #42"
+"#,
+        )
+        .expect("parses");
+        assert_eq!(cfg.lookback, 7);
+        assert_eq!(cfg.roots, ["src", "crates"]);
+        assert_eq!(cfg.wall_clock_exempt, ["crates/net/src/clock.rs"]);
+        assert_eq!(cfg.baseline.len(), 1);
+        assert_eq!(cfg.baseline[0].lint, "blocking-call");
+        assert!(cfg.baseline[0].reason.contains("#42"));
+    }
+
+    #[test]
+    fn parses_multi_line_arrays() {
+        let cfg = Config::parse(
+            "[scopes]\nhot_path = [\n    \"a.rs\", # per-heartbeat\n    \"b.rs\",\n]\n",
+        )
+        .expect("parses");
+        assert_eq!(cfg.hot_path, ["a.rs", "b.rs"]);
+        assert!(Config::parse("[scopes]\nhot_path = [\n    \"a.rs\",\n").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_sections() {
+        assert!(Config::parse("[engine]\nbogus = 3\n").is_err());
+        assert!(Config::parse("[mystery]\n").is_err());
+        assert!(Config::parse("[engine]\nlookback = \"ten\"\n").is_err());
+    }
+
+    #[test]
+    fn baseline_requires_all_three_fields() {
+        let r = Config::parse("[[baseline]]\nfile = \"a.rs\"\nlint = \"x\"\n");
+        assert!(r.is_err(), "reason is mandatory");
+    }
+
+    #[test]
+    fn scope_matching_is_exact_for_files_and_prefix_for_dirs() {
+        assert!(scope_matches("crates/net/src", "crates/net/src/shard.rs"));
+        assert!(!scope_matches("crates/net/src", "crates/net/srcx/f.rs"));
+        assert!(scope_matches(
+            "crates/net/src/clock.rs",
+            "crates/net/src/clock.rs"
+        ));
+        assert!(!scope_matches(
+            "crates/net/src/clock.rs",
+            "crates/net/src/clock.rs2"
+        ));
+        assert!(in_scope(
+            &["crates/core/src".into()],
+            "crates/core/src/wheel.rs"
+        ));
+    }
+
+    #[test]
+    fn hash_inside_quoted_string_is_not_a_comment() {
+        let cfg = Config::parse(
+            "[[baseline]]\nfile = \"a.rs\"\nlint = \"x\"\nreason = \"tracked in #7\"\n",
+        )
+        .expect("parses");
+        assert_eq!(cfg.baseline[0].reason, "tracked in #7");
+    }
+}

@@ -1,0 +1,220 @@
+//! The analysis driver: collects `.rs` files from the configured
+//! roots, lexes each into a [`FileContext`], runs the full lint
+//! catalogue (per-file passes, then the cross-file passes), and
+//! partitions the findings against the suppression baseline.
+
+use crate::config::{Config, ConfigError};
+use crate::lex::{lex_lines, tokenize};
+use crate::lints::{all_lints, FileContext, Finding};
+use std::path::{Path, PathBuf};
+
+/// The outcome of one analysis run.
+pub struct Analysis {
+    /// Findings not covered by any baseline entry — these fail the run.
+    pub findings: Vec<Finding>,
+    /// Findings matched (and absorbed) by a baseline entry, with the
+    /// entry's written reason.
+    pub baselined: Vec<(Finding, String)>,
+    /// Baseline entries that matched nothing: stale entries fail the
+    /// run too, so the baseline can only ratchet down.
+    pub stale_baseline: Vec<String>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Analysis {
+    /// Whether the run is clean (exit code 0).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.stale_baseline.is_empty()
+    }
+}
+
+/// Builds the per-file lint context for one source text.
+pub fn file_context(rel: &str, src: &str) -> FileContext {
+    let lines = lex_lines(src);
+    let tokens = tokenize(&lines);
+    let production_end = lines
+        .iter()
+        .position(|l| l.code.trim_start().starts_with("#[cfg(test)"))
+        .unwrap_or(lines.len());
+    FileContext {
+        rel: rel.to_string(),
+        lines,
+        tokens,
+        production_end,
+    }
+}
+
+/// Runs the whole catalogue over in-memory sources. This is the entry
+/// point the golden-file harness uses; [`analyze_workspace`] is the
+/// same thing fed from disk.
+pub fn analyze_sources(sources: &[(String, String)], cfg: &Config) -> Analysis {
+    let contexts: Vec<FileContext> = sources
+        .iter()
+        .map(|(rel, src)| file_context(rel, src))
+        .collect();
+    let mut findings = Vec::new();
+    for lint in all_lints() {
+        for ctx in &contexts {
+            lint.check_file(ctx, cfg, &mut findings);
+        }
+        lint.check_workspace(&contexts, cfg, &mut findings);
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+
+    // Partition against the baseline; every entry must earn its keep.
+    let mut used = vec![false; cfg.baseline.len()];
+    let mut unbaselined = Vec::new();
+    let mut baselined = Vec::new();
+    for f in findings {
+        match cfg
+            .baseline
+            .iter()
+            .position(|b| b.file == f.file && b.lint == f.lint)
+        {
+            Some(i) => {
+                used[i] = true;
+                let reason = cfg.baseline[i].reason.clone();
+                baselined.push((f, reason));
+            }
+            None => unbaselined.push(f),
+        }
+    }
+    let stale_baseline = cfg
+        .baseline
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(b, _)| format!("{} / {} ({})", b.file, b.lint, b.reason))
+        .collect();
+
+    Analysis {
+        findings: unbaselined,
+        baselined,
+        stale_baseline,
+        files_scanned: contexts.len(),
+    }
+}
+
+/// Runs the catalogue over the on-disk workspace rooted at `repo`.
+pub fn analyze_workspace(repo: &Path, cfg: &Config) -> Result<Analysis, ConfigError> {
+    let mut files = Vec::new();
+    for root in &cfg.roots {
+        let dir = repo.join(root);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files);
+        } else if dir.is_file() {
+            files.push(dir);
+        }
+    }
+    files.sort();
+
+    let mut sources = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(repo)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if cfg
+            .exclude
+            .iter()
+            .any(|e| rel == *e || rel.starts_with(&format!("{}/", e.trim_end_matches('/'))))
+        {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).map_err(|e| ConfigError {
+            line: 0,
+            message: format!("cannot read {rel}: {e}"),
+        })?;
+        sources.push((rel, src));
+    }
+    Ok(analyze_sources(&sources, cfg))
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BaselineEntry;
+
+    fn cfg_with_hot_path() -> Config {
+        Config {
+            hot_path: vec!["crates/core/src/slab.rs".into()],
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn baseline_absorbs_matching_findings() {
+        let mut cfg = cfg_with_hot_path();
+        cfg.baseline.push(BaselineEntry {
+            file: "crates/core/src/slab.rs".into(),
+            lint: "hotpath-panic".into(),
+            reason: "legacy debt, tracked".into(),
+        });
+        let a = analyze_sources(
+            &[(
+                "crates/core/src/slab.rs".into(),
+                "fn f() { x.unwrap(); }\n".into(),
+            )],
+            &cfg,
+        );
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+        assert_eq!(a.baselined.len(), 1);
+        assert!(a.is_clean());
+    }
+
+    #[test]
+    fn stale_baseline_entries_fail_the_run() {
+        let mut cfg = cfg_with_hot_path();
+        cfg.baseline.push(BaselineEntry {
+            file: "crates/core/src/slab.rs".into(),
+            lint: "hotpath-panic".into(),
+            reason: "was fixed; entry forgotten".into(),
+        });
+        let a = analyze_sources(
+            &[("crates/core/src/slab.rs".into(), "fn f() {}\n".into())],
+            &cfg,
+        );
+        assert!(a.findings.is_empty());
+        assert_eq!(a.stale_baseline.len(), 1);
+        assert!(!a.is_clean());
+    }
+
+    #[test]
+    fn findings_are_sorted_and_counted() {
+        let cfg = cfg_with_hot_path();
+        let a = analyze_sources(
+            &[
+                (
+                    "crates/core/src/slab.rs".into(),
+                    "fn f() { x.unwrap(); }\nfn g() { let v = vec![1]; }\n".into(),
+                ),
+                ("crates/core/src/qos.rs".into(), "fn h() {}\n".into()),
+            ],
+            &cfg,
+        );
+        assert_eq!(a.files_scanned, 2);
+        assert_eq!(a.findings.len(), 2);
+        assert!(a.findings[0].line <= a.findings[1].line);
+    }
+}

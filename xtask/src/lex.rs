@@ -1,0 +1,456 @@
+//! A small dependency-free Rust lexer for the lint engine.
+//!
+//! The old line-grep lints were "naive about `//` inside string
+//! literals" by their own admission: `let s = "unsafe";` looked like an
+//! unsafe site, and a doc comment quoting `Ordering::SeqCst` tripped
+//! the ordering ban. This module fixes that class of false positive
+//! once, for every lint, by splitting each source line into its **code
+//! text** and its **comment text**:
+//!
+//! * [`LineView::code`] — the line with comments removed and the
+//!   *contents* of string/char literals blanked to spaces (the
+//!   delimiting quotes survive, so token boundaries do). Lints match
+//!   their patterns here and can no longer fire inside literals or
+//!   comments.
+//! * [`LineView::comment`] — the concatenated text of every comment
+//!   overlapping the line (line comments, doc comments, block-comment
+//!   interiors). Justification markers (`SAFETY:`, `ordering:`,
+//!   `xtask:allow(...)`, `hotpath:allow(...)`) are searched here, so a
+//!   marker is *only* a marker when it is actually commentary.
+//!
+//! The lexer understands what a lint needs and nothing more: line
+//! comments (`//`, `///`, `//!`), **nested** block comments
+//! (`/* /* */ */`, `/** */`, `/*! */`), string literals with escapes,
+//! raw strings (`r"…"`, `r#"…"#`, any hash depth), byte strings and
+//! byte chars (`b"…"`, `br#"…"#`, `b'x'`), char literals, and the
+//! char-vs-lifetime ambiguity (`'a'` is a literal, `&'a str` is not).
+//! It does not build an AST — token-level truth is exactly the
+//! altitude these lints live at.
+//!
+//! [`tokenize`] then lexes the blanked code into a flat [`Token`]
+//! stream (identifier-ish words and single-char punctuation, each
+//! tagged with its 1-based line) for the lints that need more than a
+//! substring — the atomic release/acquire pairing pass walks this
+//! stream to attribute an `Ordering::…` argument to the atomic field
+//! it orders.
+
+/// One source line, split into code text and comment text.
+#[derive(Debug, Clone, Default)]
+pub struct LineView {
+    /// Code with comments stripped and literal contents blanked.
+    pub code: String,
+    /// Concatenated text of every comment overlapping this line.
+    pub comment: String,
+}
+
+/// Lexer state that can span line boundaries.
+enum Mode {
+    Code,
+    /// Inside a block comment, at the given nesting depth.
+    Block(u32),
+    /// Inside a `"…"` string (escapes active).
+    Str,
+    /// Inside a raw string closed by `"` + this many `#`s.
+    RawStr(u32),
+}
+
+/// Splits `src` into per-line code/comment views. See the module docs.
+pub fn lex_lines(src: &str) -> Vec<LineView> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut cur = LineView::default();
+    let mut mode = Mode::Code;
+    let mut i = 0;
+
+    macro_rules! newline {
+        () => {{
+            out.push(std::mem::take(&mut cur));
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            newline!();
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                match c {
+                    b'/' if b.get(i + 1) == Some(&b'/') => {
+                        // Line comment (incl. /// and //!): rest of line.
+                        let end = line_end(b, i);
+                        cur.comment.push_str(&src[i + 2..end]);
+                        i = end;
+                    }
+                    b'/' if b.get(i + 1) == Some(&b'*') => {
+                        mode = Mode::Block(1);
+                        i += 2;
+                    }
+                    b'"' => {
+                        cur.code.push('"');
+                        mode = Mode::Str;
+                        i += 1;
+                    }
+                    b'r' | b'b' if !prev_is_ident(b, i) => {
+                        if let Some((hashes, after)) = raw_string_start(b, i) {
+                            // Keep the prefix chars as code, then blank.
+                            cur.code.push_str(&src[i..after]);
+                            mode = Mode::RawStr(hashes);
+                            i = after;
+                        } else if c == b'b' && b.get(i + 1) == Some(&b'"') {
+                            cur.code.push_str("b\"");
+                            mode = Mode::Str;
+                            i += 2;
+                        } else if c == b'b' && b.get(i + 1) == Some(&b'\'') {
+                            // Byte char literal: b'x' / b'\n'.
+                            let end = char_literal_end(b, i + 1);
+                            cur.code.push_str("b''");
+                            i = end;
+                        } else {
+                            cur.code.push(c as char);
+                            i += 1;
+                        }
+                    }
+                    b'\'' => {
+                        if let Some(end) = char_literal(b, i) {
+                            // Literal: keep the quotes, blank the body.
+                            cur.code.push('\'');
+                            blank_into(&mut cur.code, end - i - 2);
+                            cur.code.push('\'');
+                            i = end;
+                        } else {
+                            // Lifetime tick: ordinary code.
+                            cur.code.push('\'');
+                            i += 1;
+                        }
+                    }
+                    _ => {
+                        cur.code.push(c as char);
+                        i += 1;
+                    }
+                }
+            }
+            Mode::Block(depth) => {
+                if c == b'*' && b.get(i + 1) == Some(&b'/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::Block(depth - 1)
+                    };
+                    i += 2;
+                } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+                    mode = Mode::Block(depth + 1);
+                    i += 2;
+                } else {
+                    cur.comment.push(c as char);
+                    i += 1;
+                }
+            }
+            Mode::Str => match c {
+                b'\\' => {
+                    // Escape: blank the backslash and the escaped char
+                    // (handles \" and \\) — but leave an escaped
+                    // newline (string continuation) to the main loop so
+                    // line accounting stays exact.
+                    cur.code.push(' ');
+                    i += 1;
+                    if i < b.len() && b[i] != b'\n' {
+                        cur.code.push(' ');
+                        i += 1;
+                    }
+                }
+                b'"' => {
+                    cur.code.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                }
+                _ => {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            },
+            Mode::RawStr(hashes) => {
+                if c == b'"' && hashes_follow(b, i + 1, hashes) {
+                    cur.code.push('"');
+                    blank_into(&mut cur.code, hashes as usize);
+                    mode = Mode::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Final line without a trailing newline.
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        newline!();
+    }
+    out
+}
+
+fn line_end(b: &[u8], from: usize) -> usize {
+    b[from..]
+        .iter()
+        .position(|&c| c == b'\n')
+        .map(|p| from + p)
+        .unwrap_or(b.len())
+}
+
+fn prev_is_ident(b: &[u8], i: usize) -> bool {
+    i > 0 && {
+        let c = b[i - 1];
+        c.is_ascii_alphanumeric() || c == b'_'
+    }
+}
+
+/// If a raw (byte) string starts at `i` (`r"`, `r#"`, `br##"`, …),
+/// returns `(hash_count, index_just_past_the_opening_quote)`.
+fn raw_string_start(b: &[u8], i: usize) -> Option<(u32, usize)> {
+    let mut j = i;
+    if b.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if b.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (b.get(j) == Some(&b'"')).then_some((hashes, j + 1))
+}
+
+fn hashes_follow(b: &[u8], from: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| b.get(from + k) == Some(&b'#'))
+}
+
+/// If a char literal starts at the `'` at `i`, returns the index just
+/// past its closing quote. A lone lifetime tick returns `None`.
+fn char_literal(b: &[u8], i: usize) -> Option<usize> {
+    match b.get(i + 1) {
+        Some(b'\\') => Some(char_literal_end(b, i)),
+        // 'x' (incl. '_' — a valid char literal, unlike the lifetime
+        // '_ which is never followed by a quote).
+        Some(_) if b.get(i + 2) == Some(&b'\'') => Some(i + 3),
+        _ => None,
+    }
+}
+
+/// Index just past the closing quote of the char literal whose opening
+/// `'` is at `i` (escape-aware; unterminated literals run to EOF).
+fn char_literal_end(b: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\'' => return j + 1,
+            b'\n' => return j, // unterminated; don't eat the line
+            _ => j += 1,
+        }
+    }
+    b.len()
+}
+
+fn blank_into(s: &mut String, n: usize) {
+    for _ in 0..n {
+        s.push(' ');
+    }
+}
+
+/// One lexed token of the blanked code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text: an identifier/number word, or one punctuation
+    /// character.
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Whether this is an identifier-ish word (letters, digits, `_`).
+    pub is_ident: bool,
+}
+
+/// Lexes the blanked code of `lines` into a flat token stream.
+pub fn tokenize(lines: &[LineView]) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (idx, lv) in lines.iter().enumerate() {
+        let line = idx + 1;
+        let s = lv.code.as_bytes();
+        let mut i = 0;
+        while i < s.len() {
+            let c = s[i];
+            if c.is_ascii_whitespace() {
+                i += 1;
+            } else if c.is_ascii_alphanumeric() || c == b'_' {
+                let start = i;
+                while i < s.len() && (s[i].is_ascii_alphanumeric() || s[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    text: lv.code[start..i].to_string(),
+                    line,
+                    is_ident: true,
+                });
+            } else {
+                out.push(Token {
+                    text: (c as char).to_string(),
+                    line,
+                    is_ident: false,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(src: &str) -> Vec<String> {
+        lex_lines(src).into_iter().map(|l| l.code).collect()
+    }
+
+    fn comments(src: &str) -> Vec<String> {
+        lex_lines(src).into_iter().map(|l| l.comment).collect()
+    }
+
+    #[test]
+    fn line_comments_are_stripped_from_code() {
+        let got = code("let x = 1; // trailing\n// whole line\n");
+        assert_eq!(got[0], "let x = 1; ");
+        assert_eq!(got[1], "");
+        let com = comments("let x = 1; // trailing\n");
+        assert!(com[0].contains("trailing"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_quotes_survive() {
+        let got = code("let s = \"unsafe // not a comment\";\n");
+        assert!(!got[0].contains("unsafe"));
+        assert!(!got[0].contains("//"));
+        assert!(got[0].contains('"'));
+        assert!(got[0].ends_with(';'));
+    }
+
+    // The three documented false-positive cases the old line-grep
+    // lints were naive about (ISSUE satellite): each must vanish from
+    // the code view when it appears inside a string literal.
+    #[test]
+    fn lint_trigger_words_inside_string_literals_are_blanked() {
+        for needle in ["unsafe", "Instant::now()", "Ordering::SeqCst"] {
+            let src = format!("let s = \"{needle}\";\n");
+            let got = code(&src);
+            assert!(
+                !got[0].contains(needle),
+                "{needle:?} leaked into code view: {:?}",
+                got[0]
+            );
+        }
+    }
+
+    #[test]
+    fn doc_comments_are_comment_text_not_code() {
+        let src = "/// Uses `Ordering::SeqCst` (quoted, not real).\nfn f() {}\n";
+        let got = lex_lines(src);
+        assert!(!got[0].code.contains("SeqCst"));
+        assert!(got[0].comment.contains("SeqCst"));
+        assert_eq!(got[1].code, "fn f() {}");
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let src = "/* outer /* inner */ still comment */ let x = 1;\n";
+        let got = lex_lines(src);
+        assert_eq!(got[0].code.trim(), "let x = 1;");
+        assert!(got[0].comment.contains("inner"));
+        assert!(got[0].comment.contains("still comment"));
+    }
+
+    #[test]
+    fn multi_line_block_comment_spans_lines() {
+        let src = "a();\n/* one\ntwo SAFETY: ok\n*/\nb();\n";
+        let got = lex_lines(src);
+        assert_eq!(got[0].code, "a();");
+        assert_eq!(got[2].code, "");
+        assert!(got[2].comment.contains("SAFETY: ok"));
+        assert_eq!(got[4].code, "b();");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_blanked() {
+        let src = "let s = r#\"has \" quote and unsafe\"#;\nlet t = r\"plain\";\n";
+        let got = code(src);
+        assert!(!got[0].contains("unsafe"));
+        assert!(got[0].ends_with(';'));
+        assert!(!got[1].contains("plain"));
+    }
+
+    #[test]
+    fn multi_line_string_keeps_blanking() {
+        let src = "let s = \"line one\nInstant::now()\nend\";\nf();\n";
+        let got = code(src);
+        assert!(!got[1].contains("Instant::now"));
+        assert_eq!(got[3], "f();");
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let got = code("let s = \"a \\\" b unsafe\"; g();\n");
+        assert!(!got[0].contains("unsafe"));
+        assert!(got[0].contains("g();"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let got = code("let c = 'x'; let u = '_'; fn f<'a>(s: &'a str) {}\n");
+        assert!(!got[0].contains('x'), "char body blanked: {:?}", got[0]);
+        // Lifetime names are code, not literals.
+        assert!(got[0].contains("'a"));
+        assert!(got[0].contains("&'a str"));
+        let esc = code("let n = '\\n'; h();\n");
+        assert!(esc[0].contains("h();"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let got = code("let b = b\"unsafe\"; let c = b'x'; i();\n");
+        assert!(!got[0].contains("unsafe"));
+        assert!(!got[0].contains('x'));
+        assert!(got[0].contains("i();"));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_a_raw_string() {
+        // `var"` would be nonsense Rust, but `for r in` / `super::r#"`
+        // shapes must not confuse the prefix detection.
+        let got = code("let xr = 1; let s = \"lit\"; j();\n");
+        assert!(got[0].contains("xr = 1"));
+        assert!(got[0].contains("j();"));
+    }
+
+    #[test]
+    fn tokenizer_emits_words_and_punct_with_lines() {
+        let toks = tokenize(&lex_lines("a.load(\n  Ordering::Acquire);\n"));
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["a", ".", "load", "(", "Ordering", ":", ":", "Acquire", ")", ";"]
+        );
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[4].line, 2);
+        assert!(toks[4].is_ident);
+    }
+
+    #[test]
+    fn tuple_field_receivers_tokenize_as_words() {
+        let toks = tokenize(&lex_lines("self.0.fetch_add(1, Ordering::Release);\n"));
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.windows(3).any(|w| w == ["self", ".", "0"]));
+    }
+}

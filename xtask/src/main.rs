@@ -1,50 +1,20 @@
-//! `cargo xtask analyze` — the repo's static-analysis driver.
+//! `cargo xtask analyze` — CLI front-end for the static-analysis
+//! engine in the `xtask` library (see `src/lib.rs` and DESIGN.md §17).
 //!
-//! Pure-std, dependency-free, line-based lints that CI enforces on
-//! every push (see DESIGN.md §13). Four rules:
+//! ```text
+//! cargo xtask analyze [--format text|json|sarif] [--config PATH]
+//! ```
 //!
-//! 1. **SAFETY comments.** Every `unsafe` site must carry a
-//!    `// SAFETY:` justification on the same line or in the
-//!    comment/attribute block immediately above it.
-//! 2. **Unsafe isolation.** Every crate root (`src/lib.rs`,
-//!    `crates/*/src/lib.rs`, `vendor/*/src/lib.rs`) declares
-//!    `#![forbid(unsafe_code)]` or `#![deny(unsafe_code)]`, and
-//!    `unsafe` tokens appear only in `crates/net/src/intake.rs` (the
-//!    single libc-facing module).
-//! 3. **Wall-clock ban.** `Instant::now()` / `SystemTime::now()` are
-//!    forbidden in `crates/net/src` (outside `clock.rs`),
-//!    `crates/core/src`, `crates/cluster/src`, and
-//!    `crates/federation/src` production code:
-//!    per-heartbeat hot paths must route through the shard clock so
-//!    time is injectable and cheap, the core detector/wheel/slab layer
-//!    is a pure function of the timestamps it is handed, and the
-//!    cluster simulator exists to run on a virtual timeline — a hidden
-//!    wall-clock read in any of them would break replay determinism.
-//!    A justified exception is marked `// xtask:allow(wall_clock)` on
-//!    the same or preceding line.
-//! 4. **Atomic-ordering allowlist.** `Acquire`, `Release` and `AcqRel`
-//!    are free. `Ordering::Relaxed` requires an `ordering:`
-//!    justification comment within the preceding 12 lines.
-//!    `Ordering::SeqCst` is banned outright — the last use (the clock
-//!    watermark) was demoted to Acquire/Release and the demotion is
-//!    model-checked in `crates/check/tests/clock_model.rs`. Scope:
-//!    production code under `src/` directories, excluding
-//!    `crates/check` (the model checker implements the orderings) and
-//!    `crates/bench`.
-//!
-//! Lines past the first `#[cfg(test)]` in a file are treated as test
-//! code and exempt from rules 3 and 4.
+//! Exit codes: 0 clean, 1 findings (or stale baseline entries),
+//! 2 usage/config error.
 
-use std::fs;
+#![forbid(unsafe_code)]
+
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-
-/// One lint violation: repo-relative path, 1-based line, message.
-struct Finding {
-    file: String,
-    line: usize,
-    message: String,
-}
+use xtask::config::Config;
+use xtask::engine::analyze_workspace;
+use xtask::report::{render, Format};
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -52,471 +22,63 @@ fn main() -> ExitCode {
         Some("analyze") => {}
         other => {
             eprintln!(
-                "usage: cargo xtask analyze   (got {:?})",
+                "usage: cargo xtask analyze [--format text|json|sarif] [--config PATH] \
+                 (got {:?})",
                 other.unwrap_or("<nothing>")
             );
             return ExitCode::from(2);
         }
     }
+
+    let mut format = Format::Text;
+    let mut config_path: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref().and_then(Format::parse) {
+                Some(f) => format = f,
+                None => {
+                    eprintln!("--format expects one of: text, json, sarif");
+                    return ExitCode::from(2);
+                }
+            },
+            "--config" => match args.next() {
+                Some(p) => config_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--config expects a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .expect("xtask lives one level below the workspace root")
         .to_path_buf();
-    let findings = analyze(&root);
-    for f in &findings {
-        println!("{}:{}: {}", f.file, f.line, f.message);
-    }
-    if findings.is_empty() {
-        println!("xtask analyze: ok (0 findings)");
+    let config_path = config_path.unwrap_or_else(|| root.join("analyze.toml"));
+    let cfg = match Config::load(&config_path) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let analysis = match analyze_workspace(&root, &cfg) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", render(&analysis, format));
+    if analysis.is_clean() {
         ExitCode::SUCCESS
     } else {
-        println!("xtask analyze: {} finding(s)", findings.len());
         ExitCode::FAILURE
-    }
-}
-
-/// Runs all four lints over the workspace rooted at `root`.
-fn analyze(root: &Path) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    let mut files = Vec::new();
-    for top in ["src", "tests", "crates", "vendor"] {
-        collect_rs_files(&root.join(top), &mut files);
-    }
-    files.sort();
-
-    for path in &files {
-        let rel = path
-            .strip_prefix(root)
-            .expect("collected under root")
-            .to_string_lossy()
-            .replace('\\', "/");
-        let content = match fs::read_to_string(path) {
-            Ok(c) => c,
-            Err(e) => {
-                findings.push(Finding {
-                    file: rel,
-                    line: 0,
-                    message: format!("unreadable: {e}"),
-                });
-                continue;
-            }
-        };
-        let lines: Vec<&str> = content.lines().collect();
-
-        // Rule 2a: crate roots must forbid/deny unsafe_code.
-        if is_crate_root(&rel) && !has_unsafe_code_attr(&content) {
-            findings.push(Finding {
-                file: rel.clone(),
-                line: 1,
-                message: "crate root without `#![forbid(unsafe_code)]` \
-                          or `#![deny(unsafe_code)]`"
-                    .into(),
-            });
-        }
-
-        // Rule 1: SAFETY comments (everywhere, tests included).
-        for (line, message) in missing_safety_comments(&lines) {
-            findings.push(Finding {
-                file: rel.clone(),
-                line,
-                message,
-            });
-        }
-
-        // Rule 2b: unsafe tokens only in intake.rs.
-        if rel != "crates/net/src/intake.rs" {
-            for (idx, l) in lines.iter().enumerate() {
-                if is_unsafe_site(l) {
-                    findings.push(Finding {
-                        file: rel.clone(),
-                        line: idx + 1,
-                        message: "`unsafe` outside crates/net/src/intake.rs \
-                                  (the designated libc boundary)"
-                            .into(),
-                    });
-                }
-            }
-        }
-
-        // Rule 3: wall-clock ban in net and core production code.
-        if in_wall_clock_scope(&rel) {
-            for (line, message) in wall_clock_findings(&lines) {
-                findings.push(Finding {
-                    file: rel.clone(),
-                    line,
-                    message,
-                });
-            }
-        }
-
-        // Rule 4: ordering allowlist in production src code.
-        let in_ordering_scope = (rel.starts_with("src/") || rel.contains("/src/"))
-            && !rel.starts_with("crates/check/")
-            && !rel.starts_with("crates/bench/");
-        if in_ordering_scope {
-            for (line, message) in ordering_findings(&lines) {
-                findings.push(Finding {
-                    file: rel.clone(),
-                    line,
-                    message,
-                });
-            }
-        }
-    }
-
-    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    findings
-}
-
-/// Recursively gathers `.rs` files, skipping `target/` build output.
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            if path.file_name().is_some_and(|n| n == "target") {
-                continue;
-            }
-            collect_rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// Rule 3 scope: net production code (minus the clock module, which
-/// exists to do the wall-clock read once), the whole core crate
-/// (detectors, wheel, slab — pure functions of their timestamps), the
-/// cluster simulator (virtual time only, by definition), and the
-/// federation tier (clock-free by design — explicit `now` parameters
-/// keep the digest/adoption protocol replayable).
-fn in_wall_clock_scope(rel: &str) -> bool {
-    (rel.starts_with("crates/net/src/") && rel != "crates/net/src/clock.rs")
-        || rel.starts_with("crates/core/src/")
-        || rel.starts_with("crates/cluster/src/")
-        || rel.starts_with("crates/federation/src/")
-}
-
-/// Crate roots that must carry the unsafe_code attribute.
-fn is_crate_root(rel: &str) -> bool {
-    rel == "src/lib.rs"
-        || (rel.starts_with("crates/") && rel.ends_with("/src/lib.rs"))
-        || (rel.starts_with("vendor/") && rel.ends_with("/src/lib.rs"))
-}
-
-fn has_unsafe_code_attr(content: &str) -> bool {
-    content.contains("#![forbid(unsafe_code)]") || content.contains("#![deny(unsafe_code)]")
-}
-
-/// The code portion of a line: everything before a `//` comment.
-/// (Naive about `//` inside string literals; good enough for a lint.)
-fn code_part(line: &str) -> &str {
-    line.split("//").next().unwrap_or("")
-}
-
-/// Whether `haystack` contains `word` with non-identifier characters
-/// (or string boundaries) on both sides.
-fn contains_word(haystack: &str, word: &str) -> bool {
-    let bytes = haystack.as_bytes();
-    let mut start = 0;
-    while let Some(pos) = haystack[start..].find(word) {
-        let i = start + pos;
-        let before_ok = i == 0 || {
-            let c = bytes[i - 1];
-            !(c.is_ascii_alphanumeric() || c == b'_')
-        };
-        let j = i + word.len();
-        let after_ok = j >= bytes.len() || {
-            let c = bytes[j];
-            !(c.is_ascii_alphanumeric() || c == b'_')
-        };
-        if before_ok && after_ok {
-            return true;
-        }
-        start = i + 1;
-    }
-    false
-}
-
-/// An `unsafe` keyword in code (not in a comment, not part of the
-/// `unsafe_code` / `unsafe_op_in_unsafe_fn` lint names).
-fn is_unsafe_site(line: &str) -> bool {
-    let code = code_part(line);
-    if code.contains("unsafe_code") || code.contains("unsafe_op_in_unsafe_fn") {
-        return false;
-    }
-    contains_word(code, "unsafe")
-}
-
-/// Rule 1: every unsafe site needs `SAFETY:` on the same line or in
-/// the comment/attribute block directly above (searched up to 10
-/// lines, skipping blank and `#[...]` attribute lines).
-fn missing_safety_comments(lines: &[&str]) -> Vec<(usize, String)> {
-    let mut out = Vec::new();
-    for (idx, line) in lines.iter().enumerate() {
-        if !is_unsafe_site(line) || line.contains("SAFETY:") {
-            continue;
-        }
-        let mut justified = false;
-        for (looked, back) in lines[..idx].iter().rev().enumerate() {
-            if looked >= 10 {
-                break;
-            }
-            let t = back.trim_start();
-            if t.starts_with("//") {
-                if t.contains("SAFETY:") {
-                    justified = true;
-                    break;
-                }
-            } else if !(t.is_empty() || t.starts_with("#[")) {
-                break; // real code: the comment block (if any) ended
-            }
-        }
-        if !justified {
-            out.push((
-                idx + 1,
-                "`unsafe` without a `// SAFETY:` comment on or above it".into(),
-            ));
-        }
-    }
-    out
-}
-
-/// Lines before the first `#[cfg(test)]` — the production prefix.
-fn production_prefix<'a>(lines: &'a [&'a str]) -> &'a [&'a str] {
-    let cut = lines
-        .iter()
-        .position(|l| l.trim_start().starts_with("#[cfg(test)"))
-        .unwrap_or(lines.len());
-    &lines[..cut]
-}
-
-/// Rule 3: wall-clock reads outside clock.rs, unless marked
-/// `xtask:allow(wall_clock)` on the same or preceding line.
-fn wall_clock_findings(lines: &[&str]) -> Vec<(usize, String)> {
-    let prod = production_prefix(lines);
-    let mut out = Vec::new();
-    for (idx, line) in prod.iter().enumerate() {
-        let code = code_part(line);
-        if !(code.contains("Instant::now()") || code.contains("SystemTime::now()")) {
-            continue;
-        }
-        let marked = line.contains("xtask:allow(wall_clock)")
-            || prod[..idx]
-                .iter()
-                .rev()
-                .take_while(|l| l.trim_start().starts_with("//"))
-                .any(|l| l.contains("xtask:allow(wall_clock)"));
-        if !marked {
-            out.push((
-                idx + 1,
-                "wall-clock read in net/core production code outside \
-                 clock.rs (route through the shard clock, or mark \
-                 `// xtask:allow(wall_clock)`)"
-                    .into(),
-            ));
-        }
-    }
-    out
-}
-
-/// Whether any of `lines` carries an `ordering:` justification marker.
-/// `Ordering::` itself lowercases to `ordering::` — the double colon
-/// disqualifies it, so a bare use is never its own justification.
-fn has_ordering_marker(lines: &[&str]) -> bool {
-    lines.iter().any(|l| {
-        let low = l.to_ascii_lowercase();
-        let mut start = 0;
-        while let Some(pos) = low[start..].find("ordering:") {
-            let i = start + pos;
-            let j = i + "ordering:".len();
-            if low.as_bytes().get(j) != Some(&b':') {
-                return true;
-            }
-            start = j;
-        }
-        false
-    })
-}
-
-/// Rule 4: `Relaxed` needs a nearby `ordering:` comment; `SeqCst` is
-/// banned (the clock watermark demotion removed the last use).
-fn ordering_findings(lines: &[&str]) -> Vec<(usize, String)> {
-    let prod = production_prefix(lines);
-    let mut out = Vec::new();
-    for (idx, line) in prod.iter().enumerate() {
-        let code = code_part(line);
-        if code.contains("Ordering::SeqCst") {
-            out.push((
-                idx + 1,
-                "`Ordering::SeqCst` in production code (use \
-                 Acquire/Release; the clock-watermark demotion is \
-                 model-checked in crates/check/tests/clock_model.rs)"
-                    .into(),
-            ));
-        }
-        if code.contains("Ordering::Relaxed") {
-            let lo = idx.saturating_sub(12);
-            if !has_ordering_marker(&prod[lo..=idx]) {
-                out.push((
-                    idx + 1,
-                    "`Ordering::Relaxed` without an `ordering:` \
-                     justification comment within the preceding 12 lines"
-                        .into(),
-                ));
-            }
-        }
-    }
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn lines(s: &str) -> Vec<&str> {
-        s.lines().collect()
-    }
-
-    #[test]
-    fn unsafe_without_safety_comment_is_flagged() {
-        let src = lines("fn f() {\n    let p = unsafe { std::ptr::null::<u8>() };\n}\n");
-        let got = missing_safety_comments(&src);
-        assert_eq!(got.len(), 1);
-        assert_eq!(got[0].0, 2);
-    }
-
-    #[test]
-    fn safety_comment_above_or_inline_passes() {
-        let above = lines(
-            "fn f() {\n    // SAFETY: null is a valid *const u8.\n    \
-             let p = unsafe { std::ptr::null::<u8>() };\n}\n",
-        );
-        assert!(missing_safety_comments(&above).is_empty());
-        let inline = lines("unsafe { go() } // SAFETY: go has no preconditions.\n");
-        assert!(missing_safety_comments(&inline).is_empty());
-    }
-
-    #[test]
-    fn safety_comment_survives_attributes_and_blank_lines() {
-        let src = lines(
-            "// SAFETY: the fd is owned by this struct.\n#[inline]\n\n\
-             unsafe fn close_it(fd: i32) {}\n",
-        );
-        assert!(missing_safety_comments(&src).is_empty());
-    }
-
-    #[test]
-    fn lint_attributes_are_not_unsafe_sites() {
-        assert!(!is_unsafe_site("#![deny(unsafe_op_in_unsafe_fn)]"));
-        assert!(!is_unsafe_site("#![forbid(unsafe_code)]"));
-        assert!(!is_unsafe_site("// unsafe in a comment"));
-        assert!(is_unsafe_site("unsafe impl Send for X {}"));
-    }
-
-    #[test]
-    fn wall_clock_is_flagged_without_marker() {
-        let src = lines("fn f() {\n    let t = std::time::Instant::now();\n}\n");
-        let got = wall_clock_findings(&src);
-        assert_eq!(got.len(), 1);
-        assert_eq!(got[0].0, 2);
-    }
-
-    #[test]
-    fn wall_clock_marker_and_test_code_pass() {
-        let marked = lines(
-            "fn f() {\n    // xtask:allow(wall_clock) — sweep-duration metric only.\n    \
-             let t = std::time::Instant::now();\n}\n",
-        );
-        assert!(wall_clock_findings(&marked).is_empty());
-        let test_only = lines("#[cfg(test)]\nmod tests {\n    fn t() { Instant::now(); }\n}\n");
-        assert!(wall_clock_findings(&test_only).is_empty());
-    }
-
-    #[test]
-    fn relaxed_without_justification_is_flagged() {
-        let src = lines("fn f(a: &AtomicU64) {\n    a.load(Ordering::Relaxed);\n}\n");
-        let got = ordering_findings(&src);
-        assert_eq!(got.len(), 1);
-        assert_eq!(got[0].0, 2);
-    }
-
-    #[test]
-    fn relaxed_with_nearby_justification_passes() {
-        let src = lines(
-            "fn f(a: &AtomicU64) {\n    // ordering: Relaxed — single-cell stat counter.\n    \
-             a.load(Ordering::Relaxed);\n}\n",
-        );
-        assert!(ordering_findings(&src).is_empty());
-    }
-
-    #[test]
-    fn a_bare_use_is_not_its_own_justification() {
-        // `Ordering::Relaxed` lowercases to contain "ordering::" — the
-        // double colon must not satisfy the marker.
-        assert!(!has_ordering_marker(&["a.load(Ordering::Relaxed);"]));
-        assert!(has_ordering_marker(&["// ordering: justified because…"]));
-    }
-
-    #[test]
-    fn seqcst_is_flagged_everywhere() {
-        let src = lines("fn f(a: &AtomicU64) {\n    a.load(Ordering::SeqCst);\n}\n");
-        assert_eq!(ordering_findings(&src).len(), 1);
-    }
-
-    #[test]
-    fn acquire_release_are_free() {
-        let src = lines(
-            "fn f(a: &AtomicU64) {\n    a.store(1, Ordering::Release);\n    \
-             a.load(Ordering::Acquire);\n    a.fetch_add(1, Ordering::AcqRel);\n}\n",
-        );
-        assert!(ordering_findings(&src).is_empty());
-    }
-
-    #[test]
-    fn wall_clock_scope_covers_net_core_and_cluster() {
-        assert!(in_wall_clock_scope("crates/net/src/shard.rs"));
-        assert!(in_wall_clock_scope("crates/core/src/wheel.rs"));
-        assert!(in_wall_clock_scope("crates/core/src/multi.rs"));
-        assert!(in_wall_clock_scope("crates/cluster/src/sim.rs"));
-        assert!(in_wall_clock_scope("crates/cluster/src/scenarios.rs"));
-        assert!(in_wall_clock_scope("crates/federation/src/relay.rs"));
-        assert!(in_wall_clock_scope("crates/federation/src/digest.rs"));
-        assert!(!in_wall_clock_scope("crates/net/src/clock.rs"));
-        assert!(!in_wall_clock_scope(
-            "crates/bench/benches/shard_throughput.rs"
-        ));
-        assert!(!in_wall_clock_scope("crates/sim/src/time.rs"));
-    }
-
-    #[test]
-    fn crate_root_attr_detection() {
-        assert!(is_crate_root("src/lib.rs"));
-        assert!(is_crate_root("crates/net/src/lib.rs"));
-        assert!(is_crate_root("vendor/rand/src/lib.rs"));
-        assert!(!is_crate_root("crates/net/src/wire.rs"));
-        assert!(has_unsafe_code_attr("#![forbid(unsafe_code)]\n"));
-        assert!(has_unsafe_code_attr("#![deny(unsafe_code)]\n"));
-        assert!(!has_unsafe_code_attr("#![warn(missing_docs)]\n"));
-    }
-
-    #[test]
-    fn the_repo_itself_is_clean() {
-        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-            .parent()
-            .unwrap()
-            .to_path_buf();
-        let findings = analyze(&root);
-        let rendered: Vec<String> = findings
-            .iter()
-            .map(|f| format!("{}:{}: {}", f.file, f.line, f.message))
-            .collect();
-        assert!(
-            findings.is_empty(),
-            "xtask analyze found violations:\n{}",
-            rendered.join("\n")
-        );
     }
 }

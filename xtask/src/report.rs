@@ -1,0 +1,209 @@
+//! Report rendering: `--format text` for humans, `json` for scripts,
+//! `sarif` (2.1.0) for GitHub code-scanning annotations. All
+//! hand-rolled — the workspace builds without crates.io, so no serde.
+
+use crate::engine::Analysis;
+use crate::lints::all_lints;
+
+/// Output format selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
+impl Format {
+    /// Parses a `--format` argument.
+    pub fn parse(s: &str) -> Option<Format> {
+        match s {
+            "text" => Some(Format::Text),
+            "json" => Some(Format::Json),
+            "sarif" => Some(Format::Sarif),
+            _ => None,
+        }
+    }
+}
+
+/// Renders `analysis` in the chosen format.
+pub fn render(analysis: &Analysis, format: Format) -> String {
+    match format {
+        Format::Text => render_text(analysis),
+        Format::Json => render_json(analysis),
+        Format::Sarif => render_sarif(analysis),
+    }
+}
+
+fn render_text(a: &Analysis) -> String {
+    let mut out = String::new();
+    for f in &a.findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            f.file, f.line, f.lint, f.message
+        ));
+    }
+    for s in &a.stale_baseline {
+        out.push_str(&format!("analyze.toml: stale baseline entry: {s}\n"));
+    }
+    out.push_str(&format!(
+        "xtask analyze: {} file(s), {} finding(s), {} baselined, {} stale baseline entr{}\n",
+        a.files_scanned,
+        a.findings.len(),
+        a.baselined.len(),
+        a.stale_baseline.len(),
+        if a.stale_baseline.len() == 1 {
+            "y"
+        } else {
+            "ies"
+        },
+    ));
+    out
+}
+
+/// Escapes a string for a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_json(a: &Analysis) -> String {
+    let mut out = String::from("{\n  \"findings\": [\n");
+    for (i, f) in a.findings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"lint\": \"{}\", \"message\": \"{}\"}}{}\n",
+            esc(&f.file),
+            f.line,
+            f.lint,
+            esc(&f.message),
+            if i + 1 < a.findings.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"baselined\": [\n");
+    for (i, (f, reason)) in a.baselined.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"lint\": \"{}\", \"reason\": \"{}\"}}{}\n",
+            esc(&f.file),
+            f.line,
+            f.lint,
+            esc(reason),
+            if i + 1 < a.baselined.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"stale_baseline\": [");
+    for (i, s) in a.stale_baseline.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\"", esc(s)));
+    }
+    out.push_str(&format!(
+        "],\n  \"files_scanned\": {},\n  \"clean\": {}\n}}\n",
+        a.files_scanned,
+        a.is_clean(),
+    ));
+    out
+}
+
+fn render_sarif(a: &Analysis) -> String {
+    let mut out = String::from(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [{\n    \"tool\": {\"driver\": {\n      \
+         \"name\": \"twofd-xtask-analyze\",\n      \"informationUri\": \
+         \"https://example.invalid/twofd\",\n      \"rules\": [\n",
+    );
+    let lints = all_lints();
+    for (i, lint) in lints.iter().enumerate() {
+        out.push_str(&format!(
+            "        {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{}\n",
+            lint.name(),
+            esc(lint.description()),
+            if i + 1 < lints.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("      ]\n    }},\n    \"results\": [\n");
+    for (i, f) in a.findings.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"ruleId\": \"{}\", \"level\": \"error\", \"message\": {{\"text\": \
+             \"{}\"}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+             {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]}}{}\n",
+            f.lint,
+            esc(&f.message),
+            esc(&f.file),
+            f.line,
+            if i + 1 < a.findings.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("    ]\n  }]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::Finding;
+
+    fn sample() -> Analysis {
+        Analysis {
+            findings: vec![Finding {
+                file: "crates/core/src/slab.rs".into(),
+                line: 7,
+                lint: "hotpath-panic",
+                message: "`unwrap` with a \"quote\"".into(),
+            }],
+            baselined: vec![(
+                Finding {
+                    file: "crates/net/src/shard.rs".into(),
+                    line: 3,
+                    lint: "blocking-call",
+                    message: "mutex acquisition".into(),
+                },
+                "per-shard design".into(),
+            )],
+            stale_baseline: Vec::new(),
+            files_scanned: 2,
+        }
+    }
+
+    #[test]
+    fn text_report_lists_findings_and_summary() {
+        let t = render(&sample(), Format::Text);
+        assert!(t.contains("crates/core/src/slab.rs:7: [hotpath-panic]"));
+        assert!(t.contains("2 file(s), 1 finding(s), 1 baselined"));
+    }
+
+    #[test]
+    fn json_report_escapes_and_counts() {
+        let j = render(&sample(), Format::Json);
+        assert!(j.contains("\\\"quote\\\""), "{j}");
+        assert!(j.contains("\"clean\": false"));
+        assert!(j.contains("\"files_scanned\": 2"));
+    }
+
+    #[test]
+    fn sarif_report_has_schema_rules_and_results() {
+        let s = render(&sample(), Format::Sarif);
+        assert!(s.contains("sarif-2.1.0.json"));
+        assert!(s.contains("\"id\": \"atomic-pairing\""));
+        assert!(s.contains("\"ruleId\": \"hotpath-panic\""));
+        assert!(s.contains("\"startLine\": 7"));
+    }
+
+    #[test]
+    fn format_parse_round_trips() {
+        assert_eq!(Format::parse("text"), Some(Format::Text));
+        assert_eq!(Format::parse("json"), Some(Format::Json));
+        assert_eq!(Format::parse("sarif"), Some(Format::Sarif));
+        assert_eq!(Format::parse("xml"), None);
+    }
+}

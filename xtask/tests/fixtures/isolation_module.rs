@@ -1,0 +1,8 @@
+//@ path: crates/core/src/qos.rs
+// Fixture: unsafe-isolation — `unsafe` outside the designated boundary
+// fires even when the SAFETY comment is present.
+
+pub fn fire() {
+    // SAFETY: justified, but still in the wrong module.
+    let p = unsafe { danger() };
+}

@@ -1,0 +1,5 @@
+//@ path: crates/trace/src/lib.rs
+// Fixture: unsafe-isolation — a crate root without
+// `#![forbid(unsafe_code)]` / `#![deny(unsafe_code)]` fires at line 1.
+
+pub mod nothing {}

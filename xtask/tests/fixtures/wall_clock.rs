@@ -1,0 +1,25 @@
+//@ path: crates/sim/src/engine.rs
+// Fixture: wall-clock — the extended scope (crates/sim/src) fires on
+// both clock reads, honors the allow marker, and skips string literals
+// and test code.
+
+pub fn fire() {
+    let t = std::time::Instant::now();
+    let u = std::time::SystemTime::now();
+}
+
+pub fn allowed() {
+    // xtask:allow(wall_clock) — fixture: measuring only.
+    let t = std::time::Instant::now();
+}
+
+pub fn in_string() {
+    let s = "Instant::now()";
+}
+
+#[cfg(test)]
+mod tests {
+    fn free_here() {
+        let t = std::time::Instant::now();
+    }
+}
